@@ -1,0 +1,93 @@
+// Ablation A: cost of the cryptographic layer (Step 2/3 of the RS scheme,
+// Section 2.1) as a function of ring size. The paper keeps Step 2/3
+// unchanged and argues only Step 3 affects chain throughput; this bench
+// quantifies sign (offline) and verify (online) costs for our LSAG over
+// secp256k1, plus the primitive operations they decompose into.
+#include <vector>
+
+#include "bench_common.h"
+#include "crypto/lsag.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+struct RingSetup {
+  std::vector<crypto::Keypair> keys;
+  std::vector<crypto::Point> ring;
+};
+
+RingSetup MakeRing(size_t n) {
+  common::Rng rng(1234 + n);
+  RingSetup setup;
+  for (size_t i = 0; i < n; ++i) {
+    setup.keys.push_back(crypto::Keypair::Generate(&rng));
+    setup.ring.push_back(setup.keys.back().pub);
+  }
+  return setup;
+}
+
+void BM_LsagSign(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  RingSetup setup = MakeRing(n);
+  common::Rng rng(7);
+  for (auto _ : state) {
+    auto sig = crypto::Lsag::Sign(setup.ring, n / 2, setup.keys[n / 2],
+                                  "bench tx", &rng);
+    benchmark::DoNotOptimize(&sig);
+  }
+}
+BENCHMARK(BM_LsagSign)->Arg(2)->Arg(5)->Arg(11)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LsagVerify(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  RingSetup setup = MakeRing(n);
+  common::Rng rng(7);
+  auto sig = crypto::Lsag::Sign(setup.ring, n / 2, setup.keys[n / 2],
+                                "bench tx", &rng);
+  for (auto _ : state) {
+    bool ok = crypto::Lsag::Verify(*sig, "bench tx");
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_LsagVerify)->Arg(2)->Arg(5)->Arg(11)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMulBase(benchmark::State& state) {
+  common::Rng rng(9);
+  crypto::U256 k(rng.Next(), rng.Next(), rng.Next(), 0);
+  for (auto _ : state) {
+    auto p = crypto::Secp256k1::MulBase(k);
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_ScalarMulBase)->Unit(benchmark::kMicrosecond);
+
+void BM_SchnorrSignVerify(benchmark::State& state) {
+  common::Rng rng(11);
+  crypto::Keypair key = crypto::Keypair::Generate(&rng);
+  for (auto _ : state) {
+    auto sig = crypto::Schnorr::Sign(key, "m", &rng);
+    bool ok = crypto::Schnorr::Verify(key.pub, "m", sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SchnorrSignVerify)->Unit(benchmark::kMicrosecond);
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(payload);
+    benchmark::DoNotOptimize(&digest);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+BENCHMARK_MAIN();

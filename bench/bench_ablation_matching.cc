@@ -1,0 +1,128 @@
+// Ablation B: cost of the exact analysis machinery (Section 5) versus
+// instance size — SDR enumeration, the bitmask-DP counter, Hopcroft-Karp
+// possible-spend queries, and the full chain-reaction analysis. This is
+// the quantitative argument for the practical configurations: exact
+// checks blow up exponentially while the matching-based tests stay
+// polynomial.
+#include <vector>
+
+#include "bench_common.h"
+#include "analysis/chain_reaction.h"
+#include "analysis/incremental.h"
+#include "analysis/matching.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+using analysis::HopcroftKarp;
+using analysis::RsFamily;
+using analysis::SdrEnumerator;
+
+/// m overlapping RSs of size k over m + k tokens (dense, worst-case-ish).
+std::vector<chain::RsView> OverlappingFamily(size_t m, size_t k) {
+  std::vector<chain::RsView> views;
+  for (size_t r = 0; r < m; ++r) {
+    chain::RsView view;
+    view.id = static_cast<chain::RsId>(r);
+    view.proposed_at = static_cast<chain::Timestamp>(r);
+    for (size_t j = 0; j < k; ++j) {
+      view.members.push_back(static_cast<chain::TokenId>(r + j));
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+void BM_SdrEnumerate(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  RsFamily family(views);
+  uint64_t total = 0;
+  for (auto _ : state) {
+    auto count = SdrEnumerator::Count(family);
+    total = count.ok() ? *count : 0;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sdr_count"] = static_cast<double>(total);
+}
+BENCHMARK(BM_SdrEnumerate)->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SdrCountDp(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  RsFamily family(views);
+  for (auto _ : state) {
+    uint64_t count = analysis::CountSdrsDp(family);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SdrCountDp)->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PossibleSpendsPolynomial(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  RsFamily family(views);
+  for (auto _ : state) {
+    auto spends = HopcroftKarp::PossibleSpends(family, 0);
+    benchmark::DoNotOptimize(spends.data());
+  }
+}
+BENCHMARK(BM_PossibleSpendsPolynomial)->DenseRange(2, 14, 2)
+    ->RangeMultiplier(2)->Unit(benchmark::kMicrosecond);
+
+void BM_ChainReactionAnalyze(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto result = analysis::ChainReactionAnalyzer::Analyze(views);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_ChainReactionAnalyze)->DenseRange(2, 14, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ChainReactionCascade(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto result = analysis::ChainReactionAnalyzer::Cascade(views);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_ChainReactionCascade)->DenseRange(2, 14, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// Online liquidity checking: batch recompute per arrival vs the
+// incremental cascade. The workload feeds m RSs one by one and asks for
+// the inferable-spent count after each (the TokenMagic η-rule pattern).
+void BM_LiquidityBatchRecompute(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    size_t total = 0;
+    std::vector<chain::RsView> prefix;
+    for (const auto& view : views) {
+      prefix.push_back(view);
+      total += analysis::ChainReactionAnalyzer::CountInferableSpent(prefix);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_LiquidityBatchRecompute)->DenseRange(8, 40, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LiquidityIncremental(benchmark::State& state) {
+  auto views = OverlappingFamily(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    size_t total = 0;
+    analysis::IncrementalCascade cascade;
+    for (const auto& view : views) {
+      cascade.Add(view);
+      total += cascade.InferableSpentCount();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_LiquidityIncremental)->DenseRange(8, 40, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Figure 10: effect of the number of fresh tokens |F| on the synthetic
+// dataset. |F| sweeps {0, 5, 10, 15, 20} with Table-3 defaults.
+// Expected shapes: more single-token modules let TM_P/TM_G/TM_S shave
+// sizes while TM_R stays flat; times rise mildly with |F|.
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& SyntheticWithFresh(int fresh) {
+  static std::map<int, data::Dataset> cache;
+  auto it = cache.find(fresh);
+  if (it == cache.end()) {
+    data::SyntheticParams params;
+    params.num_fresh = static_cast<size_t>(fresh);
+    params.seed = 42;
+    it = cache.emplace(fresh, data::MakeSyntheticDataset(params)).first;
+  }
+  return it->second;
+}
+
+void RegisterFig10() {
+  const int fresh_values[] = {0, 5, 10, 15, 20};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (int fresh : fresh_values) {
+      std::string name = std::string("BM_Fig10_") + approach +
+                         "/F:" + std::to_string(fresh);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, fresh](benchmark::State& state) {
+            RunSelectionLoop(state, SyntheticWithFresh(fresh),
+                             SelectorByName(approach), {0.6, 30});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5: effect of c_tau of the recursive (c, ell)-diversity on the
+// real (Monero-like) dataset. c sweeps {0.2, 0.4, 0.6, 0.8, 1.0} with
+// ell fixed at its default 40 (Table 2). Expected shapes: RS sizes fall
+// as c grows (the constraint relaxes); times fall then flatten; TM_P and
+// TM_G produce clearly smaller RSs than TM_S / TM_R.
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& RealDataset() {
+  static const data::Dataset dataset = data::MakeMoneroLikeTrace();
+  return dataset;
+}
+
+void RegisterFig5() {
+  const double c_values[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (double c : c_values) {
+      std::string name = std::string("BM_Fig5_") + approach +
+                         "/c:" + std::to_string(c).substr(0, 3);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, c](benchmark::State& state) {
+            RunSelectionLoop(state, RealDataset(), SelectorByName(approach),
+                             {c, 40});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

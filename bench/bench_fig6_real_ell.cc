@@ -1,0 +1,45 @@
+// Figure 6: effect of ell of the recursive (c, ell)-diversity on the real
+// (Monero-like) dataset. ell sweeps {20, 30, 40, 50, 60} with c fixed at
+// 0.6 (Table 2). Expected shapes: RS sizes grow roughly linearly with ell
+// (Theorems 6.5 / 6.7); running time grows; TM_G is the slowest and the
+// most sensitive to ell.
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& RealDataset() {
+  static const data::Dataset dataset = data::MakeMoneroLikeTrace();
+  return dataset;
+}
+
+void RegisterFig6() {
+  const int ell_values[] = {20, 30, 40, 50, 60};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (int ell : ell_values) {
+      std::string name = std::string("BM_Fig6_") + approach +
+                         "/ell:" + std::to_string(ell);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, ell](benchmark::State& state) {
+            RunSelectionLoop(state, RealDataset(), SelectorByName(approach),
+                             {0.6, ell});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: effect of the variance sigma of the HT distribution on the
+// synthetic dataset. sigma sweeps {8, 10, 12, 14, 16} with the Table-3
+// defaults elsewhere (|S|=50, |s_i| in [10,20], |F|=10). Expected shapes:
+// larger sigma spreads tokens over more HTs, so both RS sizes and times
+// fall for every approach; TM_G < TM_P < baselines in size.
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& SyntheticWithSigma(double sigma) {
+  static std::map<double, data::Dataset> cache;
+  auto it = cache.find(sigma);
+  if (it == cache.end()) {
+    data::SyntheticParams params;
+    params.sigma = sigma;
+    params.seed = 42;
+    it = cache.emplace(sigma, data::MakeSyntheticDataset(params)).first;
+  }
+  return it->second;
+}
+
+void RegisterFig7() {
+  const double sigma_values[] = {8, 10, 12, 14, 16};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (double sigma : sigma_values) {
+      std::string name = std::string("BM_Fig7_") + approach +
+                         "/sigma:" + std::to_string(static_cast<int>(sigma));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, sigma](benchmark::State& state) {
+            RunSelectionLoop(state, SyntheticWithSigma(sigma),
+                             SelectorByName(approach), {0.6, 30});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

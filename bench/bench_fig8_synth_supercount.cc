@@ -1,0 +1,52 @@
+// Figure 8: effect of the number of super RSs |S| on the synthetic
+// dataset. |S| sweeps {10, 30, 50, 70, 90} with Table-3 defaults.
+// Expected shapes: more candidate super RSs let TM_P/TM_G/TM_S find
+// smaller RSs, while TM_R stays flat; times rise with |S| (TM_P
+// quadratically, TM_G cubically per Section 6's complexity analysis).
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& SyntheticWithSuperCount(int count) {
+  static std::map<int, data::Dataset> cache;
+  auto it = cache.find(count);
+  if (it == cache.end()) {
+    data::SyntheticParams params;
+    params.num_super_rs = static_cast<size_t>(count);
+    params.seed = 42;
+    it = cache.emplace(count, data::MakeSyntheticDataset(params)).first;
+  }
+  return it->second;
+}
+
+void RegisterFig8() {
+  const int counts[] = {10, 30, 50, 70, 90};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (int count : counts) {
+      std::string name = std::string("BM_Fig8_") + approach +
+                         "/S:" + std::to_string(count);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, count](benchmark::State& state) {
+            RunSelectionLoop(state, SyntheticWithSuperCount(count),
+                             SelectorByName(approach), {0.6, 30});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

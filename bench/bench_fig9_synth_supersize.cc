@@ -1,0 +1,54 @@
+// Figure 9: effect of the super-RS size range |s_i| on the synthetic
+// dataset. [s-, s+] sweeps {[1,10], [5,15], [10,20], [15,25], [20,30]}.
+// Expected shapes: because a super RS can only be picked whole (first
+// practical configuration), RS sizes grow with |s_i| for every approach;
+// times grow with the token count.
+#include "bench_common.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+const data::Dataset& SyntheticWithSizeRange(int lo, int hi) {
+  static std::map<int, data::Dataset> cache;
+  auto it = cache.find(lo);
+  if (it == cache.end()) {
+    data::SyntheticParams params;
+    params.super_size_min = static_cast<size_t>(lo);
+    params.super_size_max = static_cast<size_t>(hi);
+    params.seed = 42;
+    it = cache.emplace(lo, data::MakeSyntheticDataset(params)).first;
+  }
+  return it->second;
+}
+
+void RegisterFig9() {
+  const std::pair<int, int> ranges[] = {
+      {1, 10}, {5, 15}, {10, 20}, {15, 25}, {20, 30}};
+  int arg = 0;
+  for (const char* approach : kApproaches) {
+    for (auto [lo, hi] : ranges) {
+      std::string name = std::string("BM_Fig9_") + approach + "/s:" +
+                         std::to_string(lo) + "-" + std::to_string(hi);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [approach, lo = lo, hi = hi](benchmark::State& state) {
+            RunSelectionLoop(state, SyntheticWithSizeRange(lo, hi),
+                             SelectorByName(approach), {0.6, 30});
+          })
+          ->Arg(arg++)
+          ->MinTime(BenchMinTime())
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  tokenmagic::bench::RegisterFig9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Attack demonstration: chain-reaction analysis and the homogeneity
+// attack against two mixin-selection policies.
+//
+// A population of users spends tokens over time. Under the status-quo
+// Monero-style sampler, rings overlap arbitrarily and the adversary's
+// cascade + matching analysis steadily eliminates mixins and pins real
+// spends. Under TokenMagic's DA-MS selection (first practical
+// configuration + recursive diversity), the same adversary learns
+// nothing about individual spends.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/anonymity.h"
+#include "analysis/chain_reaction.h"
+#include "analysis/homogeneity.h"
+#include "chain/ledger.h"
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/progressive.h"
+#include "core/token_magic.h"
+
+using namespace tokenmagic;
+
+namespace {
+
+struct AttackOutcome {
+  size_t rings = 0;
+  size_t deanonymized = 0;
+  size_t with_eliminations = 0;
+  double mean_anonymity = 0.0;
+  size_t homogeneity_leaks = 0;
+};
+
+AttackOutcome RunScenario(const core::MixinSelector& selector,
+                          chain::DiversityRequirement req, uint64_t seed,
+                          bool enforce_constraints) {
+  // A chain with clustered outputs: 6 transactions x 4 tokens each —
+  // clusters make the homogeneity attack realistic.
+  chain::Blockchain bc;
+  bc.AddBlock(0, {4, 4, 4});
+  bc.AddBlock(1, {4, 4, 4});
+  core::TokenMagicConfig config;
+  config.lambda = 24;
+  core::TokenMagic tm(&bc, config);
+  common::Rng rng(seed);
+
+  // Spend well over half of the tokens: a realistic mature batch where
+  // chain reactions have material to work with.
+  std::vector<chain::TokenId> order = bc.AllTokens();
+  rng.Shuffle(&order);
+  chain::Ledger shadow_ledger;  // for the unconstrained policy
+  for (size_t i = 0; i < 16; ++i) {
+    chain::TokenId target = order[i];
+    if (enforce_constraints) {
+      (void)tm.GenerateRs(target, req, selector, &rng);
+    } else {
+      auto instance = tm.InstanceFor(target, req);
+      if (!instance.ok()) continue;
+      instance->history = shadow_ledger.Views();
+      auto result = selector.Select(*instance, &rng);
+      if (!result.ok()) continue;
+      (void)shadow_ledger.Propose(result->members, target, req);
+    }
+  }
+
+  const chain::Ledger& ledger =
+      enforce_constraints ? tm.ledger() : shadow_ledger;
+  auto views = ledger.Views();
+  auto analysis = analysis::ChainReactionAnalyzer::Analyze(views);
+
+  AttackOutcome outcome;
+  outcome.rings = views.size();
+  auto stats = analysis::SummarizeAnonymity(analysis);
+  outcome.mean_anonymity = stats.mean_anonymity_set;
+  outcome.with_eliminations = stats.with_eliminations;
+  // Deanonymized = analysis pinned the ground-truth spend exactly.
+  for (const auto& view : views) {
+    auto it = analysis.revealed_spends.find(view.id);
+    if (it != analysis.revealed_spends.end() &&
+        it->second == ledger.GroundTruthSpent(view.id)) {
+      ++outcome.deanonymized;
+    }
+    // Homogeneity: fold in what the eliminations imply.
+    std::unordered_set<chain::TokenId> eliminated(
+        analysis.eliminated[view.id].begin(),
+        analysis.eliminated[view.id].end());
+    auto probe = analysis::ProbeHomogeneity(view.members, eliminated,
+                                            tm.ht_index());
+    if (probe.ht_determined) ++outcome.homogeneity_leaks;
+  }
+  return outcome;
+}
+
+void Print(const char* label, const AttackOutcome& o) {
+  std::printf("%-28s rings=%zu deanonymized=%zu eliminations=%zu "
+              "homogeneity_leaks=%zu mean_anonymity_set=%.2f\n",
+              label, o.rings, o.deanonymized, o.with_eliminations,
+              o.homogeneity_leaks, o.mean_anonymity);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("adversary: chain-reaction analysis (exact, matching-based) "
+              "+ homogeneity probe\n\n");
+
+  // Status quo: small random rings, no diversity/DTRS constraints.
+  core::MoneroSelector monero(2);  // thrifty users pick minimal rings
+  AttackOutcome naive =
+      RunScenario(monero, {1.0, 1}, 99, /*enforce_constraints=*/false);
+  Print("Monero-style (ring=2)", naive);
+
+  // DA-MS: TokenMagic + Progressive under recursive (2, 3)-diversity.
+  core::ProgressiveSelector progressive;
+  AttackOutcome protected_run =
+      RunScenario(progressive, {2.0, 3}, 99, /*enforce_constraints=*/true);
+  Print("TokenMagic TM_P (2,3)", protected_run);
+
+  std::printf("\nThe DA-MS run must show zero deanonymized spends and "
+              "zero homogeneity leaks.\n");
+  return (protected_run.deanonymized == 0 &&
+          protected_run.homogeneity_leaks == 0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,46 @@
+#include "analysis/anonymity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tokenmagic::analysis {
+
+AnonymityStats SummarizeAnonymity(const AnalysisResult& result) {
+  AnonymityStats stats;
+  stats.rs_count = result.possible_spends.size();
+  if (stats.rs_count == 0) return stats;
+
+  double sum_sets = 0.0;
+  double sum_entropy = 0.0;
+  double min_set = std::numeric_limits<double>::infinity();
+  for (const auto& [rs, possible] : result.possible_spends) {
+    double size = static_cast<double>(possible.size());
+    sum_sets += size;
+    min_set = std::min(min_set, size);
+    if (possible.size() > 0) sum_entropy += std::log2(size);
+    if (possible.size() == 1) ++stats.fully_revealed;
+  }
+  for (const auto& [rs, elim] : result.eliminated) {
+    if (!elim.empty()) ++stats.with_eliminations;
+  }
+  stats.mean_anonymity_set = sum_sets / static_cast<double>(stats.rs_count);
+  stats.min_anonymity_set = min_set;
+  stats.mean_entropy_bits =
+      sum_entropy / static_cast<double>(stats.rs_count);
+  return stats;
+}
+
+double DeanonymizationRate(const AnalysisResult& result,
+                           const std::vector<chain::TokenRsPair>& truth) {
+  if (truth.empty()) return 0.0;
+  size_t hits = 0;
+  for (const chain::TokenRsPair& pair : truth) {
+    auto it = result.revealed_spends.find(pair.rs);
+    if (it != result.revealed_spends.end() && it->second == pair.token) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,35 @@
+// Anonymity metrics over an analyzed RS history.
+//
+// These aggregate the adversary's view (ChainReactionAnalyzer output) into
+// the quantities the paper's evaluation reasons about: effective anonymity
+// set sizes, deanonymization rates, and entropy.
+#pragma once
+
+#include <vector>
+
+#include "analysis/chain_reaction.h"
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+/// Summary statistics of an analysis result.
+struct AnonymityStats {
+  size_t rs_count = 0;
+  size_t fully_revealed = 0;     ///< RSs with a unique possible spend
+  size_t with_eliminations = 0;  ///< RSs with >= 1 eliminated member
+  double mean_anonymity_set = 0.0;  ///< mean |possible spends|
+  double min_anonymity_set = 0.0;
+  /// Mean Shannon entropy (bits) of the uniform distribution over each
+  /// RS's possible spends.
+  double mean_entropy_bits = 0.0;
+};
+
+/// Aggregates `result` over all RSs it covers.
+AnonymityStats SummarizeAnonymity(const AnalysisResult& result);
+
+/// Fraction of RSs whose ground-truth spend the adversary pinned exactly.
+/// `truth[i]` is the ground-truth pair of history RS i.
+double DeanonymizationRate(const AnalysisResult& result,
+                           const std::vector<chain::TokenRsPair>& truth);
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,276 @@
+#include "analysis/chain_reaction.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/macros.h"
+
+namespace tokenmagic::analysis {
+
+bool AnalysisResult::NoTokenEliminated() const {
+  for (const auto& [rs, tokens] : eliminated) {
+    if (!tokens.empty()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Translates side information into forced dense assignments for `family`.
+/// Returns false when the side info is inconsistent with the family (e.g.
+/// the revealed token is not a member of the revealed RS).
+bool ForcedFromSideInfo(const RsFamily& family, const SideInformation& si,
+                        std::vector<size_t>* forced) {
+  forced->assign(family.rs_count(), SdrEnumerator::kUnassigned);
+  for (const chain::TokenRsPair& pair : si.revealed) {
+    size_t r = family.RsIndexOf(pair.rs);
+    if (!family.HasToken(pair.token)) return false;
+    size_t t = family.TokenIndexOf(pair.token);
+    const auto& mem = family.members(r);
+    if (!std::binary_search(mem.begin(), mem.end(), t)) return false;
+    if ((*forced)[r] != SdrEnumerator::kUnassigned && (*forced)[r] != t) {
+      return false;
+    }
+    (*forced)[r] = t;
+  }
+  return true;
+}
+
+/// A family wrapper that applies forced assignments by shrinking member
+/// lists: a forced RS keeps only its forced token; that token is removed
+/// from every other RS.
+std::vector<chain::RsView> ApplyForced(
+    const std::vector<chain::RsView>& history, const RsFamily& family,
+    const std::vector<size_t>& forced) {
+  std::vector<chain::RsView> out = history;
+  std::unordered_set<chain::TokenId> taken;
+  std::unordered_map<chain::RsId, chain::TokenId> pinned;
+  for (size_t r = 0; r < forced.size(); ++r) {
+    if (forced[r] == SdrEnumerator::kUnassigned) continue;
+    chain::TokenId token = family.token_id(forced[r]);
+    taken.insert(token);
+    pinned.emplace(family.rs_id(r), token);
+  }
+  for (chain::RsView& view : out) {
+    auto it = pinned.find(view.id);
+    if (it != pinned.end()) {
+      view.members = {it->second};
+      continue;
+    }
+    std::erase_if(view.members,
+                  [&](chain::TokenId t) { return taken.count(t) > 0; });
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult ChainReactionAnalyzer::Analyze(
+    const std::vector<chain::RsView>& history,
+    const SideInformation& side_info) {
+  AnalysisResult result;
+  if (history.empty()) return result;
+
+  RsFamily base_family(history);
+  std::vector<size_t> forced;
+  TM_CHECK(ForcedFromSideInfo(base_family, side_info, &forced));
+  std::vector<chain::RsView> effective =
+      ApplyForced(history, base_family, forced);
+  RsFamily family(effective);
+
+  for (size_t r = 0; r < family.rs_count(); ++r) {
+    chain::RsId rs_id = family.rs_id(r);
+    std::vector<chain::TokenId> possible;
+    std::vector<chain::TokenId> eliminated;
+    // Judge against the *original* member list so that tokens removed by
+    // side information count as eliminated.
+    const chain::RsView& original = history[r];
+    for (chain::TokenId token : original.members) {
+      bool ok = false;
+      if (family.HasToken(token)) {
+        size_t t = family.TokenIndexOf(token);
+        const auto& mem = family.members(r);
+        if (std::binary_search(mem.begin(), mem.end(), t)) {
+          ok = HopcroftKarp::IsPossibleSpend(family, r, t);
+        }
+      }
+      if (ok) {
+        possible.push_back(token);
+      } else {
+        eliminated.push_back(token);
+      }
+    }
+    if (possible.size() == 1) {
+      result.revealed_spends.emplace(rs_id, possible.front());
+    }
+    result.eliminated.emplace(rs_id, std::move(eliminated));
+    result.possible_spends.emplace(rs_id, std::move(possible));
+  }
+
+  // Spent-token closure (Theorem 4.1): reuse the cascade on the effective
+  // views, then add every revealed spend.
+  AnalysisResult cascade = Cascade(history, side_info);
+  result.spent_tokens = std::move(cascade.spent_tokens);
+  for (const auto& [rs, token] : result.revealed_spends) {
+    result.spent_tokens.insert(token);
+  }
+  return result;
+}
+
+AnalysisResult ChainReactionAnalyzer::Cascade(
+    const std::vector<chain::RsView>& history,
+    const SideInformation& side_info) {
+  AnalysisResult result;
+  // Working copies of member sets with known-spent tokens removed.
+  std::vector<std::vector<chain::TokenId>> members;
+  members.reserve(history.size());
+  for (const chain::RsView& view : history) members.push_back(view.members);
+
+  std::unordered_set<chain::TokenId>& spent = result.spent_tokens;
+  std::unordered_map<chain::RsId, chain::TokenId>& revealed =
+      result.revealed_spends;
+
+  // Seed with side information.
+  std::unordered_map<size_t, chain::TokenId> pinned;
+  for (const chain::TokenRsPair& pair : side_info.revealed) {
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (history[i].id == pair.rs) {
+        pinned.emplace(i, pair.token);
+        spent.insert(pair.token);
+        revealed.emplace(pair.rs, pair.token);
+      }
+    }
+  }
+
+  // Token -> RS-index set of a *tight* sub-family (|tokens| == |RSs|)
+  // that provably consumes it. RSs outside the owner set can never spend
+  // such a token.
+  std::unordered_map<chain::TokenId, std::unordered_set<size_t>>
+      tight_owner;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rule 1 (zero-mixin / singleton): after deleting tokens known to be
+    // spent *elsewhere*, an RS with a single remaining member spends it.
+    for (size_t i = 0; i < history.size(); ++i) {
+      auto it = pinned.find(i);
+      if (it != pinned.end()) {
+        // Already resolved; its spend removes that token from others below.
+        continue;
+      }
+      std::vector<chain::TokenId>& mem = members[i];
+      std::erase_if(mem, [&](chain::TokenId t) {
+        // A token revealed as spent in a *different* RS cannot be this
+        // RS's spend. (A token only provably "spent somewhere" cannot be
+        // removed: this RS might be where it is spent.)
+        for (const auto& [rs_id, tok] : revealed) {
+          if (tok == t && rs_id != history[i].id) return true;
+        }
+        // A token consumed inside a tight sub-family that excludes this
+        // RS cannot be this RS's spend either.
+        auto owner = tight_owner.find(t);
+        if (owner != tight_owner.end() && owner->second.count(i) == 0) {
+          return true;
+        }
+        return false;
+      });
+      if (mem.size() == 1) {
+        pinned.emplace(i, mem.front());
+        revealed.emplace(history[i].id, mem.front());
+        spent.insert(mem.front());
+        changed = true;
+      }
+    }
+
+    // Rule 2 (Theorem 4.1 via neighbor sets): for each token, the set of
+    // RSs containing it; if the union of their members has exactly as many
+    // tokens as there are RSs, all those tokens are spent.
+    std::unordered_map<chain::TokenId, std::vector<size_t>> neighbor;
+    for (size_t i = 0; i < history.size(); ++i) {
+      for (chain::TokenId t : history[i].members) {
+        neighbor[t].push_back(i);
+      }
+    }
+    for (const auto& [token, rs_list] : neighbor) {
+      std::unordered_set<chain::TokenId> union_tokens;
+      for (size_t i : rs_list) {
+        union_tokens.insert(history[i].members.begin(),
+                            history[i].members.end());
+      }
+      if (union_tokens.size() == rs_list.size()) {
+        std::unordered_set<size_t> owners(rs_list.begin(), rs_list.end());
+        for (chain::TokenId t : union_tokens) {
+          if (spent.insert(t).second) changed = true;
+          auto [it, inserted] = tight_owner.emplace(t, owners);
+          if (!inserted && it->second.size() > owners.size()) {
+            // Keep the tightest (smallest) owner set for sharper
+            // elimination.
+            it->second = owners;
+            changed = true;
+          }
+          if (inserted) changed = true;
+        }
+      }
+    }
+
+    // Rule 3 (Theorem 4.1 per connected component): group RSs that
+    // transitively share tokens; a component covering exactly as many
+    // tokens as it has RSs spends all of them. This catches closures the
+    // per-token rule misses (e.g. the 3-cycle {1,2},{2,3},{1,3}).
+    {
+      std::vector<size_t> parent(history.size());
+      for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+      std::function<size_t(size_t)> find = [&](size_t x) {
+        while (parent[x] != x) {
+          parent[x] = parent[parent[x]];
+          x = parent[x];
+        }
+        return x;
+      };
+      for (const auto& [token, rs_list] : neighbor) {
+        for (size_t i = 1; i < rs_list.size(); ++i) {
+          parent[find(rs_list[i])] = find(rs_list[0]);
+        }
+      }
+      std::unordered_map<size_t, std::vector<size_t>> components;
+      for (size_t i = 0; i < history.size(); ++i) {
+        components[find(i)].push_back(i);
+      }
+      for (const auto& [root, rs_indices] : components) {
+        std::unordered_set<chain::TokenId> union_tokens;
+        for (size_t i : rs_indices) {
+          union_tokens.insert(history[i].members.begin(),
+                              history[i].members.end());
+        }
+        if (union_tokens.size() == rs_indices.size()) {
+          std::unordered_set<size_t> owners(rs_indices.begin(),
+                                            rs_indices.end());
+          for (chain::TokenId t : union_tokens) {
+            if (spent.insert(t).second) changed = true;
+            auto [it, inserted] = tight_owner.emplace(t, owners);
+            if (!inserted && it->second.size() > owners.size()) {
+              it->second = owners;
+              changed = true;
+            }
+            if (inserted) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [index, token] : pinned) {
+    result.possible_spends[history[index].id] = {token};
+  }
+  return result;
+}
+
+size_t ChainReactionAnalyzer::CountInferableSpent(
+    const std::vector<chain::RsView>& history) {
+  AnalysisResult result = Cascade(history);
+  return result.spent_tokens.size();
+}
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,64 @@
+#include "analysis/diversity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace tokenmagic::analysis {
+
+std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
+                                   const HtIndex& index) {
+  std::unordered_map<chain::TxId, int64_t> counts;
+  for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
+  std::vector<int64_t> out;
+  out.reserve(counts.size());
+  for (const auto& [ht, freq] : counts) out.push_back(freq);
+  std::sort(out.begin(), out.end(), std::greater<int64_t>());
+  return out;
+}
+
+size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
+                       const HtIndex& index) {
+  std::unordered_map<chain::TxId, int64_t> counts;
+  for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
+  return counts.size();
+}
+
+bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
+                                 const chain::DiversityRequirement& req) {
+  if (frequencies.empty()) return false;
+  TM_DCHECK(std::is_sorted(frequencies.begin(), frequencies.end(),
+                           std::greater<int64_t>()));
+  TM_CHECK(req.ell >= 1);
+  int64_t q1 = frequencies.front();
+  int64_t tail = 0;
+  for (size_t i = static_cast<size_t>(req.ell) - 1; i < frequencies.size();
+       ++i) {
+    tail += frequencies[i];
+  }
+  return static_cast<double>(q1) < req.c * static_cast<double>(tail);
+}
+
+bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
+                                 const HtIndex& index,
+                                 const chain::DiversityRequirement& req) {
+  return SatisfiesRecursiveDiversity(HtFrequencies(tokens, index), req);
+}
+
+double DiversitySlack(const std::vector<int64_t>& frequencies,
+                      const chain::DiversityRequirement& req) {
+  TM_CHECK(req.ell >= 1);
+  if (frequencies.empty()) return 0.0;
+  TM_DCHECK(std::is_sorted(frequencies.begin(), frequencies.end(),
+                           std::greater<int64_t>()));
+  int64_t q1 = frequencies.front();
+  int64_t tail = 0;
+  for (size_t i = static_cast<size_t>(req.ell) - 1; i < frequencies.size();
+       ++i) {
+    tail += frequencies[i];
+  }
+  return static_cast<double>(q1) - req.c * static_cast<double>(tail);
+}
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,41 @@
+// Recursive (c, ℓ)-diversity of token sets (Definition 4).
+//
+// The sensitive attribute of a token is its historical transaction (HT).
+// For a token set whose HT frequencies, sorted descending, are
+// q_1 >= q_2 >= ... >= q_θ, the set satisfies recursive (c, ℓ)-diversity iff
+//   q_1 < c * (q_ℓ + q_{ℓ+1} + ... + q_θ).
+// When θ < ℓ the tail sum is empty (zero) and the requirement fails.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+/// Descending HT frequency vector (q_1 >= ... >= q_θ) of a token set.
+std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
+                                   const HtIndex& index);
+
+/// Number of distinct HTs among `tokens`.
+size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
+                       const HtIndex& index);
+
+/// Core predicate on a sorted-descending frequency vector.
+/// Empty input never satisfies any requirement.
+bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
+                                 const chain::DiversityRequirement& req);
+
+/// Convenience: predicate on a token set.
+bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
+                                 const HtIndex& index,
+                                 const chain::DiversityRequirement& req);
+
+/// Slack δ = q_1 - c * (q_ℓ + ... + q_θ): negative iff the requirement is
+/// met; used as the greedy potential in the Progressive Algorithm (§6.2).
+double DiversitySlack(const std::vector<int64_t>& frequencies,
+                      const chain::DiversityRequirement& req);
+
+}  // namespace tokenmagic::analysis

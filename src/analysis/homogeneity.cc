@@ -1,0 +1,31 @@
+#include "analysis/homogeneity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tokenmagic::analysis {
+
+HomogeneityReport ProbeHomogeneity(
+    const std::vector<chain::TokenId>& members,
+    const std::unordered_set<chain::TokenId>& eliminated,
+    const HtIndex& index) {
+  HomogeneityReport report;
+  for (chain::TokenId t : members) {
+    if (eliminated.count(t) == 0) report.surviving.push_back(t);
+  }
+  if (report.surviving.empty()) return report;
+
+  std::unordered_map<chain::TxId, int64_t> counts;
+  for (chain::TokenId t : report.surviving) ++counts[index.HtOf(t)];
+  report.distinct_hts = counts.size();
+  for (const auto& [ht, freq] : counts) {
+    report.top_ht_frequency = std::max(report.top_ht_frequency, freq);
+  }
+  report.top_ht_confidence =
+      static_cast<double>(report.top_ht_frequency) /
+      static_cast<double>(report.surviving.size());
+  report.ht_determined = counts.size() == 1;
+  return report;
+}
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,40 @@
+// Homogeneity attack (Section 1 / Section 2.4, first adversary method).
+//
+// Even without determining *which* token an RS spends, the adversary learns
+// the spend's historical transaction whenever all non-eliminated members of
+// the RS share a single HT. More gradually, the probability mass the
+// adversary can put on the most likely HT measures the leak.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+/// Outcome of a homogeneity probe of one RS.
+struct HomogeneityReport {
+  /// Members surviving the side-information elimination.
+  std::vector<chain::TokenId> surviving;
+  /// Distinct HTs among the survivors.
+  size_t distinct_hts = 0;
+  /// Frequency of the most common HT among survivors.
+  int64_t top_ht_frequency = 0;
+  /// top_ht_frequency / |surviving| — the adversary's best single-HT guess
+  /// confidence; 1.0 means the spend-HT is fully determined.
+  double top_ht_confidence = 0.0;
+  /// True when exactly one HT survives (attack succeeds outright).
+  bool ht_determined = false;
+};
+
+/// Probes `members` after eliminating `eliminated` tokens (tokens the
+/// adversary knows are not the spend — e.g. from chain-reaction analysis
+/// or Definition-3 side information).
+HomogeneityReport ProbeHomogeneity(
+    const std::vector<chain::TokenId>& members,
+    const std::unordered_set<chain::TokenId>& eliminated,
+    const HtIndex& index);
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,40 @@
+#include "analysis/ht_index.h"
+
+#include "common/macros.h"
+
+namespace tokenmagic::analysis {
+
+HtIndex HtIndex::FromPairs(
+    const std::vector<std::pair<chain::TokenId, chain::TxId>>& pairs) {
+  HtIndex index;
+  for (const auto& [token, ht] : pairs) index.Set(token, ht);
+  return index;
+}
+
+HtIndex HtIndex::FromBlockchain(const chain::Blockchain& bc) {
+  HtIndex index;
+  for (chain::TokenId t : bc.AllTokens()) {
+    index.Set(t, bc.HistoricalTransactionOf(t));
+  }
+  return index;
+}
+
+void HtIndex::Set(chain::TokenId token, chain::TxId ht) {
+  map_[token] = ht;
+}
+
+chain::TxId HtIndex::HtOf(chain::TokenId token) const {
+  auto it = map_.find(token);
+  TM_CHECK(it != map_.end());
+  return it->second;
+}
+
+std::vector<chain::TxId> HtIndex::HtsOf(
+    const std::vector<chain::TokenId>& tokens) const {
+  std::vector<chain::TxId> out;
+  out.reserve(tokens.size());
+  for (chain::TokenId t : tokens) out.push_back(HtOf(t));
+  return out;
+}
+
+}  // namespace tokenmagic::analysis

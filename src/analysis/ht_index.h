@@ -1,0 +1,47 @@
+// Token -> historical-transaction lookup.
+//
+// Selection and analysis algorithms only ever need the map from a token to
+// the transaction (HT) that created it. HtIndex decouples them from the
+// full Blockchain so synthetic datasets can be expressed directly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+/// Immutable token -> HT map.
+class HtIndex {
+ public:
+  HtIndex() = default;
+
+  /// Builds from explicit (token, ht) pairs.
+  static HtIndex FromPairs(
+      const std::vector<std::pair<chain::TokenId, chain::TxId>>& pairs);
+
+  /// Builds from every token on a blockchain.
+  static HtIndex FromBlockchain(const chain::Blockchain& bc);
+
+  /// Registers (or overwrites) a token's HT.
+  void Set(chain::TokenId token, chain::TxId ht);
+
+  /// The HT of `token`; the token must be registered.
+  chain::TxId HtOf(chain::TokenId token) const;
+
+  bool Contains(chain::TokenId token) const {
+    return map_.count(token) > 0;
+  }
+  size_t size() const { return map_.size(); }
+
+  /// HTs of a token set, in the same order (duplicates preserved).
+  std::vector<chain::TxId> HtsOf(
+      const std::vector<chain::TokenId>& tokens) const;
+
+ private:
+  std::unordered_map<chain::TokenId, chain::TxId> map_;
+};
+
+}  // namespace tokenmagic::analysis

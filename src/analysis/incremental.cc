@@ -1,0 +1,119 @@
+#include "analysis/incremental.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tokenmagic::analysis {
+
+size_t IncrementalCascade::Find(size_t x) const {
+  while (parent_[x] != x) x = parent_[x];
+  return x;
+}
+
+void IncrementalCascade::Add(const chain::RsView& view) {
+  size_t index = views_.size();
+  views_.push_back(view);
+  remaining_.push_back(view.members);
+  parent_.push_back(index);
+  for (chain::TokenId t : view.members) {
+    neighbor_[t].push_back(index);
+    // Union with every RS already sharing this token.
+    for (size_t other : neighbor_[t]) {
+      size_t ra = Find(index);
+      size_t rb = Find(other);
+      if (ra != rb) parent_[ra] = rb;
+    }
+  }
+  Propagate();
+}
+
+void IncrementalCascade::Propagate() {
+  // The incremental trigger set could be tracked precisely; the cascade
+  // rules interact (a component closure can enable singleton
+  // propagation elsewhere), so we iterate to the global fixpoint but
+  // skip already-resolved RSs, which keeps the amortized cost low on
+  // realistic histories.
+
+  // Token -> tight sub-family (RS indices) that provably consumes it;
+  // mirrors the batch analyzer's elimination rule.
+  std::unordered_map<chain::TokenId, std::unordered_set<size_t>>
+      tight_owner;
+  auto record_tight = [&](const std::unordered_set<size_t>& owners,
+                          const std::unordered_set<chain::TokenId>& tokens,
+                          bool* changed) {
+    for (chain::TokenId t : tokens) {
+      if (spent_.insert(t).second) *changed = true;
+      auto [it, inserted] = tight_owner.emplace(t, owners);
+      if (!inserted && it->second.size() > owners.size()) {
+        it->second = owners;
+        *changed = true;
+      }
+      if (inserted) *changed = true;
+    }
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rule 1: singleton propagation (with tight-owner elimination).
+    for (size_t i = 0; i < views_.size(); ++i) {
+      if (revealed_.count(views_[i].id) > 0) continue;
+      std::vector<chain::TokenId>& rem = remaining_[i];
+      size_t before = rem.size();
+      std::erase_if(rem, [&](chain::TokenId t) {
+        for (const auto& [rs_id, token] : revealed_) {
+          if (token == t && rs_id != views_[i].id) return true;
+        }
+        auto owner = tight_owner.find(t);
+        return owner != tight_owner.end() && owner->second.count(i) == 0;
+      });
+      if (rem.size() != before) changed = true;
+      if (rem.size() == 1) {
+        revealed_.emplace(views_[i].id, rem.front());
+        spent_.insert(rem.front());
+        changed = true;
+      }
+    }
+
+    // Rule 2: per-token neighbor closure (Theorem 4.1).
+    for (const auto& [token, rs_list] : neighbor_) {
+      std::unordered_set<chain::TokenId> union_tokens;
+      for (size_t i : rs_list) {
+        union_tokens.insert(views_[i].members.begin(),
+                            views_[i].members.end());
+      }
+      if (union_tokens.size() == rs_list.size()) {
+        std::unordered_set<size_t> owners(rs_list.begin(), rs_list.end());
+        record_tight(owners, union_tokens, &changed);
+      }
+    }
+
+    // Rule 3: per-component closure.
+    std::unordered_map<size_t, std::vector<size_t>> components;
+    for (size_t i = 0; i < views_.size(); ++i) {
+      components[Find(i)].push_back(i);
+    }
+    for (const auto& [root, members] : components) {
+      std::unordered_set<chain::TokenId> union_tokens;
+      for (size_t i : members) {
+        union_tokens.insert(views_[i].members.begin(),
+                            views_[i].members.end());
+      }
+      if (union_tokens.size() == members.size()) {
+        std::unordered_set<size_t> owners(members.begin(), members.end());
+        record_tight(owners, union_tokens, &changed);
+      }
+    }
+  }
+}
+
+size_t IncrementalCascade::SpentCountIfAdded(
+    const chain::RsView& view) const {
+  IncrementalCascade copy = *this;
+  copy.Add(view);
+  return copy.InferableSpentCount();
+}
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,65 @@
+// Incremental chain-reaction cascade.
+//
+// ChainReactionAnalyzer::Cascade recomputes from scratch; a node that
+// re-evaluates the TokenMagic liquidity rule (Section 4) on every
+// proposal would pay O(history²) overall. IncrementalCascade maintains
+// the cascade fixpoint online: adding one RS triggers only the local
+// re-propagation its tokens can cause. The data structure also supports
+// *tentative* additions (check what a prospective RS would imply, then
+// roll back), which is exactly the liquidity-guard access pattern.
+//
+// Soundness matches the batch cascade rules 1-3 (singleton propagation,
+// per-token neighbor closure, per-component closure); the tests assert
+// equivalence against the batch analyzer on randomized histories.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+class IncrementalCascade {
+ public:
+  IncrementalCascade() = default;
+
+  /// Adds an RS and re-propagates to the fixpoint.
+  void Add(const chain::RsView& view);
+
+  /// Number of tokens provably spent (μ in the liquidity rule).
+  size_t InferableSpentCount() const { return spent_.size(); }
+  bool IsProvablySpent(chain::TokenId token) const {
+    return spent_.count(token) > 0;
+  }
+
+  /// RSs whose spend the cascade has pinned down.
+  const std::unordered_map<chain::RsId, chain::TokenId>& revealed() const {
+    return revealed_;
+  }
+
+  size_t rs_count() const { return views_.size(); }
+
+  /// Evaluates "what if `view` were proposed now": the resulting
+  /// inferable-spent count, without mutating this object.
+  size_t SpentCountIfAdded(const chain::RsView& view) const;
+
+ private:
+  /// Runs the fixpoint over the current views. `dirty` seeds which RS
+  /// indices must be revisited (empty = all).
+  void Propagate();
+
+  std::vector<chain::RsView> views_;
+  /// Per-RS remaining candidate spends (shrinks as spends are revealed).
+  std::vector<std::vector<chain::TokenId>> remaining_;
+  std::unordered_map<chain::TokenId, std::vector<size_t>> neighbor_;
+  std::unordered_set<chain::TokenId> spent_;
+  std::unordered_map<chain::RsId, chain::TokenId> revealed_;
+  /// Union-find over RS indices for the component rule.
+  std::vector<size_t> parent_;
+
+  size_t Find(size_t x) const;
+};
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,287 @@
+#include "analysis/matching.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace tokenmagic::analysis {
+
+RsFamily::RsFamily(const std::vector<chain::RsView>& views) {
+  rs_ids_.reserve(views.size());
+  members_.reserve(views.size());
+  for (const chain::RsView& view : views) {
+    TM_CHECK(rs_index_.emplace(view.id, rs_ids_.size()).second);
+    rs_ids_.push_back(view.id);
+    std::vector<size_t> member_indices;
+    member_indices.reserve(view.members.size());
+    for (chain::TokenId t : view.members) {
+      auto [it, inserted] = token_index_.emplace(t, token_ids_.size());
+      if (inserted) token_ids_.push_back(t);
+      member_indices.push_back(it->second);
+    }
+    std::sort(member_indices.begin(), member_indices.end());
+    member_indices.erase(
+        std::unique(member_indices.begin(), member_indices.end()),
+        member_indices.end());
+    members_.push_back(std::move(member_indices));
+  }
+}
+
+size_t RsFamily::RsIndexOf(chain::RsId id) const {
+  auto it = rs_index_.find(id);
+  TM_CHECK(it != rs_index_.end());
+  return it->second;
+}
+
+size_t RsFamily::TokenIndexOf(chain::TokenId id) const {
+  auto it = token_index_.find(id);
+  TM_CHECK(it != token_index_.end());
+  return it->second;
+}
+
+namespace {
+
+/// Backtracking state for SDR enumeration: assigns RSs in ascending order
+/// of remaining degree (static order by member count, a standard
+/// fail-first heuristic).
+class SdrBacktracker {
+ public:
+  SdrBacktracker(const RsFamily& family,
+                 const SdrEnumerator::Options& options,
+                 const std::function<bool(const SdrAssignment&)>& visitor)
+      : family_(family),
+        options_(options),
+        visitor_(visitor),
+        deadline_(options.budget_seconds),
+        assignment_(family.rs_count(), SdrEnumerator::kUnassigned),
+        token_used_(family.token_count(), false) {
+    order_.resize(family.rs_count());
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+      return family.members(a).size() < family.members(b).size();
+    });
+  }
+
+  common::Status Run() {
+    // Apply forced assignments first.
+    if (!options_.forced.empty()) {
+      TM_CHECK(options_.forced.size() == family_.rs_count());
+      for (size_t r = 0; r < family_.rs_count(); ++r) {
+        size_t t = options_.forced[r];
+        if (t == SdrEnumerator::kUnassigned) continue;
+        const auto& mem = family_.members(r);
+        if (!std::binary_search(mem.begin(), mem.end(), t)) {
+          return common::Status::OK();  // infeasible forcing: zero results
+        }
+        if (token_used_[t]) return common::Status::OK();
+        token_used_[t] = true;
+        assignment_[r] = t;
+      }
+    }
+    status_ = common::Status::OK();
+    Recurse(0);
+    return status_;
+  }
+
+ private:
+  /// Returns false to abort the whole search.
+  bool Recurse(size_t depth) {
+    if (deadline_.Expired()) {
+      status_ = common::Status::Timeout("SDR enumeration budget exhausted");
+      return false;
+    }
+    if (depth == order_.size()) {
+      ++found_;
+      if (!visitor_(assignment_)) return false;
+      if (options_.max_results != 0 && found_ >= options_.max_results) {
+        status_ = common::Status::ResourceExhausted(
+            "SDR enumeration hit max_results");
+        return false;
+      }
+      return true;
+    }
+    size_t rs = order_[depth];
+    if (assignment_[rs] != SdrEnumerator::kUnassigned) {
+      return Recurse(depth + 1);  // pre-forced
+    }
+    for (size_t t : family_.members(rs)) {
+      if (token_used_[t]) continue;
+      token_used_[t] = true;
+      assignment_[rs] = t;
+      bool keep_going = Recurse(depth + 1);
+      assignment_[rs] = SdrEnumerator::kUnassigned;
+      token_used_[t] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const RsFamily& family_;
+  const SdrEnumerator::Options& options_;
+  const std::function<bool(const SdrAssignment&)>& visitor_;
+  common::Deadline deadline_;
+  SdrAssignment assignment_;
+  std::vector<char> token_used_;
+  std::vector<size_t> order_;
+  uint64_t found_ = 0;
+  common::Status status_;
+};
+
+}  // namespace
+
+common::Status SdrEnumerator::Enumerate(
+    const RsFamily& family, const Options& options,
+    const std::function<bool(const SdrAssignment&)>& visitor) {
+  SdrBacktracker backtracker(family, options, visitor);
+  return backtracker.Run();
+}
+
+common::Result<uint64_t> SdrEnumerator::Count(const RsFamily& family,
+                                              const Options& options) {
+  uint64_t count = 0;
+  common::Status st =
+      Enumerate(family, options, [&count](const SdrAssignment&) {
+        ++count;
+        return true;
+      });
+  if (!st.ok() && !st.IsUnsatisfiable()) return st;
+  return count;
+}
+
+size_t HopcroftKarp::MaxMatching(const RsFamily& family, size_t skip_rs,
+                                 size_t banned_token) {
+  const size_t m = family.rs_count();
+  const size_t n = family.token_count();
+  constexpr size_t kNil = static_cast<size_t>(-1);
+  constexpr size_t kInf = static_cast<size_t>(-2);
+
+  std::vector<size_t> match_rs(m, kNil);     // rs -> token
+  std::vector<size_t> match_token(n, kNil);  // token -> rs
+  std::vector<size_t> dist(m, 0);
+
+  auto usable = [&](size_t rs) { return rs != skip_rs; };
+
+  auto bfs = [&]() -> bool {
+    std::deque<size_t> queue;
+    for (size_t r = 0; r < m; ++r) {
+      if (!usable(r)) {
+        dist[r] = kInf;
+        continue;
+      }
+      if (match_rs[r] == kNil) {
+        dist[r] = 0;
+        queue.push_back(r);
+      } else {
+        dist[r] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!queue.empty()) {
+      size_t r = queue.front();
+      queue.pop_front();
+      for (size_t t : family.members(r)) {
+        if (t == banned_token) continue;
+        size_t next = match_token[t];
+        if (next == kNil) {
+          found_augmenting = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[r] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  std::function<bool(size_t)> dfs = [&](size_t r) -> bool {
+    for (size_t t : family.members(r)) {
+      if (t == banned_token) continue;
+      size_t next = match_token[t];
+      if (next == kNil || (dist[next] == dist[r] + 1 && dfs(next))) {
+        match_rs[r] = t;
+        match_token[t] = r;
+        return true;
+      }
+    }
+    dist[r] = kInf;
+    return false;
+  };
+
+  size_t matching = 0;
+  while (bfs()) {
+    for (size_t r = 0; r < m; ++r) {
+      if (usable(r) && match_rs[r] == kNil && dfs(r)) ++matching;
+    }
+  }
+  return matching;
+}
+
+bool HopcroftKarp::HasCompleteSdr(const RsFamily& family) {
+  if (family.rs_count() == 0) return true;
+  return MaxMatching(family, family.rs_count(), family.token_count()) ==
+         family.rs_count();
+}
+
+bool HopcroftKarp::IsPossibleSpend(const RsFamily& family, size_t r,
+                                   size_t t) {
+  const auto& mem = family.members(r);
+  if (!std::binary_search(mem.begin(), mem.end(), t)) return false;
+  // Force r -> t by removing r and banning t, then require the rest to
+  // still have a complete matching.
+  size_t rest = MaxMatching(family, r, t);
+  return rest == family.rs_count() - 1;
+}
+
+std::vector<size_t> HopcroftKarp::PossibleSpends(const RsFamily& family,
+                                                 size_t r) {
+  std::vector<size_t> out;
+  for (size_t t : family.members(r)) {
+    if (IsPossibleSpend(family, r, t)) out.push_back(t);
+  }
+  return out;
+}
+
+uint64_t CountSdrsDp(const RsFamily& family) {
+  const size_t m = family.rs_count();
+  const size_t n = family.token_count();
+  if (m == 0) return 1;
+  TM_CHECK(n <= 24);
+  if (m > n) return 0;
+
+  // Row bitmasks of member tokens.
+  std::vector<uint32_t> row_mask(m, 0);
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t t : family.members(r)) {
+      row_mask[r] |= (1u << t);
+    }
+  }
+
+  // dp[mask] = number of ways to assign the first popcount(mask) RSs
+  // injectively into exactly the tokens of `mask`.
+  std::vector<uint64_t> dp(size_t{1} << n, 0);
+  dp[0] = 1;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    size_t row = static_cast<size_t>(std::popcount(mask)) - 1;
+    if (row >= m) continue;
+    uint32_t usable = mask & row_mask[row];
+    uint64_t total = 0;
+    while (usable != 0) {
+      uint32_t bit = usable & (~usable + 1);
+      total += dp[mask ^ bit];
+      usable ^= bit;
+    }
+    dp[mask] = total;
+  }
+
+  uint64_t count = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<size_t>(std::popcount(mask)) == m) count += dp[mask];
+  }
+  return count;
+}
+
+}  // namespace tokenmagic::analysis

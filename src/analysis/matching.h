@@ -1,0 +1,112 @@
+// Bipartite token-RS matching machinery.
+//
+// A *token-RS combination* (Definition 6) of a family of RSs is a system of
+// distinct representatives (SDR): each RS is assigned a distinct member
+// token as its hypothetical spend. These objects drive both the exact
+// analyses (DTRS enumeration, Algorithm 2's non-eliminated check — #P in
+// general, Theorem 3.1) and the polynomial "is token t a possible spend of
+// RS r" test via maximum bipartite matching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace tokenmagic::analysis {
+
+/// A family of RSs over a shared token universe, with dense internal ids
+/// (RS index 0..m-1, token index 0..n-1).
+class RsFamily {
+ public:
+  /// Builds from views. Token universe = union of members.
+  explicit RsFamily(const std::vector<chain::RsView>& views);
+
+  size_t rs_count() const { return members_.size(); }
+  size_t token_count() const { return token_ids_.size(); }
+
+  /// Member token *indices* of the i-th RS (sorted ascending).
+  const std::vector<size_t>& members(size_t rs_index) const {
+    return members_[rs_index];
+  }
+
+  chain::RsId rs_id(size_t rs_index) const { return rs_ids_[rs_index]; }
+  chain::TokenId token_id(size_t token_index) const {
+    return token_ids_[token_index];
+  }
+
+  /// Dense index of an external id; TM_CHECKs that it exists.
+  size_t RsIndexOf(chain::RsId id) const;
+  size_t TokenIndexOf(chain::TokenId id) const;
+  bool HasToken(chain::TokenId id) const {
+    return token_index_.count(id) > 0;
+  }
+
+ private:
+  std::vector<std::vector<size_t>> members_;  // per-RS token indices
+  std::vector<chain::RsId> rs_ids_;
+  std::vector<chain::TokenId> token_ids_;
+  std::unordered_map<chain::RsId, size_t> rs_index_;
+  std::unordered_map<chain::TokenId, size_t> token_index_;
+};
+
+/// One complete assignment: assignment[i] = token index spent by RS i.
+using SdrAssignment = std::vector<size_t>;
+
+/// Enumerates token-RS combinations (SDRs saturating every RS).
+class SdrEnumerator {
+ public:
+  struct Options {
+    /// Stop after this many SDRs (0 = unlimited).
+    uint64_t max_results = 0;
+    /// Wall-clock budget; expiry aborts with Status::Timeout.
+    double budget_seconds = 0.0;
+    /// Pre-forced assignments (token index per RS index, or kUnassigned).
+    std::vector<size_t> forced;
+  };
+  static constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+  /// Invokes `visitor` for every SDR; the visitor may return false to stop
+  /// early. Returns OK, Timeout, or ResourceExhausted (max_results hit).
+  static common::Status Enumerate(
+      const RsFamily& family, const Options& options,
+      const std::function<bool(const SdrAssignment&)>& visitor);
+
+  /// Counts all SDRs (subject to the same caps).
+  static common::Result<uint64_t> Count(const RsFamily& family,
+                                        const Options& options);
+  static common::Result<uint64_t> Count(const RsFamily& family) {
+    return Count(family, Options());
+  }
+};
+
+/// Maximum bipartite matching (RSs -> tokens) via Hopcroft–Karp.
+class HopcroftKarp {
+ public:
+  /// Size of a maximum matching of `family` with RS `skip_rs` removed
+  /// (pass rs_count() to keep all) and token `banned_token` unusable
+  /// (pass token_count() to ban none).
+  static size_t MaxMatching(const RsFamily& family,
+                            size_t skip_rs, size_t banned_token);
+
+  /// True when every RS can simultaneously be assigned a distinct token.
+  static bool HasCompleteSdr(const RsFamily& family);
+
+  /// True when some SDR assigns token index `t` to RS index `r`.
+  /// (Polynomial: force r->t, ban t elsewhere, test the rest matches.)
+  static bool IsPossibleSpend(const RsFamily& family, size_t r, size_t t);
+
+  /// All token indices that are possible spends of RS `r`.
+  static std::vector<size_t> PossibleSpends(const RsFamily& family, size_t r);
+};
+
+/// Counts SDRs with a token-bitmask dynamic program, O(2^n · n) for n =
+/// token_count() <= 24. Independent of the backtracking enumerator, so the
+/// two validate each other in tests and ablations.
+uint64_t CountSdrsDp(const RsFamily& family);
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,62 @@
+#include "analysis/related_set.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tokenmagic::analysis {
+
+std::vector<chain::RsId> RelatedSetResult::Ids() const {
+  std::vector<chain::RsId> out;
+  out.reserve(related.size());
+  for (const RelatedRs& r : related) out.push_back(r.id);
+  return out;
+}
+
+std::vector<chain::RsId> RelatedSetResult::IdsAtLevel(size_t level) const {
+  std::vector<chain::RsId> out;
+  for (const RelatedRs& r : related) {
+    if (r.level == level) out.push_back(r.id);
+  }
+  return out;
+}
+
+RelatedSetResult ComputeRelatedSet(
+    const std::vector<chain::TokenId>& target_tokens,
+    const std::vector<chain::RsView>& history) {
+  // Token -> indices of history RSs containing it.
+  std::unordered_map<chain::TokenId, std::vector<size_t>> token_to_rs;
+  for (size_t i = 0; i < history.size(); ++i) {
+    for (chain::TokenId t : history[i].members) {
+      token_to_rs[t].push_back(i);
+    }
+  }
+
+  RelatedSetResult result;
+  std::unordered_set<size_t> visited;
+  std::deque<std::pair<size_t, size_t>> frontier;  // (history index, level)
+
+  auto enqueue_for_tokens = [&](const std::vector<chain::TokenId>& tokens,
+                                size_t level) {
+    for (chain::TokenId t : tokens) {
+      auto it = token_to_rs.find(t);
+      if (it == token_to_rs.end()) continue;
+      for (size_t idx : it->second) {
+        if (visited.insert(idx).second) {
+          frontier.emplace_back(idx, level);
+        }
+      }
+    }
+  };
+
+  enqueue_for_tokens(target_tokens, 0);
+  while (!frontier.empty()) {
+    auto [idx, level] = frontier.front();
+    frontier.pop_front();
+    result.related.push_back(RelatedRs{history[idx].id, level});
+    enqueue_for_tokens(history[idx].members, level + 1);
+  }
+  return result;
+}
+
+}  // namespace tokenmagic::analysis

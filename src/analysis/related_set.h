@@ -1,0 +1,39 @@
+// Related RS set computation (Definition 1).
+//
+// The related RS set of a target token set r_k at time π is the transitive
+// closure, under token sharing, of the RSs proposed before π that intersect
+// r_k. Level 0 contains the RSs sharing a token with r_k directly; level i
+// contains RSs sharing a token with some level-(i-1) RS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+/// One discovered RS with its BFS level.
+struct RelatedRs {
+  chain::RsId id;
+  size_t level;
+};
+
+/// Result of a related-set query.
+struct RelatedSetResult {
+  /// Discovered RSs in BFS order.
+  std::vector<RelatedRs> related;
+
+  /// Ids only, in BFS order.
+  std::vector<chain::RsId> Ids() const;
+  /// Ids at a given level.
+  std::vector<chain::RsId> IdsAtLevel(size_t level) const;
+};
+
+/// Computes the related RS set of `target_tokens` over `history`
+/// (all RSs proposed so far, e.g. Ledger::Views()).
+RelatedSetResult ComputeRelatedSet(
+    const std::vector<chain::TokenId>& target_tokens,
+    const std::vector<chain::RsView>& history);
+
+}  // namespace tokenmagic::analysis

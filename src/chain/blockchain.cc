@@ -1,0 +1,91 @@
+#include "chain/blockchain.h"
+
+#include "common/macros.h"
+
+namespace tokenmagic::chain {
+
+BlockHeight Blockchain::BeginBlock(Timestamp time) {
+  TM_CHECK(!block_open_);
+  Block block;
+  block.height = blocks_.size();
+  block.time = time;
+  blocks_.push_back(std::move(block));
+  block_open_ = true;
+  return blocks_.back().height;
+}
+
+TxId Blockchain::AddTransaction(uint32_t output_count) {
+  TM_CHECK(block_open_);
+  TM_CHECK(output_count >= 1);
+  Block& block = blocks_.back();
+  Transaction tx;
+  tx.id = transactions_.size();
+  tx.height = block.height;
+  tx.outputs.reserve(output_count);
+  for (uint32_t i = 0; i < output_count; ++i) {
+    Token token;
+    token.id = tokens_.size();
+    token.source_tx = tx.id;
+    token.height = block.height;
+    token.output_index = i;
+    tx.outputs.push_back(token.id);
+    tokens_.push_back(token);
+  }
+  block.transactions.push_back(tx.id);
+  block.token_count += output_count;
+  transactions_.push_back(std::move(tx));
+  return transactions_.back().id;
+}
+
+void Blockchain::EndBlock() {
+  TM_CHECK(block_open_);
+  block_open_ = false;
+}
+
+BlockHeight Blockchain::AddBlock(Timestamp time,
+                                 const std::vector<uint32_t>& output_counts) {
+  BlockHeight height = BeginBlock(time);
+  for (uint32_t count : output_counts) AddTransaction(count);
+  EndBlock();
+  return height;
+}
+
+const Block& Blockchain::block(BlockHeight height) const {
+  TM_CHECK(height < blocks_.size());
+  return blocks_[height];
+}
+
+const Transaction& Blockchain::transaction(TxId id) const {
+  TM_CHECK(id < transactions_.size());
+  return transactions_[id];
+}
+
+const Token& Blockchain::token(TokenId id) const {
+  TM_CHECK(id < tokens_.size());
+  return tokens_[id];
+}
+
+TxId Blockchain::HistoricalTransactionOf(TokenId token_id) const {
+  return token(token_id).source_tx;
+}
+
+std::vector<TokenId> Blockchain::TokensInBlockRange(BlockHeight first,
+                                                    BlockHeight last) const {
+  std::vector<TokenId> out;
+  for (BlockHeight h = first; h <= last && h < blocks_.size(); ++h) {
+    for (TxId tx_id : blocks_[h].transactions) {
+      const Transaction& tx = transactions_[tx_id];
+      out.insert(out.end(), tx.outputs.begin(), tx.outputs.end());
+    }
+  }
+  return out;
+}
+
+std::vector<TokenId> Blockchain::AllTokens() const {
+  std::vector<TokenId> out;
+  out.reserve(tokens_.size());
+  for (const Token& t : tokens_) out.push_back(t.id);
+  return out;
+}
+
+}  // namespace tokenmagic::chain

@@ -1,0 +1,75 @@
+// An in-memory UTXO blockchain: blocks of transactions, each transaction
+// outputting tokens. This is the substrate the TokenMagic framework scans
+// to build batches and mixin universes (Section 4 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/status.h"
+
+namespace tokenmagic::chain {
+
+/// A transaction: the HT of the tokens it outputs.
+struct Transaction {
+  TxId id = kInvalidTx;
+  BlockHeight height = 0;
+  std::vector<TokenId> outputs;
+};
+
+/// A block: an ordered list of transactions at a height.
+struct Block {
+  BlockHeight height = 0;
+  Timestamp time = 0;
+  std::vector<TxId> transactions;
+  /// Total number of tokens output by this block's transactions.
+  size_t token_count = 0;
+};
+
+/// Append-only chain of blocks with token/transaction indices.
+class Blockchain {
+ public:
+  /// Opens a new block at the next height. Only one block may be open.
+  BlockHeight BeginBlock(Timestamp time);
+
+  /// Appends a transaction with `output_count` fresh tokens to the open
+  /// block and returns its id. `output_count` must be >= 1.
+  TxId AddTransaction(uint32_t output_count);
+
+  /// Seals the open block.
+  void EndBlock();
+
+  /// Convenience: one call = BeginBlock + transactions + EndBlock, where
+  /// `output_counts[i]` is the number of tokens of the i-th transaction.
+  BlockHeight AddBlock(Timestamp time,
+                       const std::vector<uint32_t>& output_counts);
+
+  size_t block_count() const { return blocks_.size(); }
+  size_t transaction_count() const { return transactions_.size(); }
+  size_t token_count() const { return tokens_.size(); }
+
+  const Block& block(BlockHeight height) const;
+  const Transaction& transaction(TxId id) const;
+  const Token& token(TokenId id) const;
+  bool HasToken(TokenId id) const { return id < tokens_.size(); }
+
+  /// The HT (source transaction) of `token`.
+  TxId HistoricalTransactionOf(TokenId token) const;
+
+  /// All token ids created in blocks [first, last] inclusive.
+  std::vector<TokenId> TokensInBlockRange(BlockHeight first,
+                                          BlockHeight last) const;
+
+  /// All tokens on the chain, in creation order.
+  std::vector<TokenId> AllTokens() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<Transaction> transactions_;
+  std::vector<Token> tokens_;
+  bool block_open_ = false;
+};
+
+}  // namespace tokenmagic::chain

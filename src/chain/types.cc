@@ -1,0 +1,17 @@
+#include "chain/types.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tokenmagic::chain {
+
+std::string DiversityRequirement::ToString() const {
+  return common::StrFormat("(%g, %d)-diversity", c, ell);
+}
+
+bool RsView::Contains(TokenId token) const {
+  return std::binary_search(members.begin(), members.end(), token);
+}
+
+}  // namespace tokenmagic::chain

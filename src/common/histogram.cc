@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace tokenmagic::common {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::Add(int64_t value) { AddN(value, 1); }
+
+void Histogram::AddN(int64_t value, int64_t n) {
+  TM_CHECK(n >= 0);
+  if (n == 0) return;
+  buckets_[value] += n;
+  total_ += n;
+}
+
+int64_t Histogram::CountOf(int64_t value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, freq] : buckets_) {
+    sum += static_cast<double>(value) * static_cast<double>(freq);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+int64_t Histogram::Min() const {
+  TM_CHECK(total_ > 0);
+  return buckets_.begin()->first;
+}
+
+int64_t Histogram::Max() const {
+  TM_CHECK(total_ > 0);
+  return buckets_.rbegin()->first;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  TM_CHECK(total_ > 0);
+  TM_CHECK(p >= 0.0 && p <= 100.0);
+  // Nearest-rank: the smallest value whose cumulative count reaches rank.
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  rank = std::max<int64_t>(rank, 1);
+  int64_t cumulative = 0;
+  for (const auto& [value, freq] : buckets_) {
+    cumulative += freq;
+    if (cumulative >= rank) return value;
+  }
+  return buckets_.rbegin()->first;
+}
+
+std::vector<int64_t> Histogram::Values() const {
+  std::vector<int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& [value, freq] : buckets_) out.push_back(value);
+  return out;
+}
+
+std::string Histogram::ToAscii(int bar_width) const {
+  std::ostringstream os;
+  int64_t peak = 0;
+  for (const auto& [value, freq] : buckets_) peak = std::max(peak, freq);
+  for (const auto& [value, freq] : buckets_) {
+    int bar = peak == 0 ? 0
+                        : static_cast<int>(static_cast<double>(freq) /
+                                           static_cast<double>(peak) *
+                                           bar_width);
+    os << value << "\t" << freq << "\t" << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tokenmagic::common

@@ -1,0 +1,63 @@
+// Simple statistics accumulators used by benchmarks and dataset analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tokenmagic::common {
+
+/// Streaming accumulator for count/mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integer-valued frequency histogram (exact buckets, sparse storage).
+class Histogram {
+ public:
+  /// Adds one observation of `value`.
+  void Add(int64_t value);
+  /// Adds `n` observations of `value`.
+  void AddN(int64_t value, int64_t n);
+
+  int64_t count() const { return total_; }
+  /// Frequency of exactly `value`.
+  int64_t CountOf(int64_t value) const;
+  double Mean() const;
+  int64_t Min() const;
+  int64_t Max() const;
+  /// p in [0, 100]; nearest-rank percentile. Requires count() > 0.
+  int64_t Percentile(double p) const;
+
+  /// Distinct observed values in ascending order.
+  std::vector<int64_t> Values() const;
+  /// (value, frequency) pairs in ascending value order.
+  const std::map<int64_t, int64_t>& buckets() const { return buckets_; }
+
+  /// Multi-line "value count bar" rendering for terminal output.
+  std::string ToAscii(int bar_width = 40) const;
+
+ private:
+  std::map<int64_t, int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace tokenmagic::common

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tokenmagic::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line ("[LEVEL] message") when `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log statement collector; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TM_LOG(level)                          \
+  ::tokenmagic::common::internal::LogStream(   \
+      ::tokenmagic::common::LogLevel::k##level)
+
+}  // namespace tokenmagic::common

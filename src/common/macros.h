@@ -1,0 +1,42 @@
+// Common preprocessor macros used across the TokenMagic codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a branch as unlikely for the optimizer.
+#if defined(__GNUC__) || defined(__clang__)
+#define TM_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#define TM_LIKELY(x) (__builtin_expect(!!(x), 1))
+#else
+#define TM_UNLIKELY(x) (x)
+#define TM_LIKELY(x) (x)
+#endif
+
+/// Internal invariant check. Always on: violations indicate programmer error
+/// and abort with a source location. Use Status for recoverable errors.
+#define TM_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (TM_UNLIKELY(!(cond))) {                                             \
+      std::fprintf(stderr, "TM_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define TM_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define TM_DCHECK(cond) TM_CHECK(cond)
+#endif
+
+#define TM_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;         \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Concatenation helpers for unique identifiers in macros.
+#define TM_CONCAT_IMPL(x, y) x##y
+#define TM_CONCAT(x, y) TM_CONCAT_IMPL(x, y)

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in TokenMagic flows through Rng so that experiments and
+// tests are reproducible from an explicit 64-bit seed. The generator is
+// xoshiro256** seeded via SplitMix64, which is fast, has a 256-bit state,
+// and passes BigCrush. (Not cryptographically secure; the crypto module
+// uses hash-derived scalars instead.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tokenmagic::common {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Exposed for seeding and for cheap stateless mixing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** pseudo-random generator with convenience sampling methods.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from an explicit seed. Equal seeds yield equal
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>/<random>).
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller; one value per call, cached pair).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability `p` in [0, 1].
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    TM_CHECK(items != nullptr);
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in selection order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Derives an independent child generator (stream splitting).
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace tokenmagic::common

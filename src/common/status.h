@@ -1,0 +1,162 @@
+// Arrow/RocksDB-style Status and Result<T> for error handling without
+// exceptions across the public API.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace tokenmagic::common {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsatisfiable,   ///< No RS satisfying the DA-MS constraints exists.
+  kResourceExhausted,
+  kInternal,
+  kVerificationFailed,  ///< Signature / configuration verification failed.
+  kIoError,
+  kTimeout,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnsatisfiable() const { return code_ == StatusCode::kUnsatisfiable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsVerificationFailed() const {
+    return code_ == StatusCode::kVerificationFailed;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status. On success holds T; on failure holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. `status` must not be OK.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    TM_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; must be ok().
+  const T& value() const& {
+    TM_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    TM_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    TM_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define TM_RETURN_NOT_OK(expr)                         \
+  do {                                                 \
+    ::tokenmagic::common::Status _st = (expr);         \
+    if (TM_UNLIKELY(!_st.ok())) return _st;            \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define TM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (TM_UNLIKELY(!tmp.ok())) return tmp.status();\
+  lhs = std::move(tmp).value()
+
+#define TM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TM_ASSIGN_OR_RETURN_IMPL(TM_CONCAT(_tm_result_, __LINE__), lhs, rexpr)
+
+}  // namespace tokenmagic::common

@@ -1,0 +1,47 @@
+// Wall-clock timing helper for benchmarks and experiment harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tokenmagic::common {
+
+/// High-resolution stopwatch. Starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const;
+  double ElapsedMicros() const;
+  double ElapsedMillis() const;
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A soft deadline used to bound exponential-time exact algorithms.
+class Deadline {
+ public:
+  /// An already-expired deadline is never constructible; budget <= 0 means
+  /// "no limit".
+  explicit Deadline(double budget_seconds = 0.0)
+      : budget_seconds_(budget_seconds) {}
+
+  /// True when a positive budget was given and it has elapsed.
+  bool Expired() const {
+    return budget_seconds_ > 0.0 && watch_.ElapsedSeconds() > budget_seconds_;
+  }
+
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  double budget_seconds_;
+  StopWatch watch_;
+};
+
+}  // namespace tokenmagic::common

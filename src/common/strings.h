@@ -1,0 +1,42 @@
+// Small string/formatting helpers (no dependency on <format> for wide
+// toolchain compatibility).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tokenmagic::common {
+
+/// Splits `text` at every occurrence of `sep` (empty fields preserved).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed 64-bit decimal integer; returns false on any syntax
+/// error, overflow, or trailing garbage.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; returns false on syntax error or trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Lowercase hex encoding of a byte buffer.
+std::string HexEncode(const uint8_t* data, size_t size);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+/// Inverse of HexEncode; returns false for odd length or non-hex chars.
+bool HexDecode(std::string_view hex, std::vector<uint8_t>* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tokenmagic::common

@@ -1,0 +1,46 @@
+// Baseline selectors from the paper's evaluation (Section 7.1) plus a
+// Monero-style sampler for the attack demonstrations.
+//
+//  * TM_S (Smallest): repeatedly add the smallest remaining module until
+//    the candidate is eligible.
+//  * TM_R (Random): repeatedly add a uniformly random remaining module
+//    until the candidate is eligible.
+//  * TM_M (Monero-style): size-ζ ring sampled uniformly from the universe,
+//    half biased to recently created tokens; diversity-oblivious. Not part
+//    of the paper's four compared series — used by examples and attack
+//    ablations as the status-quo policy.
+#pragma once
+
+#include "core/selector.h"
+
+namespace tokenmagic::core {
+
+class SmallestSelector : public MixinSelector {
+ public:
+  common::Result<SelectionResult> Select(const SelectionInput& input,
+                                         common::Rng* rng) const override;
+  std::string_view name() const override { return "TM_S"; }
+};
+
+class RandomSelector : public MixinSelector {
+ public:
+  common::Result<SelectionResult> Select(const SelectionInput& input,
+                                         common::Rng* rng) const override;
+  std::string_view name() const override { return "TM_R"; }
+};
+
+/// Status-quo sampler: ignores diversity/DTRS constraints entirely and
+/// mimics Monero's ring construction (ring size ζ, half "recent").
+class MoneroSelector : public MixinSelector {
+ public:
+  explicit MoneroSelector(size_t ring_size = 11) : ring_size_(ring_size) {}
+
+  common::Result<SelectionResult> Select(const SelectionInput& input,
+                                         common::Rng* rng) const override;
+  std::string_view name() const override { return "TM_M"; }
+
+ private:
+  size_t ring_size_;
+};
+
+}  // namespace tokenmagic::core

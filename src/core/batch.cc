@@ -1,0 +1,58 @@
+#include "core/batch.h"
+
+#include "common/macros.h"
+
+namespace tokenmagic::core {
+
+BatchIndex::BatchIndex(const chain::Blockchain& bc, size_t lambda)
+    : lambda_(lambda) {
+  TM_CHECK(lambda >= 1);
+  token_to_batch_.resize(bc.token_count());
+
+  Batch current;
+  current.index = 0;
+  bool open = false;
+  for (chain::BlockHeight h = 0; h < bc.block_count(); ++h) {
+    const chain::Block& block = bc.block(h);
+    if (!open) {
+      current = Batch{};
+      current.index = batches_.size();
+      current.first_block = h;
+      open = true;
+    }
+    current.last_block = h;
+    for (chain::TxId tx_id : block.transactions) {
+      const chain::Transaction& tx = bc.transaction(tx_id);
+      for (chain::TokenId t : tx.outputs) {
+        token_to_batch_[t] = current.index;
+        current.tokens.push_back(t);
+      }
+    }
+    if (current.tokens.size() >= lambda_) {
+      current.sealed = true;
+      batches_.push_back(std::move(current));
+      open = false;
+    }
+  }
+  if (open) {
+    current.sealed = false;
+    batches_.push_back(std::move(current));
+  }
+}
+
+const Batch& BatchIndex::batch(size_t index) const {
+  TM_CHECK(index < batches_.size());
+  return batches_[index];
+}
+
+const Batch& BatchIndex::BatchOfToken(chain::TokenId token) const {
+  TM_CHECK(token < token_to_batch_.size());
+  return batches_[token_to_batch_[token]];
+}
+
+const std::vector<chain::TokenId>& BatchIndex::MixinUniverse(
+    chain::TokenId token) const {
+  return BatchOfToken(token).tokens;
+}
+
+}  // namespace tokenmagic::core

@@ -1,0 +1,53 @@
+// λ-batching of the blockchain (Section 4, Figure 2).
+//
+// TokenMagic partitions blocks into disjoint, sequential batches, each
+// holding at least λ tokens (a batch closes with the block that pushes it
+// to ≥ λ). A token's mixin universe is exactly the token set of its batch,
+// which bounds both the mixin universe and the related RS set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/types.h"
+#include "common/status.h"
+
+namespace tokenmagic::core {
+
+/// One batch: a contiguous block range and its tokens.
+struct Batch {
+  size_t index = 0;
+  chain::BlockHeight first_block = 0;
+  chain::BlockHeight last_block = 0;
+  std::vector<chain::TokenId> tokens;
+  /// True when the batch reached the λ threshold (the trailing batch of a
+  /// live chain may still be filling).
+  bool sealed = false;
+};
+
+/// Deterministic batch partition of a blockchain. All full nodes agree on
+/// it because λ is a public system parameter and the block list is agreed.
+class BatchIndex {
+ public:
+  /// Builds batches over all blocks of `bc`. `lambda` must be >= 1.
+  BatchIndex(const chain::Blockchain& bc, size_t lambda);
+
+  size_t lambda() const { return lambda_; }
+  size_t batch_count() const { return batches_.size(); }
+  const Batch& batch(size_t index) const;
+
+  /// The batch containing `token`.
+  const Batch& BatchOfToken(chain::TokenId token) const;
+
+  /// The mixin universe of `token`: all tokens of its batch (Section 4).
+  const std::vector<chain::TokenId>& MixinUniverse(
+      chain::TokenId token) const;
+
+ private:
+  size_t lambda_;
+  std::vector<Batch> batches_;
+  std::vector<size_t> token_to_batch_;  // indexed by TokenId (dense ids)
+};
+
+}  // namespace tokenmagic::core

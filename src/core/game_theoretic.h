@@ -1,0 +1,22 @@
+// The Game-theoretic Algorithm (Algorithm 5, Section 6.3).
+//
+// Modules (super RSs and fresh tokens) are players with strategies
+// φ (selected) / φ̄ (not selected). A player's cost is |r̃_τ|/|A| when the
+// induced candidate satisfies the recursive diversity and ∞ otherwise, so
+// the game is an exact potential game; best-response dynamics converge to
+// a Nash equilibrium in O(n^3) (Theorem 6.6) with PoS ≤ 1 and
+// PoA ≤ q_M·(1 + 1/(c·ℓ)) + z_M/ℓ (Theorem 6.7).
+#pragma once
+
+#include "core/selector.h"
+
+namespace tokenmagic::core {
+
+class GameTheoreticSelector : public MixinSelector {
+ public:
+  common::Result<SelectionResult> Select(const SelectionInput& input,
+                                         common::Rng* rng) const override;
+  std::string_view name() const override { return "TM_G"; }
+};
+
+}  // namespace tokenmagic::core

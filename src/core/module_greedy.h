@@ -1,0 +1,58 @@
+// Shared machinery for the module-based selectors (Progressive, Game-
+// theoretic, Smallest, Random): building the module decomposition for an
+// instance and the phase-1 greedy that reaches ℓ distinct HTs.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/types.h"
+#include "common/status.h"
+#include "core/modules.h"
+#include "core/selector.h"
+
+namespace tokenmagic::core {
+
+/// Working state of a module-based selection.
+struct ModuleSelectionState {
+  ModuleUniverse mu;
+  /// Module containing the target token (always chosen).
+  size_t target_module = 0;
+  /// Chosen module indices (includes target_module).
+  std::vector<size_t> chosen;
+  /// Distinct HTs covered by the chosen modules.
+  std::unordered_set<chain::TxId> covered_hts;
+  /// Remaining selectable module indices.
+  std::vector<size_t> remaining;
+  /// Current candidate size in tokens.
+  size_t token_size = 0;
+};
+
+/// Builds the initial state from an instance (validates the universe /
+/// history and locates the target's module).
+common::Result<ModuleSelectionState> InitModuleState(
+    const SelectionInput& input);
+
+/// Adds module `index` to the state (moves it out of `remaining`).
+void ChooseModule(ModuleSelectionState* state, const analysis::HtIndex& index,
+                  size_t module_index);
+
+/// Removes module `index` from `chosen` (back into `remaining`) and
+/// recomputes covered HTs.
+void UnchooseModule(ModuleSelectionState* state,
+                    const analysis::HtIndex& index, size_t module_index);
+
+/// Phase 1 of Algorithms 4 and 5: greedily add the module minimizing
+///   α_i = |x_i| / min(ℓ - |H|, |H_i \ H|)
+/// until at least `ell` distinct HTs are covered. Returns the number of
+/// greedy steps, or Unsatisfiable when the universe cannot reach ℓ HTs.
+common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
+                                      const analysis::HtIndex& index,
+                                      int ell);
+
+/// Distinct HTs of one module.
+std::unordered_set<chain::TxId> ModuleHts(const Module& module,
+                                          const analysis::HtIndex& index);
+
+}  // namespace tokenmagic::core

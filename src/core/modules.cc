@@ -1,0 +1,181 @@
+#include "core/modules.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace tokenmagic::core {
+
+namespace {
+
+/// True when sorted vector `a` is a subset of sorted vector `b`.
+bool SortedSubset(const std::vector<chain::TokenId>& a,
+                  const std::vector<chain::TokenId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// True when sorted vectors `a` and `b` share no element.
+bool SortedDisjoint(const std::vector<chain::TokenId>& a,
+                    const std::vector<chain::TokenId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Result<ModuleUniverse> ModuleUniverse::Build(
+    const std::vector<chain::TokenId>& universe,
+    const std::vector<chain::RsView>& history) {
+  using common::Status;
+  ModuleUniverse mu;
+
+  std::unordered_set<chain::TokenId> universe_set(universe.begin(),
+                                                  universe.end());
+  mu.token_count_ = universe_set.size();
+
+  // Validate that history tokens live in the universe and the first
+  // practical configuration holds pairwise (superset or disjoint).
+  for (const chain::RsView& view : history) {
+    for (chain::TokenId t : view.members) {
+      if (universe_set.count(t) == 0) {
+        return Status::InvalidArgument(common::StrFormat(
+            "rs %llu contains token %llu outside the universe",
+            static_cast<unsigned long long>(view.id),
+            static_cast<unsigned long long>(t)));
+      }
+    }
+  }
+  for (size_t i = 0; i < history.size(); ++i) {
+    for (size_t j = i + 1; j < history.size(); ++j) {
+      const auto& a = history[i].members;
+      const auto& b = history[j].members;
+      if (!SortedDisjoint(a, b) && !SortedSubset(a, b) &&
+          !SortedSubset(b, a)) {
+        return Status::InvalidArgument(common::StrFormat(
+            "history violates the first practical configuration: rs %llu "
+            "and rs %llu partially overlap",
+            static_cast<unsigned long long>(history[i].id),
+            static_cast<unsigned long long>(history[j].id)));
+      }
+    }
+  }
+
+  // Super RSs (Definition 7): scan from the latest proposal backwards; an
+  // RS none of whose tokens is already covered by a later RS is maximal.
+  std::vector<size_t> order(history.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history[a].proposed_at > history[b].proposed_at;
+  });
+
+  std::unordered_set<chain::TokenId> covered;
+  std::vector<size_t> super_indices;  // indices into history
+  for (size_t idx : order) {
+    const auto& members = history[idx].members;
+    bool any_covered = false;
+    for (chain::TokenId t : members) {
+      if (covered.count(t) > 0) {
+        any_covered = true;
+        break;
+      }
+    }
+    if (!any_covered) {
+      super_indices.push_back(idx);
+      covered.insert(members.begin(), members.end());
+    }
+    // A partially-covered RS is impossible here: the configuration check
+    // above guarantees it is a subset of the covering (later) RS.
+  }
+
+  // Emit super-RS modules (in original proposal order for determinism).
+  std::sort(super_indices.begin(), super_indices.end());
+  for (size_t idx : super_indices) {
+    const chain::RsView& view = history[idx];
+    Module module;
+    module.index = mu.modules_.size();
+    module.is_fresh = false;
+    module.super_rs = view.id;
+    module.tokens = view.members;
+    std::vector<chain::RsId> subsets;
+    for (const chain::RsView& other : history) {
+      if (SortedSubset(other.members, view.members)) {
+        subsets.push_back(other.id);
+      }
+    }
+    module.subset_count = subsets.size();
+    for (chain::TokenId t : module.tokens) {
+      mu.token_to_module_.emplace(t, module.index);
+    }
+    mu.modules_.push_back(std::move(module));
+    mu.subset_rs_.push_back(std::move(subsets));
+  }
+
+  // Fresh tokens (Definition 8): universe tokens in no RS.
+  std::vector<chain::TokenId> fresh;
+  for (chain::TokenId t : universe) {
+    if (covered.count(t) == 0 && mu.token_to_module_.count(t) == 0) {
+      fresh.push_back(t);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  for (chain::TokenId t : fresh) {
+    Module module;
+    module.index = mu.modules_.size();
+    module.is_fresh = true;
+    module.tokens = {t};
+    module.subset_count = 0;
+    mu.token_to_module_.emplace(t, module.index);
+    mu.modules_.push_back(std::move(module));
+    mu.subset_rs_.emplace_back();
+  }
+
+  return mu;
+}
+
+const Module& ModuleUniverse::module(size_t index) const {
+  TM_CHECK(index < modules_.size());
+  return modules_[index];
+}
+
+size_t ModuleUniverse::ModuleOfToken(chain::TokenId token) const {
+  auto it = token_to_module_.find(token);
+  TM_CHECK(it != token_to_module_.end());
+  return it->second;
+}
+
+std::vector<size_t> ModuleUniverse::FreshModuleIndices() const {
+  std::vector<size_t> out;
+  for (const Module& m : modules_) {
+    if (m.is_fresh) out.push_back(m.index);
+  }
+  return out;
+}
+
+std::vector<size_t> ModuleUniverse::SuperRsModuleIndices() const {
+  std::vector<size_t> out;
+  for (const Module& m : modules_) {
+    if (!m.is_fresh) out.push_back(m.index);
+  }
+  return out;
+}
+
+const std::vector<chain::RsId>& ModuleUniverse::SubsetRsOf(
+    size_t module_index) const {
+  TM_CHECK(module_index < subset_rs_.size());
+  return subset_rs_[module_index];
+}
+
+}  // namespace tokenmagic::core

@@ -1,0 +1,78 @@
+#include "core/progressive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/diversity.h"
+#include "common/macros.h"
+#include "core/module_greedy.h"
+
+namespace tokenmagic::core {
+
+namespace {
+
+/// Diversity slack of the chosen modules' token multiset.
+double SlackOf(const ModuleUniverse& mu, const std::vector<size_t>& chosen,
+               const analysis::HtIndex& index,
+               const chain::DiversityRequirement& req) {
+  std::vector<chain::TokenId> members;
+  for (size_t i : chosen) {
+    const auto& tokens = mu.module(i).tokens;
+    members.insert(members.end(), tokens.begin(), tokens.end());
+  }
+  return analysis::DiversitySlack(analysis::HtFrequencies(members, index),
+                                  req);
+}
+
+}  // namespace
+
+common::Result<SelectionResult> ProgressiveSelector::Select(
+    const SelectionInput& input, common::Rng* rng) const {
+  (void)rng;  // the Progressive Algorithm is deterministic
+  TM_ASSIGN_OR_RETURN(ModuleSelectionState state, InitModuleState(input));
+  const analysis::HtIndex& index = *input.index;
+  chain::DiversityRequirement effective =
+      EffectiveRequirement(input.requirement, input.policy);
+
+  SelectionResult result;
+
+  // Phase 1: reach ℓ distinct HTs (lines 2-4 of Algorithm 4).
+  TM_ASSIGN_OR_RETURN(size_t phase1_steps,
+                      GreedyCoverHts(&state, index, effective.ell));
+  result.iterations += phase1_steps;
+
+  // Phase 2: close the diversity gap (lines 5-7).
+  auto eligible = [&]() {
+    return CheckCandidate(state.mu, state.chosen, input.history, index,
+                          input.requirement, input.policy)
+        .eligible;
+  };
+  while (!eligible()) {
+    double delta = SlackOf(state.mu, state.chosen, index, effective);
+    double best_beta = -std::numeric_limits<double>::infinity();
+    size_t best_module = static_cast<size_t>(-1);
+    for (size_t candidate : state.remaining) {
+      std::vector<size_t> tentative = state.chosen;
+      tentative.push_back(candidate);
+      double delta_i = SlackOf(state.mu, tentative, index, effective);
+      double beta = (delta - delta_i) /
+                    static_cast<double>(state.mu.module(candidate).size());
+      if (beta > best_beta) {
+        best_beta = beta;
+        best_module = candidate;
+      }
+    }
+    if (best_module == static_cast<size_t>(-1)) {
+      return common::Status::Unsatisfiable(
+          "no module assembly satisfies the diversity constraint");
+    }
+    ChooseModule(&state, index, best_module);
+    ++result.iterations;
+  }
+
+  result.members = MaterializeCandidate(state.mu, state.chosen);
+  result.chosen_modules = state.chosen;
+  return result;
+}
+
+}  // namespace tokenmagic::core

@@ -1,0 +1,24 @@
+// The Progressive Algorithm (Algorithm 4, Section 6.2).
+//
+// Two greedy phases over the module universe:
+//   1. add the module minimizing α_i = |x_i| / min(ℓ − |H|, |H_i \ H|)
+//      until the candidate covers at least ℓ distinct HTs;
+//   2. add the module maximizing β_i = (δ − δ_i) / |x_i|, where δ is the
+//      diversity slack q_1 − c·(q_ℓ + … + q_θ), until the recursive
+//      (c, ℓ)-diversity holds (at ℓ+1 under the second practical
+//      configuration).
+// Approximation ratio: Σ_{i≤ℓ} 1/i + q_M·z_M/10^{−γ} (Theorem 6.5).
+#pragma once
+
+#include "core/selector.h"
+
+namespace tokenmagic::core {
+
+class ProgressiveSelector : public MixinSelector {
+ public:
+  common::Result<SelectionResult> Select(const SelectionInput& input,
+                                         common::Rng* rng) const override;
+  std::string_view name() const override { return "TM_P"; }
+};
+
+}  // namespace tokenmagic::core

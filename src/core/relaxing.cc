@@ -1,0 +1,57 @@
+#include "core/relaxing.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tokenmagic::core {
+
+std::vector<chain::DiversityRequirement> RelaxingSelector::Schedule(
+    const chain::DiversityRequirement& original) const {
+  std::vector<chain::DiversityRequirement> out = {original};
+  chain::DiversityRequirement current = original;
+  bool relax_c_next = true;
+  for (int step = 0; step < policy_.max_steps; ++step) {
+    bool c_exhausted = current.c >= policy_.c_max;
+    bool ell_exhausted = current.ell <= policy_.ell_min;
+    if (c_exhausted && ell_exhausted) break;
+    // Alternate the two knobs, falling back to whichever still has room.
+    bool relax_c = relax_c_next ? !c_exhausted : c_exhausted;
+    if (relax_c) {
+      current.c = std::min(current.c * policy_.c_growth, policy_.c_max);
+    } else {
+      current.ell =
+          std::max(current.ell - policy_.ell_step, policy_.ell_min);
+    }
+    relax_c_next = !relax_c_next;
+    out.push_back(current);
+  }
+  return out;
+}
+
+common::Result<RelaxedSelection> RelaxingSelector::Select(
+    const SelectionInput& input, common::Rng* rng) const {
+  TM_CHECK(inner_ != nullptr);
+  common::Status last = common::Status::Unsatisfiable("empty schedule");
+  std::vector<chain::DiversityRequirement> schedule =
+      Schedule(input.requirement);
+  for (size_t step = 0; step < schedule.size(); ++step) {
+    SelectionInput attempt = input;
+    attempt.requirement = schedule[step];
+    auto result = inner_->Select(attempt, rng);
+    if (result.ok()) {
+      RelaxedSelection out;
+      out.result = std::move(result).value();
+      out.used_requirement = schedule[step];
+      out.relaxation_steps = static_cast<int>(step);
+      return out;
+    }
+    if (!result.status().IsUnsatisfiable()) {
+      return result.status();  // real error: do not mask it
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+}  // namespace tokenmagic::core

@@ -1,0 +1,58 @@
+// Requirement relaxation (Section 4): "if users think the returned RS is
+// not desirable or the framework cannot return an eligible RS, they can
+// relax the diversity requirement by increasing c or decreasing ℓ."
+//
+// RelaxingSelector wraps any inner selector and, on Unsatisfiable, walks
+// a relaxation schedule (alternately scaling c up and stepping ℓ down)
+// until the instance becomes feasible or the floor is reached. The
+// requirement actually used is reported so the caller can decide whether
+// the weakened anonymity is acceptable.
+#pragma once
+
+#include <vector>
+
+#include "core/selector.h"
+
+namespace tokenmagic::core {
+
+/// Relaxation schedule policy.
+struct RelaxationPolicy {
+  /// Multiplier applied to c at each c-relaxation step (> 1).
+  double c_growth = 1.5;
+  /// Subtracted from ℓ at each ℓ-relaxation step.
+  int ell_step = 1;
+  /// Floors: relaxation never crosses these.
+  double c_max = 16.0;
+  int ell_min = 1;
+  /// Cap on total relaxation steps.
+  int max_steps = 64;
+};
+
+/// A selection result annotated with the requirement that produced it.
+struct RelaxedSelection {
+  SelectionResult result;
+  chain::DiversityRequirement used_requirement;
+  int relaxation_steps = 0;  ///< 0 = the original requirement held
+};
+
+class RelaxingSelector {
+ public:
+  RelaxingSelector(const MixinSelector* inner, RelaxationPolicy policy = {})
+      : inner_(inner), policy_(policy) {}
+
+  /// Tries the original requirement first, then the schedule. Returns
+  /// Unsatisfiable only when even the fully relaxed instance fails.
+  common::Result<RelaxedSelection> Select(const SelectionInput& input,
+                                          common::Rng* rng) const;
+
+  /// The requirements the schedule would try, in order (including the
+  /// original as the first entry). Exposed for tests and UIs.
+  std::vector<chain::DiversityRequirement> Schedule(
+      const chain::DiversityRequirement& original) const;
+
+ private:
+  const MixinSelector* inner_;
+  RelaxationPolicy policy_;
+};
+
+}  // namespace tokenmagic::core

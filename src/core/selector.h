@@ -1,0 +1,56 @@
+// Common interface for DA-MS mixin selectors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/eligibility.h"
+
+namespace tokenmagic::core {
+
+/// One DA-MS problem instance: pick mixins for `target` out of `universe`
+/// given the RS history over that universe.
+struct SelectionInput {
+  chain::TokenId target = chain::kInvalidToken;
+  /// The mixin universe T (must contain `target`).
+  std::vector<chain::TokenId> universe;
+  /// RSs over T in proposal order (the related RS set of the batch).
+  std::vector<chain::RsView> history;
+  chain::DiversityRequirement requirement;
+  const analysis::HtIndex* index = nullptr;
+  EligibilityPolicy policy;
+};
+
+/// A selected ring signature (member set including the target).
+struct SelectionResult {
+  std::vector<chain::TokenId> members;  ///< sorted ascending
+  /// Modules chosen (indices into the ModuleUniverse the selector built);
+  /// empty for selectors that do not use the module decomposition (BFS).
+  std::vector<size_t> chosen_modules;
+  /// Selector-reported iteration count (greedy steps / best-response
+  /// rounds / BFS candidates examined) for instrumentation.
+  size_t iterations = 0;
+};
+
+/// Abstract mixin selector. Implementations: BFS (exact), Progressive,
+/// Game-theoretic, Smallest, Random, Monero-style sampler.
+class MixinSelector {
+ public:
+  virtual ~MixinSelector() = default;
+
+  /// Solves one instance. Returns Unsatisfiable when no eligible RS exists
+  /// within the selector's reach; Timeout when a budget expires.
+  virtual common::Result<SelectionResult> Select(const SelectionInput& input,
+                                                 common::Rng* rng) const = 0;
+
+  /// Stable short name ("TM_P", "TM_G", "TM_S", "TM_R", "TM_B", "TM_M").
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace tokenmagic::core

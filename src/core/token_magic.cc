@@ -1,0 +1,124 @@
+#include "core/token_magic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/chain_reaction.h"
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace tokenmagic::core {
+
+TokenMagic::TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config)
+    : bc_(bc),
+      config_(config),
+      batch_index_(*bc, config.lambda),
+      ht_index_(analysis::HtIndex::FromBlockchain(*bc)) {
+  TM_CHECK(bc != nullptr);
+}
+
+std::vector<chain::RsView> TokenMagic::BatchHistory(
+    chain::TokenId token) const {
+  const Batch& batch = batch_index_.BatchOfToken(token);
+  std::unordered_set<chain::TokenId> batch_tokens(batch.tokens.begin(),
+                                                  batch.tokens.end());
+  std::vector<chain::RsView> history;
+  for (const chain::RsView& view : ledger_.Views()) {
+    // Batches are disjoint and RSs never span batches, so membership of
+    // the first token decides.
+    if (!view.members.empty() &&
+        batch_tokens.count(view.members.front()) > 0) {
+      history.push_back(view);
+    }
+  }
+  return history;
+}
+
+common::Result<SelectionInput> TokenMagic::InstanceFor(
+    chain::TokenId target, chain::DiversityRequirement req) const {
+  if (!bc_->HasToken(target)) {
+    return common::Status::NotFound("unknown token");
+  }
+  if (ledger_.IsSpent(target)) {
+    return common::Status::AlreadyExists("token already spent");
+  }
+  SelectionInput input;
+  input.target = target;
+  input.universe = batch_index_.MixinUniverse(target);
+  input.history = BatchHistory(target);
+  input.requirement = req;
+  input.index = &ht_index_;
+  input.policy = config_.policy;
+  return input;
+}
+
+bool TokenMagic::LiquidityAllows(
+    chain::TokenId target,
+    const std::vector<chain::TokenId>& members) const {
+  std::vector<chain::RsView> history = BatchHistory(target);
+  chain::RsView prospective;
+  prospective.id = chain::kInvalidRs - 1;
+  prospective.members = members;
+  std::sort(prospective.members.begin(), prospective.members.end());
+  history.push_back(std::move(prospective));
+
+  size_t rs_count = history.size();  // i
+  size_t inferable =
+      analysis::ChainReactionAnalyzer::CountInferableSpent(history);  // μ_i
+  size_t universe = batch_index_.BatchOfToken(target).tokens.size();  // |T|
+  // Require i − μ_i ≥ η · (|T| − i).
+  double lhs = static_cast<double>(rs_count) - static_cast<double>(inferable);
+  double rhs = config_.eta * (static_cast<double>(universe) -
+                              static_cast<double>(rs_count));
+  return lhs >= rhs;
+}
+
+common::Result<GeneratedRs> TokenMagic::GenerateRs(
+    chain::TokenId target, chain::DiversityRequirement req,
+    const MixinSelector& selector, common::Rng* rng) {
+  using common::Status;
+  TM_ASSIGN_OR_RETURN(SelectionInput input, InstanceFor(target, req));
+
+  // Algorithm 1, lines 2-6: build the candidate set for the target.
+  std::vector<std::vector<chain::TokenId>> candidates;
+  if (config_.full_randomization) {
+    for (chain::TokenId seed_token : input.universe) {
+      if (ledger_.IsSpent(seed_token)) continue;
+      SelectionInput seeded = input;
+      seeded.target = seed_token;
+      auto selected = selector.Select(seeded, rng);
+      if (!selected.ok()) continue;
+      const auto& members = selected.value().members;
+      if (std::binary_search(members.begin(), members.end(), target)) {
+        candidates.push_back(members);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // Fast path (or fallback): select directly for the target.
+    TM_ASSIGN_OR_RETURN(SelectionResult selected,
+                        selector.Select(input, rng));
+    candidates.push_back(std::move(selected.members));
+  }
+
+  // Line 7: uniform draw among the target's candidates.
+  const std::vector<chain::TokenId>& members =
+      candidates[rng->NextBounded(candidates.size())];
+
+  if (!LiquidityAllows(target, members)) {
+    return Status::Unsatisfiable(common::StrFormat(
+        "liquidity rule violated (eta=%g): proposing this RS would leave "
+        "future spenders without eligible rings",
+        config_.eta));
+  }
+
+  TM_ASSIGN_OR_RETURN(chain::RsId id,
+                      ledger_.Propose(members, target, req));
+  GeneratedRs out;
+  out.id = id;
+  out.members = ledger_.view(id).members;
+  out.candidate_count = candidates.size();
+  return out;
+}
+
+}  // namespace tokenmagic::core

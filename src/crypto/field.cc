@@ -1,0 +1,130 @@
+#include "crypto/field.h"
+
+#include "common/macros.h"
+
+namespace tokenmagic::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977
+const U256 kPrime(0xfffffffefffffc2full, 0xffffffffffffffffull,
+                  0xffffffffffffffffull, 0xffffffffffffffffull);
+// n = group order of secp256k1
+const U256 kOrder(0xbfd25e8cd0364141ull, 0xbaaedce6af48a03bull,
+                  0xfffffffffffffffeull, 0xffffffffffffffffull);
+// 2^256 mod p = 2^32 + 977
+constexpr uint64_t kFold = 0x1000003d1ull;
+
+// out = a + b * kFold where a is 5 limbs (4 + carry limb), b is 4 limbs.
+// Returns the result as 4 limbs plus a (small) carry limb.
+void FoldOnce(const uint64_t a[5], const uint64_t b[4], uint64_t out[5]) {
+  unsigned __int128 acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc += a[i];
+    acc += static_cast<unsigned __int128>(b[i]) * kFold;
+    out[i] = static_cast<uint64_t>(acc);
+    acc >>= 64;
+  }
+  acc += a[4];
+  out[4] = static_cast<uint64_t>(acc);
+}
+
+}  // namespace
+
+const U256& FieldPrime() { return kPrime; }
+const U256& GroupOrder() { return kOrder; }
+
+U256 FieldReduce(const U512& x) {
+  // First fold: low(4 limbs) + high(4 limbs) * kFold -> 5 limbs.
+  uint64_t low[5] = {x.limbs[0], x.limbs[1], x.limbs[2], x.limbs[3], 0};
+  uint64_t high[4] = {x.limbs[4], x.limbs[5], x.limbs[6], x.limbs[7]};
+  uint64_t fold1[5];
+  FoldOnce(low, high, fold1);
+  // Second fold: the carry limb (< 2^33) folds back into the low 4 limbs.
+  uint64_t low2[5] = {fold1[0], fold1[1], fold1[2], fold1[3], 0};
+  uint64_t high2[4] = {fold1[4], 0, 0, 0};
+  uint64_t fold2[5];
+  FoldOnce(low2, high2, fold2);
+  // fold2[4] can be at most 1 after the second fold.
+  U256 result(fold2[0], fold2[1], fold2[2], fold2[3]);
+  if (fold2[4] != 0) {
+    // result + 2^256 ≡ result + kFold (mod p)
+    U256 tmp;
+    uint64_t carry = U256::Add(result, U256(kFold), &tmp);
+    result = tmp;
+    (void)carry;  // cannot overflow: result < 2^33 after the second fold
+    TM_DCHECK(carry == 0);
+  }
+  while (result >= kPrime) {
+    U256 tmp;
+    U256::Sub(result, kPrime, &tmp);
+    result = tmp;
+  }
+  return result;
+}
+
+U256 FieldAdd(const U256& a, const U256& b) { return AddMod(a, b, kPrime); }
+U256 FieldSub(const U256& a, const U256& b) { return SubMod(a, b, kPrime); }
+
+U256 FieldMul(const U256& a, const U256& b) {
+  return FieldReduce(U256::Mul(a, b));
+}
+
+U256 FieldSqr(const U256& a) { return FieldMul(a, a); }
+
+U256 FieldPow(const U256& a, const U256& e) {
+  U256 base = a;
+  U256 result = U256::One();
+  int top = e.HighestBit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.Bit(i)) result = FieldMul(result, base);
+    base = FieldSqr(base);
+  }
+  return result;
+}
+
+U256 FieldInv(const U256& a) {
+  TM_CHECK(!a.IsZero());
+  U256 exponent;
+  U256::Sub(kPrime, U256(2), &exponent);
+  return FieldPow(a, exponent);
+}
+
+U256 FieldNeg(const U256& a) {
+  if (a.IsZero()) return a;
+  U256 out;
+  U256::Sub(kPrime, a, &out);
+  return out;
+}
+
+bool FieldSqrt(const U256& a, U256* root) {
+  TM_CHECK(root != nullptr);
+  // (p + 1) / 4, precomputable since p ≡ 3 (mod 4).
+  U256 exponent;
+  U256::Add(kPrime, U256::One(), &exponent);
+  // Divide by 4 = shift right twice.
+  for (int shift = 0; shift < 2; ++shift) {
+    uint64_t carry = 0;
+    for (int i = 3; i >= 0; --i) {
+      uint64_t next = exponent.limbs[i] & 1;
+      exponent.limbs[i] = (exponent.limbs[i] >> 1) | (carry << 63);
+      carry = next;
+    }
+  }
+  U256 candidate = FieldPow(a, exponent);
+  if (FieldSqr(candidate) == U256::Mod(a, kPrime)) {
+    *root = candidate;
+    return true;
+  }
+  return false;
+}
+
+U256 ScalarAdd(const U256& a, const U256& b) { return AddMod(a, b, kOrder); }
+U256 ScalarSub(const U256& a, const U256& b) { return SubMod(a, b, kOrder); }
+U256 ScalarMul(const U256& a, const U256& b) { return MulMod(a, b, kOrder); }
+U256 ScalarInv(const U256& a) { return InvMod(a, kOrder); }
+U256 ScalarReduce(const U256& a) { return U256::Mod(a, kOrder); }
+
+bool IsValidScalar(const U256& a) { return !a.IsZero() && a < kOrder; }
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,47 @@
+// secp256k1 base-field arithmetic with a fast special-form reduction.
+//
+// The base prime is p = 2^256 - 2^32 - 977. A 512-bit product can be reduced
+// by folding: 2^256 ≡ 2^32 + 977 (mod p), so high * 2^256 + low ≡
+// high * (2^32 + 977) + low. Two folds bring any product below 2^257, after
+// which at most two conditional subtractions finish the job.
+#pragma once
+
+#include "crypto/u256.h"
+
+namespace tokenmagic::crypto {
+
+/// secp256k1 base field prime p = 2^256 - 2^32 - 977.
+const U256& FieldPrime();
+
+/// secp256k1 group order n.
+const U256& GroupOrder();
+
+/// Reduces a full 512-bit value modulo p using the special prime form.
+U256 FieldReduce(const U512& x);
+
+/// Field operations: inputs must be < p (outputs always are).
+U256 FieldAdd(const U256& a, const U256& b);
+U256 FieldSub(const U256& a, const U256& b);
+U256 FieldMul(const U256& a, const U256& b);
+U256 FieldSqr(const U256& a);
+/// a^e mod p.
+U256 FieldPow(const U256& a, const U256& e);
+/// Multiplicative inverse via Fermat (a must be non-zero).
+U256 FieldInv(const U256& a);
+/// Negation: p - a (or 0 for a == 0).
+U256 FieldNeg(const U256& a);
+/// Square root when it exists: since p ≡ 3 (mod 4), r = a^((p+1)/4).
+/// Returns true and sets *root iff r*r == a.
+bool FieldSqrt(const U256& a, U256* root);
+
+/// Scalar (mod n) operations for signature arithmetic.
+U256 ScalarAdd(const U256& a, const U256& b);
+U256 ScalarSub(const U256& a, const U256& b);
+U256 ScalarMul(const U256& a, const U256& b);
+U256 ScalarInv(const U256& a);
+/// Reduces an arbitrary 256-bit value into [0, n).
+U256 ScalarReduce(const U256& a);
+/// True for a valid secret scalar: 0 < a < n.
+bool IsValidScalar(const U256& a);
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,51 @@
+#include "crypto/keys.h"
+
+#include "crypto/field.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::crypto {
+
+Keypair Keypair::Generate(common::Rng* rng) {
+  U256 secret;
+  do {
+    for (auto& limb : secret.limbs) limb = rng->Next();
+    secret = ScalarReduce(secret);
+  } while (secret.IsZero());
+  Keypair kp;
+  kp.secret = secret;
+  kp.pub = Secp256k1::MulBase(secret);
+  return kp;
+}
+
+Keypair Keypair::FromSeed(std::string_view seed) {
+  U256 secret = HashToScalar(seed, "tokenmagic/keygen");
+  Keypair kp;
+  kp.secret = secret;
+  kp.pub = Secp256k1::MulBase(secret);
+  return kp;
+}
+
+U256 HashToScalar(const uint8_t* data, size_t size,
+                  std::string_view domain_tag) {
+  for (uint32_t counter = 0;; ++counter) {
+    Sha256 hasher;
+    hasher.Update(domain_tag);
+    hasher.Update(data, size);
+    uint8_t counter_bytes[4] = {
+        static_cast<uint8_t>(counter >> 24),
+        static_cast<uint8_t>(counter >> 16),
+        static_cast<uint8_t>(counter >> 8), static_cast<uint8_t>(counter)};
+    hasher.Update(counter_bytes, 4);
+    auto digest = hasher.Finalize();
+    U256 value = U256::FromBytes(digest.data());
+    if (IsValidScalar(value)) return value;
+    // Probability ~2^-128 per retry; loop terminates immediately in practice.
+  }
+}
+
+U256 HashToScalar(std::string_view data, std::string_view domain_tag) {
+  return HashToScalar(reinterpret_cast<const uint8_t*>(data.data()),
+                      data.size(), domain_tag);
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,73 @@
+// Pedersen commitments over secp256k1 (RingCT-style confidential
+// amounts).
+//
+// A commitment to value v with blinding factor r is C = r*G + v*H, where
+// H is a second generator with unknown discrete log relative to G
+// (derived by hashing to the curve). Commitments are additively
+// homomorphic, so a transaction balances iff
+//   sum(inputs) - sum(outputs) - fee*H  ==  z*G
+// for a blinding remainder z known to the prover — proven here with a
+// Schnorr signature on base G ("excess proof", as in Mimblewimble).
+// Range proofs are out of scope (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/schnorr.h"
+#include "crypto/secp256k1.h"
+
+namespace tokenmagic::crypto {
+
+/// An opened commitment (prover side).
+struct Commitment {
+  Point point;    ///< C = r*G + v*H
+  U256 blinding;  ///< r (secret)
+  uint64_t value = 0;  ///< v (secret)
+};
+
+class Pedersen {
+ public:
+  /// The value generator H (nothing-up-my-sleeve hash-to-point).
+  static const Point& ValueGenerator();
+
+  /// Commits to `value` with a fresh blinding factor from `rng`.
+  static Commitment Commit(uint64_t value, common::Rng* rng);
+
+  /// Commits with an explicit blinding factor (tests, derived keys).
+  static Commitment CommitWithBlinding(uint64_t value, const U256& blinding);
+
+  /// Homomorphic sum of commitment points.
+  static Point Sum(const std::vector<Point>& commitments);
+
+  /// Verifies an opening: C == r*G + v*H.
+  static bool VerifyOpening(const Point& commitment, const U256& blinding,
+                            uint64_t value);
+};
+
+/// Proof that a set of input commitments equals outputs + fee, without
+/// revealing any value: a Schnorr signature under the excess point
+/// E = sum(in) - sum(out) - fee*H, which is z*G iff values balance.
+struct BalanceProof {
+  SchnorrSignature excess_signature;
+};
+
+class ConfidentialBalance {
+ public:
+  /// Builds the proof; requires the openings of all commitments. Fails
+  /// with InvalidArgument when the values do not actually balance
+  /// (inputs != outputs + fee).
+  static common::Result<BalanceProof> Prove(
+      const std::vector<Commitment>& inputs,
+      const std::vector<Commitment>& outputs, uint64_t fee,
+      common::Rng* rng);
+
+  /// Verifies from the public commitments alone.
+  static bool Verify(const std::vector<Point>& inputs,
+                     const std::vector<Point>& outputs, uint64_t fee,
+                     const BalanceProof& proof);
+};
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,161 @@
+#include "crypto/range_proof.h"
+
+#include "common/macros.h"
+#include "crypto/field.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::crypto {
+
+namespace {
+
+U256 RandomScalar(common::Rng* rng) {
+  U256 value;
+  do {
+    for (auto& limb : value.limbs) limb = rng->Next();
+    value = ScalarReduce(value);
+  } while (value.IsZero());
+  return value;
+}
+
+/// AOS ring challenge: e = H(tag ‖ B ‖ branch ‖ R).
+U256 BranchChallenge(const Point& bit_commitment, int branch,
+                     const Point& r_point) {
+  Sha256 hasher;
+  hasher.Update("tokenmagic/range-aos");
+  auto b_enc = bit_commitment.Encode();
+  hasher.Update(b_enc.data(), b_enc.size());
+  uint8_t branch_byte = static_cast<uint8_t>(branch);
+  hasher.Update(&branch_byte, 1);
+  auto r_enc = r_point.Encode();
+  hasher.Update(r_enc.data(), r_enc.size());
+  auto digest = hasher.Finalize();
+  U256 e = ScalarReduce(U256::FromBytes(digest.data()));
+  if (e.IsZero()) e = U256::One();
+  return e;
+}
+
+/// The two ring keys of a bit: P0 = B (bit 0), P1 = B − H (bit 1).
+void BitKeys(const Point& bit_commitment, Point* p0, Point* p1) {
+  *p0 = bit_commitment;
+  *p1 = Secp256k1::Add(bit_commitment,
+                       Secp256k1::Negate(Pedersen::ValueGenerator()));
+}
+
+/// Signs the 2-ring for a bit commitment B = r·G + bit·H.
+BitProof SignBit(const Point& bit_commitment, const U256& blinding, int bit,
+                 common::Rng* rng) {
+  Point keys[2];
+  BitKeys(bit_commitment, &keys[0], &keys[1]);
+  TM_DCHECK(keys[bit] == Secp256k1::MulBase(blinding));
+
+  const int j = bit;          // known branch
+  const int other = 1 - bit;  // simulated branch
+
+  U256 alpha = RandomScalar(rng);
+  // e_{j+1} = H(B, j+1, α·G)
+  U256 challenges[2];
+  challenges[other] = BranchChallenge(bit_commitment, other,
+                                      Secp256k1::MulBase(alpha));
+  // Simulate the other branch: s_other random,
+  // e_j = H(B, j, s_other·G + e_other·P_other).
+  U256 s[2];
+  s[other] = RandomScalar(rng);
+  Point r_other = Secp256k1::MulAdd(s[other], Secp256k1::Generator(),
+                                    challenges[other], keys[other]);
+  challenges[j] = BranchChallenge(bit_commitment, j, r_other);
+  // Close: s_j = α − e_j·x.
+  s[j] = ScalarSub(alpha, ScalarMul(challenges[j], blinding));
+
+  BitProof proof;
+  proof.bit_commitment = bit_commitment;
+  proof.c0 = challenges[0];
+  proof.s0 = s[0];
+  proof.s1 = s[1];
+  return proof;
+}
+
+bool VerifyBit(const BitProof& proof) {
+  if (proof.bit_commitment.infinity ||
+      !Secp256k1::IsOnCurve(proof.bit_commitment)) {
+    return false;
+  }
+  if (proof.c0.IsZero() || proof.c0 >= GroupOrder()) return false;
+  if (proof.s0 >= GroupOrder() || proof.s1 >= GroupOrder()) return false;
+  Point keys[2];
+  BitKeys(proof.bit_commitment, &keys[0], &keys[1]);
+  // e1 = H(B, 1, s0·G + e0·P0); e0' = H(B, 0, s1·G + e1·P1); e0' == e0.
+  Point r0 = Secp256k1::MulAdd(proof.s0, Secp256k1::Generator(), proof.c0,
+                               keys[0]);
+  U256 e1 = BranchChallenge(proof.bit_commitment, 1, r0);
+  Point r1 =
+      Secp256k1::MulAdd(proof.s1, Secp256k1::Generator(), e1, keys[1]);
+  U256 e0 = BranchChallenge(proof.bit_commitment, 0, r1);
+  return e0 == proof.c0;
+}
+
+/// 2^k mod n (group order).
+U256 PowerOfTwo(size_t k) {
+  U256 two(2);
+  U256 result = U256::One();
+  for (size_t i = 0; i < k; ++i) result = ScalarMul(result, two);
+  return result;
+}
+
+}  // namespace
+
+common::Result<RangeProof> RangeProver::Prove(const Commitment& opening,
+                                              size_t bit_width,
+                                              common::Rng* rng) {
+  using common::Status;
+  if (bit_width == 0 || bit_width > 64) {
+    return Status::InvalidArgument("bit width must be in [1, 64]");
+  }
+  if (bit_width < 64 && (opening.value >> bit_width) != 0) {
+    return Status::InvalidArgument("value out of range for the bit width");
+  }
+
+  // Per-bit blindings r_i with Σ r_i·2^i == r (telescoped into the top
+  // bit: r_top = (r − Σ_{i<top} r_i·2^i) · (2^top)^(−1) mod n).
+  std::vector<U256> blindings(bit_width);
+  U256 partial = U256::Zero();
+  for (size_t i = 0; i + 1 < bit_width; ++i) {
+    blindings[i] = RandomScalar(rng);
+    partial = ScalarAdd(partial, ScalarMul(blindings[i], PowerOfTwo(i)));
+  }
+  U256 top_share = ScalarSub(opening.blinding, partial);
+  U256 top = ScalarMul(top_share, ScalarInv(PowerOfTwo(bit_width - 1)));
+  if (top.IsZero()) {
+    // Vanishing blinding would make the AOS secret zero; retry shifts it.
+    return Prove(opening, bit_width, rng);
+  }
+  blindings[bit_width - 1] = top;
+
+  RangeProof proof;
+  proof.bits.reserve(bit_width);
+  for (size_t i = 0; i < bit_width; ++i) {
+    int bit = static_cast<int>((opening.value >> i) & 1);
+    Commitment bit_commitment = Pedersen::CommitWithBlinding(
+        static_cast<uint64_t>(bit), blindings[i]);
+    proof.bits.push_back(
+        SignBit(bit_commitment.point, blindings[i], bit, rng));
+  }
+  TM_DCHECK(Verify(opening.point, proof));
+  return proof;
+}
+
+bool RangeProver::Verify(const Point& commitment, const RangeProof& proof) {
+  if (proof.bits.empty() || proof.bits.size() > 64) return false;
+  // Σ 2^i · B_i must reassemble the commitment.
+  Point sum = Point::Infinity();
+  for (size_t i = 0; i < proof.bits.size(); ++i) {
+    Point scaled = Secp256k1::Mul(PowerOfTwo(i), proof.bits[i].bit_commitment);
+    sum = Secp256k1::Add(sum, scaled);
+  }
+  if (sum != commitment) return false;
+  for (const BitProof& bit : proof.bits) {
+    if (!VerifyBit(bit)) return false;
+  }
+  return true;
+}
+
+}  // namespace tokenmagic::crypto

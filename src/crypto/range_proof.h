@@ -1,0 +1,53 @@
+// Bit-decomposition range proofs for Pedersen commitments.
+//
+// Proves that a commitment C = r*G + v*H hides a value v in [0, 2^n)
+// without revealing v, in the style of Monero's pre-Bulletproof
+// Borromean range proofs:
+//
+//  * the prover publishes one commitment B_i per bit, with
+//    C == Σ B_i · 2^i (the blinding factors are chosen to telescope);
+//  * for each B_i it gives an OR-proof (a 2-ring AOS signature over
+//    base G) that B_i commits to 0 (B_i = r_i·G) or to 1
+//    (B_i − H = r_i·G), without revealing which.
+//
+// Proof size is linear in n (n·(1 point + 2 scalars) + n·1 point); this
+// is intentionally the simple, auditable construction — Bulletproofs are
+// out of scope (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/pedersen.h"
+
+namespace tokenmagic::crypto {
+
+/// One bit's OR-proof: an AOS 2-ring signature over {B, B − H} on base G.
+struct BitProof {
+  Point bit_commitment;  ///< B_i
+  U256 c0;               ///< initial ring challenge
+  U256 s0, s1;           ///< per-branch responses
+};
+
+/// A complete range proof for one commitment.
+struct RangeProof {
+  std::vector<BitProof> bits;  ///< least-significant bit first
+
+  size_t bit_width() const { return bits.size(); }
+};
+
+class RangeProver {
+ public:
+  /// Proves `opening.value` ∈ [0, 2^bit_width). Fails with
+  /// InvalidArgument when the value does not fit.
+  static common::Result<RangeProof> Prove(const Commitment& opening,
+                                          size_t bit_width,
+                                          common::Rng* rng);
+
+  /// Verifies that `commitment` hides a value in [0, 2^proof.bit_width()).
+  static bool Verify(const Point& commitment, const RangeProof& proof);
+};
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,61 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/field.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::crypto {
+
+namespace {
+
+U256 Challenge(const Point& r, const Point& pub, std::string_view message) {
+  Sha256 hasher;
+  hasher.Update("tokenmagic/schnorr");
+  auto r_enc = r.Encode();
+  hasher.Update(r_enc.data(), r_enc.size());
+  auto p_enc = pub.Encode();
+  hasher.Update(p_enc.data(), p_enc.size());
+  hasher.Update(message);
+  auto digest = hasher.Finalize();
+  U256 c = ScalarReduce(U256::FromBytes(digest.data()));
+  if (c.IsZero()) c = U256::One();  // negligible-probability edge
+  return c;
+}
+
+}  // namespace
+
+SchnorrSignature Schnorr::Sign(const Keypair& key, std::string_view message,
+                               common::Rng* rng) {
+  // Hedged nonce: mix rng output with H(secret || message) so that even a
+  // broken rng cannot produce a repeated nonce for distinct messages.
+  U256 nonce;
+  do {
+    Sha256 hasher;
+    hasher.Update("tokenmagic/schnorr-nonce");
+    auto sk = key.secret.ToBytes();
+    hasher.Update(sk.data(), sk.size());
+    hasher.Update(message);
+    uint64_t salt[2] = {rng->Next(), rng->Next()};
+    hasher.Update(reinterpret_cast<const uint8_t*>(salt), sizeof(salt));
+    auto digest = hasher.Finalize();
+    nonce = ScalarReduce(U256::FromBytes(digest.data()));
+  } while (nonce.IsZero());
+
+  Point r = Secp256k1::MulBase(nonce);
+  U256 c = Challenge(r, key.pub, message);
+  // s = nonce - c*x mod n; verification computes R' = s*G + c*P.
+  U256 s = ScalarSub(nonce, ScalarMul(c, key.secret));
+  return SchnorrSignature{c, s};
+}
+
+bool Schnorr::Verify(const Point& pub, std::string_view message,
+                     const SchnorrSignature& sig) {
+  if (pub.infinity || !Secp256k1::IsOnCurve(pub)) return false;
+  if (sig.challenge.IsZero() || sig.challenge >= GroupOrder()) return false;
+  if (sig.response >= GroupOrder()) return false;
+  Point r = Secp256k1::MulAdd(sig.response, Secp256k1::Generator(),
+                              sig.challenge, pub);
+  if (r.infinity) return false;
+  return Challenge(r, pub, message) == sig.challenge;
+}
+
+}  // namespace tokenmagic::crypto

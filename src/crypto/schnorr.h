@@ -1,0 +1,34 @@
+// Schnorr signatures over secp256k1 (Fiat-Shamir transformed).
+//
+// Used for plain (non-ring) transaction authorization in examples and as a
+// correctness anchor for the group arithmetic: a Schnorr verify exercises
+// the same MulAdd path that LSAG verification depends on.
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "crypto/keys.h"
+#include "crypto/secp256k1.h"
+
+namespace tokenmagic::crypto {
+
+/// A Schnorr signature (challenge-response form).
+struct SchnorrSignature {
+  U256 challenge;  ///< c = H(R || P || m)
+  U256 response;   ///< s = k - c*x  (mod n)
+};
+
+class Schnorr {
+ public:
+  /// Signs `message` with `key`. `rng` supplies the nonce (hedged with a
+  /// hash of the secret and message so a weak rng cannot repeat nonces).
+  static SchnorrSignature Sign(const Keypair& key, std::string_view message,
+                               common::Rng* rng);
+
+  /// Verifies: recompute R' = s*G + c*P and check H(R' || P || m) == c.
+  static bool Verify(const Point& pub, std::string_view message,
+                     const SchnorrSignature& sig);
+};
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,243 @@
+#include "crypto/secp256k1.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::crypto {
+
+namespace {
+
+// Jacobian projective point: (X, Y, Z) representing (X/Z^2, Y/Z^3).
+struct Jacobian {
+  U256 x;
+  U256 y;
+  U256 z;  // z == 0 encodes the identity
+
+  static Jacobian Identity() {
+    return Jacobian{U256::One(), U256::One(), U256::Zero()};
+  }
+  bool IsIdentity() const { return z.IsZero(); }
+};
+
+Jacobian ToJacobian(const Point& p) {
+  if (p.infinity) return Jacobian::Identity();
+  return Jacobian{p.x, p.y, U256::One()};
+}
+
+Point ToAffine(const Jacobian& j) {
+  if (j.IsIdentity()) return Point::Infinity();
+  U256 z_inv = FieldInv(j.z);
+  U256 z_inv2 = FieldSqr(z_inv);
+  U256 z_inv3 = FieldMul(z_inv2, z_inv);
+  Point p;
+  p.x = FieldMul(j.x, z_inv2);
+  p.y = FieldMul(j.y, z_inv3);
+  p.infinity = false;
+  return p;
+}
+
+// Doubling in Jacobian coordinates ("dbl-2007-bl" simplified for a = 0).
+Jacobian JacobianDouble(const Jacobian& p) {
+  if (p.IsIdentity() || p.y.IsZero()) return Jacobian::Identity();
+  U256 a = FieldSqr(p.x);                    // X^2
+  U256 b = FieldSqr(p.y);                    // Y^2
+  U256 c = FieldSqr(b);                      // Y^4
+  // D = 2*((X + B)^2 - A - C)
+  U256 x_plus_b = FieldAdd(p.x, b);
+  U256 d = FieldSub(FieldSub(FieldSqr(x_plus_b), a), c);
+  d = FieldAdd(d, d);
+  U256 e = FieldAdd(FieldAdd(a, a), a);      // 3*X^2 (a=0 curve)
+  U256 f = FieldSqr(e);
+  Jacobian out;
+  out.x = FieldSub(f, FieldAdd(d, d));       // F - 2D
+  U256 c8 = FieldAdd(c, c);
+  c8 = FieldAdd(c8, c8);
+  c8 = FieldAdd(c8, c8);                     // 8*Y^4
+  out.y = FieldSub(FieldMul(e, FieldSub(d, out.x)), c8);
+  out.z = FieldMul(FieldAdd(p.y, p.y), p.z); // 2*Y*Z
+  return out;
+}
+
+// Mixed/general addition in Jacobian coordinates ("add-2007-bl").
+Jacobian JacobianAdd(const Jacobian& p, const Jacobian& q) {
+  if (p.IsIdentity()) return q;
+  if (q.IsIdentity()) return p;
+  U256 z1z1 = FieldSqr(p.z);
+  U256 z2z2 = FieldSqr(q.z);
+  U256 u1 = FieldMul(p.x, z2z2);
+  U256 u2 = FieldMul(q.x, z1z1);
+  U256 s1 = FieldMul(FieldMul(p.y, q.z), z2z2);
+  U256 s2 = FieldMul(FieldMul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (s1 == s2) return JacobianDouble(p);
+    return Jacobian::Identity();  // P + (-P)
+  }
+  U256 h = FieldSub(u2, u1);
+  U256 i = FieldSqr(FieldAdd(h, h));
+  U256 j = FieldMul(h, i);
+  U256 r = FieldSub(s2, s1);
+  r = FieldAdd(r, r);
+  U256 v = FieldMul(u1, i);
+  Jacobian out;
+  out.x = FieldSub(FieldSub(FieldSqr(r), j), FieldAdd(v, v));
+  U256 s1j = FieldMul(s1, j);
+  out.y = FieldSub(FieldMul(r, FieldSub(v, out.x)), FieldAdd(s1j, s1j));
+  U256 z_sum = FieldAdd(p.z, q.z);
+  out.z = FieldMul(FieldSub(FieldSub(FieldSqr(z_sum), z1z1), z2z2), h);
+  return out;
+}
+
+Jacobian JacobianMul(const U256& k, const Jacobian& p) {
+  Jacobian acc = Jacobian::Identity();
+  int top = k.HighestBit();
+  for (int i = top; i >= 0; --i) {
+    acc = JacobianDouble(acc);
+    if (k.Bit(i)) acc = JacobianAdd(acc, p);
+  }
+  return acc;
+}
+
+}  // namespace
+
+bool Point::operator==(const Point& other) const {
+  if (infinity || other.infinity) return infinity == other.infinity;
+  return x == other.x && y == other.y;
+}
+
+std::array<uint8_t, 33> Point::Encode() const {
+  std::array<uint8_t, 33> out{};
+  if (infinity) return out;  // all-zero marker
+  out[0] = y.IsOdd() ? 0x03 : 0x02;
+  auto xb = x.ToBytes();
+  std::memcpy(out.data() + 1, xb.data(), 32);
+  return out;
+}
+
+std::optional<Point> Point::Decode(const std::array<uint8_t, 33>& bytes) {
+  if (bytes[0] == 0) {
+    for (uint8_t b : bytes) {
+      if (b != 0) return std::nullopt;
+    }
+    return Point::Infinity();
+  }
+  if (bytes[0] != 0x02 && bytes[0] != 0x03) return std::nullopt;
+  U256 x = U256::FromBytes(bytes.data() + 1);
+  if (x >= FieldPrime()) return std::nullopt;
+  // y^2 = x^3 + 7
+  U256 rhs = FieldAdd(FieldMul(FieldSqr(x), x), U256(7));
+  U256 y;
+  if (!FieldSqrt(rhs, &y)) return std::nullopt;
+  bool want_odd = bytes[0] == 0x03;
+  if (y.IsOdd() != want_odd) y = FieldNeg(y);
+  Point p;
+  p.x = x;
+  p.y = y;
+  p.infinity = false;
+  return p;
+}
+
+std::string Point::ToString() const {
+  if (infinity) return "Point(infinity)";
+  return "Point(x=" + x.ToHex() + ", y=" + y.ToHex() + ")";
+}
+
+const Point& Secp256k1::Generator() {
+  static const Point kGenerator = [] {
+    Point g;
+    TM_CHECK(U256::FromHex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+        &g.x));
+    TM_CHECK(U256::FromHex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8",
+        &g.y));
+    g.infinity = false;
+    return g;
+  }();
+  return kGenerator;
+}
+
+bool Secp256k1::IsOnCurve(const Point& p) {
+  if (p.infinity) return true;
+  if (p.x >= FieldPrime() || p.y >= FieldPrime()) return false;
+  U256 lhs = FieldSqr(p.y);
+  U256 rhs = FieldAdd(FieldMul(FieldSqr(p.x), p.x), U256(7));
+  return lhs == rhs;
+}
+
+Point Secp256k1::Add(const Point& a, const Point& b) {
+  return ToAffine(JacobianAdd(ToJacobian(a), ToJacobian(b)));
+}
+
+Point Secp256k1::Double(const Point& p) {
+  return ToAffine(JacobianDouble(ToJacobian(p)));
+}
+
+Point Secp256k1::Negate(const Point& p) {
+  if (p.infinity) return p;
+  Point out = p;
+  out.y = FieldNeg(p.y);
+  return out;
+}
+
+Point Secp256k1::Mul(const U256& k, const Point& p) {
+  if (k.IsZero() || p.infinity) return Point::Infinity();
+  return ToAffine(JacobianMul(k, ToJacobian(p)));
+}
+
+Point Secp256k1::MulBase(const U256& k) { return Mul(k, Generator()); }
+
+Point Secp256k1::MulAdd(const U256& a, const Point& p, const U256& b,
+                        const Point& q) {
+  // Interleaved double-and-add over both scalars (Shamir's trick).
+  Jacobian jp = ToJacobian(p);
+  Jacobian jq = ToJacobian(q);
+  Jacobian sum = JacobianAdd(jp, jq);
+  Jacobian acc = Jacobian::Identity();
+  int top = std::max(a.HighestBit(), b.HighestBit());
+  for (int i = top; i >= 0; --i) {
+    acc = JacobianDouble(acc);
+    bool bit_a = i <= a.HighestBit() && a.Bit(i);
+    bool bit_b = i <= b.HighestBit() && b.Bit(i);
+    if (bit_a && bit_b) {
+      acc = JacobianAdd(acc, sum);
+    } else if (bit_a) {
+      acc = JacobianAdd(acc, jp);
+    } else if (bit_b) {
+      acc = JacobianAdd(acc, jq);
+    }
+  }
+  return ToAffine(acc);
+}
+
+Point Secp256k1::HashToPoint(const uint8_t* data, size_t size,
+                             std::string_view domain_tag) {
+  for (uint32_t counter = 0;; ++counter) {
+    Sha256 hasher;
+    hasher.Update(domain_tag);
+    hasher.Update(data, size);
+    uint8_t counter_bytes[4] = {
+        static_cast<uint8_t>(counter >> 24), static_cast<uint8_t>(counter >> 16),
+        static_cast<uint8_t>(counter >> 8), static_cast<uint8_t>(counter)};
+    hasher.Update(counter_bytes, 4);
+    auto digest = hasher.Finalize();
+    U256 x = U256::FromBytes(digest.data());
+    if (x >= FieldPrime()) continue;
+    U256 rhs = FieldAdd(FieldMul(FieldSqr(x), x), U256(7));
+    U256 y;
+    if (!FieldSqrt(rhs, &y)) continue;
+    // Pick the even-y representative deterministically.
+    if (y.IsOdd()) y = FieldNeg(y);
+    Point p;
+    p.x = x;
+    p.y = y;
+    p.infinity = false;
+    TM_DCHECK(IsOnCurve(p));
+    return p;
+  }
+}
+
+}  // namespace tokenmagic::crypto

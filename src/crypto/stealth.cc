@@ -1,0 +1,64 @@
+#include "crypto/stealth.h"
+
+#include "common/macros.h"
+#include "crypto/field.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::crypto {
+
+namespace {
+
+/// H_s: shared point -> scalar (domain-separated).
+U256 SharedScalar(const Point& shared) {
+  auto enc = shared.Encode();
+  return HashToScalar(enc.data(), enc.size(), "tokenmagic/stealth");
+}
+
+}  // namespace
+
+StealthAddress StealthAddress::Generate(common::Rng* rng) {
+  StealthAddress address;
+  address.view = Keypair::Generate(rng);
+  address.spend = Keypair::Generate(rng);
+  return address;
+}
+
+StealthOutput Stealth::Derive(const StealthAddress::Public& recipient,
+                              common::Rng* rng) {
+  TM_CHECK(!recipient.view.infinity && !recipient.spend.infinity);
+  // Fresh transaction key r (never reused across outputs).
+  Keypair tx_key = Keypair::Generate(rng);
+  // Shared secret r·A, hashed to a scalar.
+  Point shared = Secp256k1::Mul(tx_key.secret, recipient.view);
+  U256 h = SharedScalar(shared);
+  // P = h·G + B.
+  StealthOutput output;
+  output.one_time_key =
+      Secp256k1::Add(Secp256k1::MulBase(h), recipient.spend);
+  output.tx_pubkey = tx_key.pub;
+  return output;
+}
+
+bool Stealth::IsMine(const StealthAddress& wallet,
+                     const StealthOutput& output) {
+  // a·R == r·A: recompute the candidate one-time key.
+  Point shared = Secp256k1::Mul(wallet.view.secret, output.tx_pubkey);
+  U256 h = SharedScalar(shared);
+  Point candidate =
+      Secp256k1::Add(Secp256k1::MulBase(h), wallet.spend.pub);
+  return candidate == output.one_time_key;
+}
+
+std::optional<Keypair> Stealth::RecoverKey(const StealthAddress& wallet,
+                                           const StealthOutput& output) {
+  if (!IsMine(wallet, output)) return std::nullopt;
+  Point shared = Secp256k1::Mul(wallet.view.secret, output.tx_pubkey);
+  U256 h = SharedScalar(shared);
+  Keypair key;
+  key.secret = ScalarAdd(h, wallet.spend.secret);
+  key.pub = Secp256k1::MulBase(key.secret);
+  TM_DCHECK(key.pub == output.one_time_key);
+  return key;
+}
+
+}  // namespace tokenmagic::crypto

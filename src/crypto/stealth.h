@@ -1,0 +1,57 @@
+// Monero-style stealth (one-time) addresses.
+//
+// A recipient publishes a long-term address (A, B) = (a·G, b·G) — the
+// view and spend keys. For each payment the sender draws a fresh
+// transaction key r, publishes R = r·G, and derives the one-time output
+// key  P = H_s(r·A)·G + B.  The recipient detects the payment by
+// computing H_s(a·R) (the shared Diffie-Hellman secret, since
+// r·A = a·R) and recovers the full secret key  x = H_s(a·R) + b,  which
+// signs LSAGs for that output. Third parties cannot link P to (A, B).
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "crypto/keys.h"
+#include "crypto/secp256k1.h"
+
+namespace tokenmagic::crypto {
+
+/// A long-term wallet address: view keypair (a, A) + spend keypair (b, B).
+struct StealthAddress {
+  Keypair view;
+  Keypair spend;
+
+  /// The public part (A, B) a payer needs.
+  struct Public {
+    Point view;
+    Point spend;
+  };
+  Public public_address() const { return {view.pub, spend.pub}; }
+
+  static StealthAddress Generate(common::Rng* rng);
+};
+
+/// What a sender attaches to an output.
+struct StealthOutput {
+  Point one_time_key;  ///< P — the output's on-chain key
+  Point tx_pubkey;     ///< R — published beside the output
+};
+
+class Stealth {
+ public:
+  /// Sender side: derives a fresh one-time key for `recipient`.
+  static StealthOutput Derive(const StealthAddress::Public& recipient,
+                              common::Rng* rng);
+
+  /// Recipient side: true iff `output` was addressed to this wallet.
+  static bool IsMine(const StealthAddress& wallet,
+                     const StealthOutput& output);
+
+  /// Recipient side: recovers the one-time secret key for an owned
+  /// output (nullopt when the output is not addressed to the wallet).
+  static std::optional<Keypair> RecoverKey(const StealthAddress& wallet,
+                                           const StealthOutput& output);
+};
+
+}  // namespace tokenmagic::crypto

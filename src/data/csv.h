@@ -1,0 +1,37 @@
+// CSV import/export of datasets and experiment results.
+//
+// The on-disk layout is two flat files:
+//   tokens.csv : token_id,ht_id
+//   rings.csv  : rs_id,proposed_at,c,ell,member;member;...
+// so that a dataset produced elsewhere (e.g. a real chain extractor) can
+// be dropped in and run through the same harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace tokenmagic::data {
+
+/// Writes tokens.csv-format content for `ds` (token_id,ht_id rows with a
+/// header line).
+std::string TokensToCsv(const Dataset& ds);
+
+/// Writes rings.csv-format content for `ds`.
+std::string RingsToCsv(const Dataset& ds);
+
+/// Parses both files back into a dataset (blockchain reconstructed with
+/// one transaction per distinct HT; ground truth is not serialized).
+common::Result<Dataset> DatasetFromCsv(const std::string& tokens_csv,
+                                       const std::string& rings_csv);
+
+/// Saves both files under `directory` (created if needed).
+common::Status SaveDataset(const Dataset& ds, const std::string& directory);
+
+/// Loads a dataset saved by SaveDataset.
+common::Result<Dataset> LoadDataset(const std::string& directory);
+
+}  // namespace tokenmagic::data

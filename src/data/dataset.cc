@@ -1,0 +1,20 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+namespace tokenmagic::data {
+
+std::vector<chain::TokenId> Dataset::UnspentTokens() const {
+  std::unordered_set<chain::TokenId> spent;
+  for (const chain::TokenRsPair& pair : ground_truth) {
+    spent.insert(pair.token);
+  }
+  std::vector<chain::TokenId> out;
+  out.reserve(universe.size() - spent.size());
+  for (chain::TokenId t : universe) {
+    if (spent.count(t) == 0) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace tokenmagic::data

@@ -1,0 +1,31 @@
+// Experiment datasets: a blockchain, its token->HT index, and a pre-
+// existing RS history over one mixin universe, matching the experimental
+// setup of Section 7.1.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/blockchain.h"
+#include "chain/types.h"
+
+namespace tokenmagic::data {
+
+/// A fully materialized problem universe.
+struct Dataset {
+  chain::Blockchain blockchain;
+  analysis::HtIndex index;
+  /// The mixin universe T (all tokens, creation order).
+  std::vector<chain::TokenId> universe;
+  /// Pre-existing RSs (the super RSs of the setup), proposal order.
+  std::vector<chain::RsView> history;
+  /// Fresh tokens (universe members in no history RS).
+  std::vector<chain::TokenId> fresh;
+  /// Ground-truth spends of the history RSs (for attack evaluation only).
+  std::vector<chain::TokenRsPair> ground_truth;
+
+  /// Tokens not yet spent according to the ground truth.
+  std::vector<chain::TokenId> UnspentTokens() const;
+};
+
+}  // namespace tokenmagic::data

@@ -1,0 +1,122 @@
+#include "data/monero_like.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace tokenmagic::data {
+
+std::vector<uint32_t> BuildOutputCounts(size_t num_transactions,
+                                        size_t num_tokens) {
+  TM_CHECK(num_transactions >= 1);
+  TM_CHECK(num_tokens >= num_transactions);
+
+  // Start with the observed long-tail shape: one 16-output transaction
+  // (Monero's historical maximum), a few mid-sized ones, a band of
+  // 1- and 3-output transactions, and the bulk at 2 outputs.
+  std::vector<uint32_t> counts;
+  auto push_n = [&counts, num_transactions](size_t n, uint32_t value) {
+    for (size_t i = 0; i < n && counts.size() < num_transactions; ++i) {
+      counts.push_back(value);
+    }
+  };
+  if (num_transactions >= 100) {
+    push_n(1, 16);
+    push_n(1, 8);
+    push_n(2, 6);
+    push_n(3, 5);
+    push_n(8, 4);
+    push_n(num_transactions / 8, 3);
+    push_n(num_transactions / 10, 1);
+  }
+  while (counts.size() < num_transactions) counts.push_back(2);
+
+  // Balance the residual token count by flipping 2s to 1s or 3s (and, if
+  // those run out, nudging other entries), preserving the 2-output mode.
+  auto total = [&counts]() {
+    size_t sum = 0;
+    for (uint32_t c : counts) sum += c;
+    return sum;
+  };
+  size_t sum = total();
+  size_t guard = 0;
+  while (sum != num_tokens) {
+    TM_CHECK(++guard < 10 * num_tokens);
+    if (sum < num_tokens) {
+      auto it = std::find(counts.begin(), counts.end(), 2u);
+      if (it != counts.end()) {
+        *it = 3;
+      } else {
+        counts.back() += 1;
+      }
+      ++sum;
+    } else {
+      auto it = std::find(counts.begin(), counts.end(), 2u);
+      if (it != counts.end() && sum - num_tokens >= 1) {
+        *it = 1;
+      } else {
+        auto big = std::max_element(counts.begin(), counts.end());
+        TM_CHECK(*big > 1);
+        *big -= 1;
+      }
+      --sum;
+    }
+  }
+  TM_CHECK(counts.size() == num_transactions);
+  return counts;
+}
+
+Dataset MakeMoneroLikeTrace(const MoneroLikeParams& params) {
+  TM_CHECK(params.super_rs_count * params.super_rs_size <=
+           params.num_tokens);
+  common::Rng rng(params.seed);
+  Dataset ds;
+
+  std::vector<uint32_t> counts =
+      BuildOutputCounts(params.num_transactions, params.num_tokens);
+  // Shuffle so heavy transactions land in arbitrary blocks.
+  rng.Shuffle(&counts);
+
+  // Spread transactions across the block range roughly evenly.
+  size_t txs_per_block =
+      (params.num_transactions + params.num_blocks - 1) / params.num_blocks;
+  size_t next_tx = 0;
+  for (size_t b = 0; b < params.num_blocks && next_tx < counts.size(); ++b) {
+    std::vector<uint32_t> block_counts;
+    for (size_t i = 0; i < txs_per_block && next_tx < counts.size(); ++i) {
+      block_counts.push_back(counts[next_tx++]);
+    }
+    ds.blockchain.AddBlock(static_cast<chain::Timestamp>(b), block_counts);
+  }
+  TM_CHECK(ds.blockchain.token_count() == params.num_tokens);
+
+  ds.index = analysis::HtIndex::FromBlockchain(ds.blockchain);
+  ds.universe = ds.blockchain.AllTokens();
+
+  // Partition tokens into super RSs of exactly super_rs_size tokens each
+  // ("each super RS randomly selects 11 tokens"); the remainder is fresh.
+  std::vector<chain::TokenId> shuffled = ds.universe;
+  rng.Shuffle(&shuffled);
+  size_t cursor = 0;
+  for (size_t s = 0; s < params.super_rs_count; ++s) {
+    chain::RsView view;
+    view.id = static_cast<chain::RsId>(s);
+    view.proposed_at = static_cast<chain::Timestamp>(s);
+    view.requirement = chain::DiversityRequirement{1.0, 1};
+    for (size_t i = 0; i < params.super_rs_size; ++i) {
+      view.members.push_back(shuffled[cursor++]);
+    }
+    std::sort(view.members.begin(), view.members.end());
+    // Ground truth: the spend is a uniformly random member.
+    chain::TokenId spent =
+        view.members[rng.NextBounded(view.members.size())];
+    ds.ground_truth.push_back(chain::TokenRsPair{spent, view.id});
+    ds.history.push_back(std::move(view));
+  }
+  while (cursor < shuffled.size()) ds.fresh.push_back(shuffled[cursor++]);
+  std::sort(ds.fresh.begin(), ds.fresh.end());
+  return ds;
+}
+
+}  // namespace tokenmagic::data

@@ -1,0 +1,77 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace tokenmagic::data {
+
+Dataset MakeSyntheticDataset(const SyntheticParams& params) {
+  TM_CHECK(params.super_size_min >= 1);
+  TM_CHECK(params.super_size_min <= params.super_size_max);
+  TM_CHECK(params.sigma > 0.0);
+  common::Rng rng(params.seed);
+  Dataset ds;
+
+  // Draw super-RS sizes and the total token count.
+  std::vector<size_t> super_sizes;
+  size_t total_tokens = params.num_fresh;
+  for (size_t s = 0; s < params.num_super_rs; ++s) {
+    size_t size = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(params.super_size_min),
+                    static_cast<int64_t>(params.super_size_max)));
+    super_sizes.push_back(size);
+    total_tokens += size;
+  }
+
+  // Sample a discrete-normal HT label per token, then group labels into
+  // transactions: all tokens sharing a label come from one HT.
+  std::vector<int64_t> labels;
+  labels.reserve(total_tokens);
+  for (size_t i = 0; i < total_tokens; ++i) {
+    labels.push_back(
+        static_cast<int64_t>(std::llround(rng.NextGaussian() * params.sigma)));
+  }
+  std::map<int64_t, uint32_t> label_counts;
+  for (int64_t label : labels) ++label_counts[label];
+
+  // One block holding one transaction per distinct label (ascending).
+  std::vector<uint32_t> output_counts;
+  output_counts.reserve(label_counts.size());
+  for (const auto& [label, count] : label_counts) {
+    output_counts.push_back(count);
+  }
+  ds.blockchain.AddBlock(0, output_counts);
+  TM_CHECK(ds.blockchain.token_count() == total_tokens);
+
+  ds.index = analysis::HtIndex::FromBlockchain(ds.blockchain);
+  ds.universe = ds.blockchain.AllTokens();
+
+  // Random partition into super RSs + fresh.
+  std::vector<chain::TokenId> shuffled = ds.universe;
+  rng.Shuffle(&shuffled);
+  size_t cursor = 0;
+  for (size_t s = 0; s < params.num_super_rs; ++s) {
+    chain::RsView view;
+    view.id = static_cast<chain::RsId>(s);
+    view.proposed_at = static_cast<chain::Timestamp>(s);
+    view.requirement = chain::DiversityRequirement{1.0, 1};
+    for (size_t i = 0; i < super_sizes[s]; ++i) {
+      view.members.push_back(shuffled[cursor++]);
+    }
+    std::sort(view.members.begin(), view.members.end());
+    chain::TokenId spent =
+        view.members[rng.NextBounded(view.members.size())];
+    ds.ground_truth.push_back(chain::TokenRsPair{spent, view.id});
+    ds.history.push_back(std::move(view));
+  }
+  while (cursor < shuffled.size()) ds.fresh.push_back(shuffled[cursor++]);
+  std::sort(ds.fresh.begin(), ds.fresh.end());
+  TM_CHECK(ds.fresh.size() == params.num_fresh);
+  return ds;
+}
+
+}  // namespace tokenmagic::data

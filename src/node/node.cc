@@ -1,0 +1,99 @@
+#include "node/node.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace tokenmagic::node {
+
+Node::Node(NodeConfig config) : config_(config) { RebuildIndices(); }
+
+void Node::RebuildIndices() {
+  ht_index_ = analysis::HtIndex::FromBlockchain(bc_);
+  batches_ = std::make_unique<core::BatchIndex>(bc_, config_.lambda);
+}
+
+std::vector<std::vector<chain::TokenId>> Node::Genesis(
+    const std::vector<std::vector<crypto::Point>>& grants) {
+  TM_CHECK(bc_.block_count() == 0);
+  std::vector<std::vector<chain::TokenId>> minted;
+  bc_.BeginBlock(clock_++);
+  for (const auto& grant : grants) {
+    TM_CHECK(!grant.empty());
+    chain::TxId tx = bc_.AddTransaction(static_cast<uint32_t>(grant.size()));
+    const auto& outputs = bc_.transaction(tx).outputs;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      keys_.Register(outputs[i], grant[i]);
+    }
+    minted.push_back(outputs);
+  }
+  bc_.EndBlock();
+  RebuildIndices();
+  return minted;
+}
+
+Verifier Node::MakeVerifier() const {
+  return Verifier(&bc_, &ledger_, batches_.get(), &ht_index_, &keys_,
+                  &spent_images_, config_.verifier);
+}
+
+common::Status Node::SubmitTransaction(SignedTransaction tx,
+                                       std::vector<crypto::Point> keys) {
+  if (keys.size() != tx.output_count) {
+    return common::Status::InvalidArgument(
+        "output key count does not match output_count");
+  }
+  TM_RETURN_NOT_OK(MakeVerifier().Verify(tx));
+  // Also reject key images already sitting in the mempool.
+  for (const PendingTx& pending : mempool_) {
+    for (const TxInput& mine : pending.tx.inputs) {
+      for (const TxInput& theirs : tx.inputs) {
+        if (mine.signature.key_image == theirs.signature.key_image) {
+          return common::Status::VerificationFailed(
+              "key image already pending in the mempool");
+        }
+      }
+    }
+  }
+  mempool_.push_back(PendingTx{std::move(tx), std::move(keys)});
+  return common::Status::OK();
+}
+
+MinedBlock Node::MineBlock() {
+  MinedBlock mined;
+  bc_.BeginBlock(clock_++);
+  size_t accepted = 0;
+  std::deque<PendingTx> pool;
+  pool.swap(mempool_);
+  while (!pool.empty()) {
+    PendingTx pending = std::move(pool.front());
+    pool.pop_front();
+    // Re-verify against the evolving state (an earlier transaction in
+    // this very block may have consumed a key image or broken the
+    // configuration).
+    if (!MakeVerifier().Verify(pending.tx).ok()) continue;
+
+    for (const TxInput& input : pending.tx.inputs) {
+      TM_CHECK(spent_images_.Register(input.signature.key_image).ok());
+      auto image_enc = input.signature.key_image.Encode();
+      spent_image_hex_.push_back(
+          common::HexEncode(image_enc.data(), image_enc.size()));
+      auto rs = ledger_.ProposeBlind(input.ring, input.requirement);
+      TM_CHECK(rs.ok());
+    }
+    chain::TxId tx_id =
+        bc_.AddTransaction(pending.tx.output_count);
+    const auto& outputs = bc_.transaction(tx_id).outputs;
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      keys_.Register(outputs[i], pending.output_keys[i]);
+    }
+    mined.outputs.push_back(outputs);
+    ++accepted;
+  }
+  bc_.EndBlock();
+  mined.height = bc_.block_count() - 1;
+  mined.transactions = accepted;
+  RebuildIndices();
+  return mined;
+}
+
+}  // namespace tokenmagic::node

@@ -1,0 +1,98 @@
+// A full node: owns the chain state, verifies incoming transactions
+// (Step 3), pools them, and mines blocks that mint the outputs and
+// append the ring signatures to the public ledger.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "analysis/ht_index.h"
+#include "chain/blockchain.h"
+#include "chain/ledger.h"
+#include "core/batch.h"
+#include "crypto/lsag.h"
+#include "node/types.h"
+#include "node/verifier.h"
+
+namespace tokenmagic::node {
+
+struct NodeConfig {
+  size_t lambda = 64;  ///< batch threshold (Section 4)
+  VerifierPolicy verifier;
+};
+
+/// Outcome of mining one block.
+struct MinedBlock {
+  chain::BlockHeight height = 0;
+  size_t transactions = 0;
+  /// Fresh tokens minted, in order, per transaction.
+  std::vector<std::vector<chain::TokenId>> outputs;
+};
+
+class Node {
+ public:
+  explicit Node(NodeConfig config = {});
+
+  /// Seeds the chain with a genesis block of `grants` transactions, the
+  /// i-th minting grants[i].size() tokens with the given output keys.
+  /// Returns the minted token ids per grant.
+  std::vector<std::vector<chain::TokenId>> Genesis(
+      const std::vector<std::vector<crypto::Point>>& grants);
+
+  /// Verifies and pools a transaction. Rejected transactions are not
+  /// pooled and the failed check is returned.
+  common::Status SubmitTransaction(SignedTransaction tx,
+                                   std::vector<crypto::Point> output_keys);
+
+  size_t mempool_size() const { return mempool_.size(); }
+
+  /// Mines every pooled transaction into one block: re-verifies (state
+  /// may have changed), registers key images, appends rings to the
+  /// ledger, and mints outputs with their announced keys.
+  MinedBlock MineBlock();
+
+  // Read-only chain state.
+  const chain::Blockchain& blockchain() const { return bc_; }
+  const chain::Ledger& ledger() const { return ledger_; }
+  const analysis::HtIndex& ht_index() const { return ht_index_; }
+  const core::BatchIndex& batches() const { return *batches_; }
+  const KeyDirectory& keys() const { return keys_; }
+  const crypto::KeyImageRegistry& spent_images() const {
+    return spent_images_;
+  }
+
+  /// Hex encodings of every spent key image, in registration order
+  /// (snapshot serialization; the registry itself is opaque).
+  const std::vector<std::string>& SpentImageHexList() const {
+    return spent_image_hex_;
+  }
+
+  /// A fresh verifier bound to the current state.
+  Verifier MakeVerifier() const;
+
+ private:
+  void RebuildIndices();
+
+  /// Snapshot restore rebuilds private state directly (node/snapshot.h).
+  friend common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
+      const std::string& snapshot, NodeConfig config);
+
+  NodeConfig config_;
+  chain::Blockchain bc_;
+  chain::Ledger ledger_;
+  analysis::HtIndex ht_index_;
+  std::unique_ptr<core::BatchIndex> batches_;
+  KeyDirectory keys_;
+  crypto::KeyImageRegistry spent_images_;
+  std::vector<std::string> spent_image_hex_;
+
+  struct PendingTx {
+    SignedTransaction tx;
+    std::vector<crypto::Point> output_keys;
+  };
+  std::deque<PendingTx> mempool_;
+  chain::Timestamp clock_ = 0;
+};
+
+}  // namespace tokenmagic::node

@@ -1,0 +1,37 @@
+// Node state snapshots: serialize the full public chain state (blocks,
+// transactions, ring-signature ledger, output keys, spent key images) to
+// a single text file and restore it. The format is line-oriented and
+// versioned so snapshots survive library upgrades with a clear error
+// instead of silent misparses.
+//
+// Layout (one record per line, fields comma-separated, '#' comments):
+//   tokenmagic-snapshot v1
+//   block,<height>,<time>
+//   tx,<block_height>,<output_count>
+//   rs,<proposed_at>,<c>,<ell>,<member;member;...>
+//   key,<token_id>,<hex 33-byte point>
+//   image,<hex 33-byte point>
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "node/node.h"
+
+namespace tokenmagic::node {
+
+/// Serializes `node`'s public state. Wallet secrets are never included.
+std::string SnapshotToString(const Node& node);
+
+/// Restores a node from a snapshot produced by SnapshotToString. The
+/// returned node has an empty mempool and verifies new transactions
+/// against the restored state.
+common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
+    const std::string& snapshot, NodeConfig config = {});
+
+/// File convenience wrappers.
+common::Status SaveSnapshot(const Node& node, const std::string& path);
+common::Result<std::unique_ptr<Node>> LoadSnapshot(const std::string& path,
+                                                   NodeConfig config = {});
+
+}  // namespace tokenmagic::node

@@ -1,0 +1,39 @@
+#include "node/types.h"
+
+#include "common/strings.h"
+#include "crypto/sha256.h"
+
+namespace tokenmagic::node {
+
+std::string SignedTransaction::SigningMessage(size_t input_index) const {
+  // Hash the ring so tampering with any member invalidates the LSAG even
+  // before ring-key binding is checked.
+  crypto::Sha256 hasher;
+  hasher.Update("tokenmagic/tx");
+  hasher.Update(memo);
+  uint8_t meta[8] = {
+      static_cast<uint8_t>(output_count >> 24),
+      static_cast<uint8_t>(output_count >> 16),
+      static_cast<uint8_t>(output_count >> 8),
+      static_cast<uint8_t>(output_count),
+      static_cast<uint8_t>(input_index >> 24),
+      static_cast<uint8_t>(input_index >> 16),
+      static_cast<uint8_t>(input_index >> 8),
+      static_cast<uint8_t>(input_index),
+  };
+  hasher.Update(meta, sizeof(meta));
+  if (input_index < inputs.size()) {
+    for (chain::TokenId t : inputs[input_index].ring) {
+      uint8_t token_bytes[8];
+      for (int i = 0; i < 8; ++i) {
+        token_bytes[i] = static_cast<uint8_t>(t >> (8 * i));
+      }
+      hasher.Update(token_bytes, 8);
+    }
+  }
+  auto digest = hasher.Finalize();
+  return std::string(reinterpret_cast<const char*>(digest.data()),
+                     digest.size());
+}
+
+}  // namespace tokenmagic::node

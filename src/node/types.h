@@ -1,0 +1,32 @@
+// Wire types exchanged between wallets and nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/types.h"
+#include "crypto/lsag.h"
+
+namespace tokenmagic::node {
+
+/// One ring-signature input of a transaction: the ring (token ids), the
+/// creator's declared diversity requirement, and the LSAG proving
+/// ownership of exactly one ring member (which one stays hidden).
+struct TxInput {
+  std::vector<chain::TokenId> ring;  ///< sorted ascending, unique
+  chain::DiversityRequirement requirement;
+  crypto::LsagSignature signature;
+};
+
+/// A transaction submitted to the mempool.
+struct SignedTransaction {
+  std::vector<TxInput> inputs;  ///< at least one
+  uint32_t output_count = 1;    ///< fresh tokens this transaction mints
+  std::string memo;             ///< bound into every input's signature
+
+  /// The message each input signs: memo | output_count | ring digest.
+  std::string SigningMessage(size_t input_index) const;
+};
+
+}  // namespace tokenmagic::node

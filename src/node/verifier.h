@@ -1,0 +1,78 @@
+// Step-3 verification (Section 2.1): what miners check before blocking a
+// ring-signature transaction.
+//
+// A transaction is accepted only if every input:
+//   1. references existing tokens of a single batch;
+//   2. carries a structurally valid LSAG whose ring keys match the
+//      chain's output keys for the referenced tokens, bound to the
+//      transaction message;
+//   3. has a fresh key image (double-spend guard);
+//   4. respects the first practical configuration against the batch's RS
+//      history (superset-of-or-disjoint-with every existing RS);
+//   5. meets its own declared recursive (c, ℓ)-diversity — at (c, ℓ+1)
+//      when the node enforces the second practical configuration.
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/ht_index.h"
+#include "chain/blockchain.h"
+#include "chain/ledger.h"
+#include "common/status.h"
+#include "core/batch.h"
+#include "crypto/lsag.h"
+#include "node/types.h"
+
+namespace tokenmagic::node {
+
+/// Chain-side registry of each token's one-time output key.
+class KeyDirectory {
+ public:
+  void Register(chain::TokenId token, const crypto::Point& key);
+  bool Contains(chain::TokenId token) const;
+  const crypto::Point& KeyOf(chain::TokenId token) const;
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<chain::TokenId, crypto::Point> keys_;
+};
+
+/// Node-side verification policy.
+struct VerifierPolicy {
+  /// Enforce the first practical configuration (superset-or-disjoint).
+  bool enforce_configuration = true;
+  /// Enforce the second practical configuration: rings must satisfy
+  /// their declared requirement at ℓ+1.
+  bool enforce_strict_dtrs = true;
+  /// Minimum ring size accepted (Monero-style floor; 1 disables).
+  size_t min_ring_size = 2;
+};
+
+class Verifier {
+ public:
+  /// All referenced state must outlive the verifier.
+  Verifier(const chain::Blockchain* bc, const chain::Ledger* ledger,
+           const core::BatchIndex* batches, const analysis::HtIndex* index,
+           const KeyDirectory* keys,
+           const crypto::KeyImageRegistry* spent_images,
+           VerifierPolicy policy = {});
+
+  /// Full Step-3 check of one transaction. OK means the transaction may
+  /// be mined; the specific failed check is reported otherwise.
+  common::Status Verify(const SignedTransaction& tx) const;
+
+  /// Checks one input in isolation (exposed for tests/tools).
+  common::Status VerifyInput(const SignedTransaction& tx,
+                             size_t input_index) const;
+
+ private:
+  const chain::Blockchain* bc_;
+  const chain::Ledger* ledger_;
+  const core::BatchIndex* batches_;
+  const analysis::HtIndex* index_;
+  const KeyDirectory* keys_;
+  const crypto::KeyImageRegistry* spent_images_;
+  VerifierPolicy policy_;
+};
+
+}  // namespace tokenmagic::node

@@ -1,0 +1,156 @@
+#include "analysis/diversity.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::analysis {
+namespace {
+
+using chain::DiversityRequirement;
+using chain::TokenId;
+using chain::TxId;
+
+HtIndex MakeIndex(std::vector<std::pair<TokenId, TxId>> pairs) {
+  return HtIndex::FromPairs(pairs);
+}
+
+TEST(HtFrequenciesTest, CountsAndSortsDescending) {
+  HtIndex idx = MakeIndex({{0, 10}, {1, 10}, {2, 10}, {3, 20}, {4, 30},
+                           {5, 30}});
+  auto freq = HtFrequencies({0, 1, 2, 3, 4, 5}, idx);
+  EXPECT_EQ(freq, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(HtFrequenciesTest, EmptyTokenSet) {
+  HtIndex idx = MakeIndex({});
+  EXPECT_TRUE(HtFrequencies({}, idx).empty());
+}
+
+TEST(DistinctHtCountTest, Basics) {
+  HtIndex idx = MakeIndex({{0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(DistinctHtCount({0, 1, 2}, idx), 2u);
+  EXPECT_EQ(DistinctHtCount({0, 1}, idx), 1u);
+  EXPECT_EQ(DistinctHtCount({}, idx), 0u);
+}
+
+// Paper Section 2.5 worked example: r3 = {t1, t3, t4}; t1, t3 from h1,
+// t4 from h2 => frequencies {2, 1}.
+TEST(RecursiveDiversityTest, PaperSection25Example) {
+  std::vector<int64_t> freq = {2, 1};
+  // (2, 1): q1 < 2 * (q1 + q2) => 2 < 2*3 = 6: satisfied.
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {2.0, 1}));
+  // (3, 2): first condition on r3 itself: 2 < 3 * q2 = 3: satisfied.
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {3.0, 2}));
+  // The DTRS {t1, t3}... wait, the DTRS has frequencies {1,1}; the failing
+  // case in the paper is the DTRS's {2} vs (3,2): 2 >= 3*0.
+  std::vector<int64_t> dtrs_freq = {2};
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(dtrs_freq, {3.0, 2}));
+}
+
+TEST(RecursiveDiversityTest, EmptyNeverSatisfies) {
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(std::vector<int64_t>{},
+                                           {10.0, 1}));
+}
+
+TEST(RecursiveDiversityTest, EllOneComparesTopAgainstWholeSum) {
+  // q1 < c * (q1 + ... + qθ).
+  std::vector<int64_t> freq = {5, 3, 2};
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {0.51, 1}));   // 5 < 5.1
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, {0.5, 1}));   // 5 == 5
+}
+
+TEST(RecursiveDiversityTest, EllBeyondThetaFails) {
+  std::vector<int64_t> freq = {1, 1, 1};
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, {100.0, 4}));
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {2.0, 3}));  // 1 < 2*1
+}
+
+TEST(RecursiveDiversityTest, StrictInequalityAtBoundary) {
+  std::vector<int64_t> freq = {2, 2};
+  // c=1, ell=2: 2 < 1*2 is false (strict).
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, {1.0, 2}));
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {1.01, 2}));
+}
+
+TEST(RecursiveDiversityTest, UniformSingletonsAreMaximallyDiverse) {
+  std::vector<int64_t> freq(40, 1);
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {0.2, 5}));  // 1 < 0.2*36
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, {0.6, 38}));  // 1 < 0.6*3
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, {0.6, 40}));  // 1 < 0.6*1?
+}
+
+TEST(RecursiveDiversityTest, TokenSetOverloadAgrees) {
+  HtIndex idx = MakeIndex({{0, 1}, {1, 1}, {2, 2}, {3, 3}});
+  std::vector<TokenId> tokens = {0, 1, 2, 3};
+  DiversityRequirement req{1.5, 2};
+  EXPECT_EQ(SatisfiesRecursiveDiversity(tokens, idx, req),
+            SatisfiesRecursiveDiversity(HtFrequencies(tokens, idx), req));
+}
+
+TEST(DiversitySlackTest, NegativeIffSatisfied) {
+  std::vector<int64_t> freq = {3, 2, 1};
+  DiversityRequirement req{1.0, 2};
+  // slack = 3 - 1*(2+1) = 0 -> not satisfied (needs strict <).
+  EXPECT_DOUBLE_EQ(DiversitySlack(freq, req), 0.0);
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, req));
+
+  DiversityRequirement loose{2.0, 2};
+  EXPECT_LT(DiversitySlack(freq, loose), 0.0);
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(freq, loose));
+
+  DiversityRequirement tight{0.5, 2};
+  EXPECT_GT(DiversitySlack(freq, tight), 0.0);
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(freq, tight));
+}
+
+TEST(DiversitySlackTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DiversitySlack({}, {1.0, 1}), 0.0);
+}
+
+// Parameterized sweep over c for a fixed frequency profile: satisfaction
+// must be monotone in c.
+class DiversityCSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiversityCSweep, MonotoneInC) {
+  std::vector<int64_t> freq = {4, 3, 2, 2, 1};
+  double c = GetParam();
+  bool sat = SatisfiesRecursiveDiversity(freq, {c, 3});
+  bool sat_higher = SatisfiesRecursiveDiversity(freq, {c + 0.5, 3});
+  EXPECT_TRUE(!sat || sat_higher);  // sat => sat_higher
+}
+
+INSTANTIATE_TEST_SUITE_P(CValues, DiversityCSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0, 1.5));
+
+// Monotone in ell (larger ell is stricter).
+class DiversityEllSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiversityEllSweep, AntitoneInEll) {
+  std::vector<int64_t> freq = {3, 2, 2, 1, 1, 1};
+  int ell = GetParam();
+  bool sat = SatisfiesRecursiveDiversity(freq, {1.0, ell});
+  bool sat_looser = SatisfiesRecursiveDiversity(freq, {1.0, ell - 1});
+  EXPECT_TRUE(!sat || sat_looser);  // sat at ell => sat at ell-1
+}
+
+INSTANTIATE_TEST_SUITE_P(EllValues, DiversityEllSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(HtIndexTest, FromBlockchainMapsSourceTx) {
+  chain::Blockchain bc;
+  bc.AddBlock(0, {2, 3});
+  HtIndex idx = HtIndex::FromBlockchain(bc);
+  EXPECT_EQ(idx.size(), 5u);
+  EXPECT_EQ(idx.HtOf(0), 0u);
+  EXPECT_EQ(idx.HtOf(1), 0u);
+  EXPECT_EQ(idx.HtOf(2), 1u);
+  EXPECT_TRUE(idx.Contains(4));
+  EXPECT_FALSE(idx.Contains(5));
+}
+
+TEST(HtIndexTest, HtsOfPreservesOrderAndDuplicates) {
+  HtIndex idx = MakeIndex({{0, 7}, {1, 8}});
+  EXPECT_EQ(idx.HtsOf({1, 0, 1}), (std::vector<TxId>{8, 7, 8}));
+}
+
+}  // namespace
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,112 @@
+#include "analysis/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/chain_reaction.h"
+#include "common/rng.h"
+
+namespace tokenmagic::analysis {
+namespace {
+
+using chain::RsId;
+using chain::RsView;
+using chain::TokenId;
+
+RsView View(RsId id, std::vector<TokenId> members) {
+  RsView v;
+  v.id = id;
+  v.members = std::move(members);
+  std::sort(v.members.begin(), v.members.end());
+  v.proposed_at = id;
+  return v;
+}
+
+TEST(IncrementalCascadeTest, EmptyState) {
+  IncrementalCascade cascade;
+  EXPECT_EQ(cascade.InferableSpentCount(), 0u);
+  EXPECT_EQ(cascade.rs_count(), 0u);
+}
+
+TEST(IncrementalCascadeTest, MatchesBatchOnPaperExample1) {
+  IncrementalCascade cascade;
+  cascade.Add(View(1, {1, 2}));
+  EXPECT_EQ(cascade.InferableSpentCount(), 0u);
+  cascade.Add(View(2, {1, 2}));
+  // Two identical pairs: both tokens provably spent (Theorem 4.1).
+  EXPECT_EQ(cascade.InferableSpentCount(), 2u);
+  EXPECT_TRUE(cascade.IsProvablySpent(1));
+  EXPECT_TRUE(cascade.IsProvablySpent(2));
+  cascade.Add(View(3, {2, 3}));
+  // r3 must spend 3.
+  EXPECT_TRUE(cascade.IsProvablySpent(3));
+  ASSERT_TRUE(cascade.revealed().count(3));
+  EXPECT_EQ(cascade.revealed().at(3), 3u);
+}
+
+TEST(IncrementalCascadeTest, TriangleClosure) {
+  IncrementalCascade cascade;
+  cascade.Add(View(0, {1, 2}));
+  cascade.Add(View(1, {2, 3}));
+  EXPECT_EQ(cascade.InferableSpentCount(), 0u);
+  cascade.Add(View(2, {1, 3}));
+  EXPECT_EQ(cascade.InferableSpentCount(), 3u);
+}
+
+TEST(IncrementalCascadeTest, SpentCountIfAddedDoesNotMutate) {
+  IncrementalCascade cascade;
+  cascade.Add(View(0, {1, 2}));
+  size_t hypothetical = cascade.SpentCountIfAdded(View(1, {1, 2}));
+  EXPECT_EQ(hypothetical, 2u);
+  EXPECT_EQ(cascade.InferableSpentCount(), 0u);
+  EXPECT_EQ(cascade.rs_count(), 1u);
+}
+
+TEST(IncrementalCascadeTest, EquivalentToBatchCascadeOnRandomHistories) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t num_tokens = 6 + rng.NextBounded(8);
+    size_t num_rs = 2 + rng.NextBounded(6);
+    std::vector<RsView> history;
+    IncrementalCascade incremental;
+    for (size_t r = 0; r < num_rs; ++r) {
+      std::vector<TokenId> members;
+      size_t size = 1 + rng.NextBounded(3);
+      for (size_t i = 0; i < size; ++i) {
+        members.push_back(rng.NextBounded(num_tokens));
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      RsView view = View(r, members);
+      history.push_back(view);
+      incremental.Add(view);
+
+      // After every insertion the incremental state matches the batch
+      // cascade over the prefix.
+      auto batch = ChainReactionAnalyzer::Cascade(history);
+      EXPECT_EQ(incremental.InferableSpentCount(),
+                batch.spent_tokens.size())
+          << "trial " << trial << " step " << r;
+      for (TokenId t : batch.spent_tokens) {
+        EXPECT_TRUE(incremental.IsProvablySpent(t))
+            << "trial " << trial << " token " << t;
+      }
+    }
+  }
+}
+
+TEST(IncrementalCascadeTest, RevealedSpendsMatchBatch) {
+  IncrementalCascade incremental;
+  std::vector<RsView> history = {View(0, {1}), View(1, {1, 2}),
+                                 View(2, {2, 3})};
+  for (const auto& view : history) incremental.Add(view);
+  auto batch = ChainReactionAnalyzer::Cascade(history);
+  EXPECT_EQ(incremental.revealed().size(), batch.revealed_spends.size());
+  for (const auto& [rs, token] : batch.revealed_spends) {
+    ASSERT_TRUE(incremental.revealed().count(rs));
+    EXPECT_EQ(incremental.revealed().at(rs), token);
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::analysis

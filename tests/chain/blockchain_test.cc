@@ -1,0 +1,102 @@
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::chain {
+namespace {
+
+TEST(BlockchainTest, EmptyChain) {
+  Blockchain bc;
+  EXPECT_EQ(bc.block_count(), 0u);
+  EXPECT_EQ(bc.transaction_count(), 0u);
+  EXPECT_EQ(bc.token_count(), 0u);
+  EXPECT_TRUE(bc.AllTokens().empty());
+}
+
+TEST(BlockchainTest, SingleBlockSingleTx) {
+  Blockchain bc;
+  BlockHeight h = bc.BeginBlock(100);
+  TxId tx = bc.AddTransaction(3);
+  bc.EndBlock();
+  EXPECT_EQ(h, 0u);
+  EXPECT_EQ(bc.block_count(), 1u);
+  EXPECT_EQ(bc.transaction_count(), 1u);
+  EXPECT_EQ(bc.token_count(), 3u);
+  EXPECT_EQ(bc.block(0).time, 100u);
+  EXPECT_EQ(bc.block(0).token_count, 3u);
+  EXPECT_EQ(bc.transaction(tx).outputs.size(), 3u);
+}
+
+TEST(BlockchainTest, TokensCarrySourceMetadata) {
+  Blockchain bc;
+  bc.AddBlock(0, {2, 1});
+  bc.AddBlock(1, {4});
+  // Tokens 0,1 from tx0; token 2 from tx1 (block 0); 3..6 from tx2 (blk 1).
+  EXPECT_EQ(bc.token(0).source_tx, 0u);
+  EXPECT_EQ(bc.token(1).source_tx, 0u);
+  EXPECT_EQ(bc.token(2).source_tx, 1u);
+  EXPECT_EQ(bc.token(3).source_tx, 2u);
+  EXPECT_EQ(bc.token(0).height, 0u);
+  EXPECT_EQ(bc.token(3).height, 1u);
+  EXPECT_EQ(bc.token(1).output_index, 1u);
+  EXPECT_EQ(bc.HistoricalTransactionOf(5), 2u);
+}
+
+TEST(BlockchainTest, AddBlockConvenience) {
+  Blockchain bc;
+  BlockHeight h1 = bc.AddBlock(10, {1, 2, 3});
+  BlockHeight h2 = bc.AddBlock(20, {5});
+  EXPECT_EQ(h1, 0u);
+  EXPECT_EQ(h2, 1u);
+  EXPECT_EQ(bc.token_count(), 11u);
+  EXPECT_EQ(bc.block(1).transactions.size(), 1u);
+}
+
+TEST(BlockchainTest, TokensInBlockRange) {
+  Blockchain bc;
+  bc.AddBlock(0, {2});      // tokens 0,1
+  bc.AddBlock(1, {1, 1});   // tokens 2,3
+  bc.AddBlock(2, {3});      // tokens 4,5,6
+  EXPECT_EQ(bc.TokensInBlockRange(0, 0),
+            (std::vector<TokenId>{0, 1}));
+  EXPECT_EQ(bc.TokensInBlockRange(1, 2),
+            (std::vector<TokenId>{2, 3, 4, 5, 6}));
+  // Range past the end clamps.
+  EXPECT_EQ(bc.TokensInBlockRange(2, 99),
+            (std::vector<TokenId>{4, 5, 6}));
+}
+
+TEST(BlockchainTest, AllTokensInCreationOrder) {
+  Blockchain bc;
+  bc.AddBlock(0, {2, 2});
+  auto tokens = bc.AllTokens();
+  ASSERT_EQ(tokens.size(), 4u);
+  for (size_t i = 0; i < tokens.size(); ++i) EXPECT_EQ(tokens[i], i);
+}
+
+TEST(BlockchainTest, HasToken) {
+  Blockchain bc;
+  bc.AddBlock(0, {1});
+  EXPECT_TRUE(bc.HasToken(0));
+  EXPECT_FALSE(bc.HasToken(1));
+}
+
+TEST(BlockchainDeathTest, DoubleBeginBlockAborts) {
+  Blockchain bc;
+  bc.BeginBlock(0);
+  EXPECT_DEATH(bc.BeginBlock(1), "TM_CHECK");
+}
+
+TEST(BlockchainDeathTest, AddTransactionOutsideBlockAborts) {
+  Blockchain bc;
+  EXPECT_DEATH(bc.AddTransaction(1), "TM_CHECK");
+}
+
+TEST(BlockchainDeathTest, ZeroOutputTransactionAborts) {
+  Blockchain bc;
+  bc.BeginBlock(0);
+  EXPECT_DEATH(bc.AddTransaction(0), "TM_CHECK");
+}
+
+}  // namespace
+}  // namespace tokenmagic::chain

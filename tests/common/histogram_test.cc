@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::common {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance of this classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.CountOf(5), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram h;
+  h.Add(2);
+  h.Add(2);
+  h.Add(3);
+  h.AddN(7, 4);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.CountOf(2), 2);
+  EXPECT_EQ(h.CountOf(3), 1);
+  EXPECT_EQ(h.CountOf(7), 4);
+  EXPECT_EQ(h.CountOf(99), 0);
+}
+
+TEST(HistogramTest, AddNZeroIsNoOp) {
+  Histogram h;
+  h.AddN(5, 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.CountOf(5), 0);
+}
+
+TEST(HistogramTest, MinMaxMean) {
+  Histogram h;
+  h.Add(-5);
+  h.Add(0);
+  h.Add(5);
+  h.Add(10);
+  EXPECT_EQ(h.Min(), -5);
+  EXPECT_EQ(h.Max(), 10);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+}
+
+TEST(HistogramTest, PercentileNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Percentile(50), 50);
+  EXPECT_EQ(h.Percentile(90), 90);
+  EXPECT_EQ(h.Percentile(100), 100);
+  EXPECT_EQ(h.Percentile(0), 1);
+  EXPECT_EQ(h.Percentile(1), 1);
+}
+
+TEST(HistogramTest, ValuesSortedAscending) {
+  Histogram h;
+  h.Add(9);
+  h.Add(-1);
+  h.Add(4);
+  EXPECT_EQ(h.Values(), (std::vector<int64_t>{-1, 4, 9}));
+}
+
+TEST(HistogramTest, AsciiRenderingContainsEveryBucket) {
+  Histogram h;
+  h.AddN(1, 10);
+  h.AddN(2, 5);
+  std::string ascii = h.ToAscii(10);
+  EXPECT_NE(ascii.find("1\t10"), std::string::npos);
+  EXPECT_NE(ascii.find("2\t5"), std::string::npos);
+  // The peak bucket gets the full bar.
+  EXPECT_NE(ascii.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tokenmagic::common

@@ -1,0 +1,103 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::common {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_FALSE(StartsWith("xfoo", "foo"));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-123", &v));
+  EXPECT_EQ(v, -123);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("x12", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));  // overflow
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("2.5x", &v));
+}
+
+TEST(HexTest, EncodeKnownBytes) {
+  std::vector<uint8_t> bytes = {0x00, 0xff, 0x0a, 0xb1};
+  EXPECT_EQ(HexEncode(bytes), "00ff0ab1");
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  std::vector<uint8_t> bytes = {1, 2, 3, 254, 255};
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(HexDecode(HexEncode(bytes), &decoded));
+  EXPECT_EQ(decoded, bytes);
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(HexDecode("DEADBEEF", &decoded));
+  EXPECT_EQ(decoded, (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeRejectsBadInput) {
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(HexDecode("abc", &decoded));   // odd length
+  EXPECT_FALSE(HexDecode("zz", &decoded));    // non-hex
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%0.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace tokenmagic::common

@@ -1,0 +1,116 @@
+#include "core/modules.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::core {
+namespace {
+
+using chain::RsId;
+using chain::RsView;
+using chain::TokenId;
+
+RsView View(RsId id, std::vector<TokenId> members,
+            chain::Timestamp at = 0) {
+  RsView v;
+  v.id = id;
+  v.members = std::move(members);
+  std::sort(v.members.begin(), v.members.end());
+  v.proposed_at = at == 0 ? id : at;
+  return v;
+}
+
+// Paper Section 6.1 example: r1={t1,t2}@π, r2={t1,t2,t3}@π+1,
+// r3={t4,t5}@π+2, T={t1..t6}. Super RSs: r2 (v=2) and r3 (v=1); t6 fresh.
+TEST(ModuleUniverseTest, PaperSection61Example) {
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6};
+  std::vector<RsView> history = {View(1, {1, 2}, 10), View(2, {1, 2, 3}, 11),
+                                 View(3, {4, 5}, 12)};
+  auto mu = ModuleUniverse::Build(universe, history);
+  ASSERT_TRUE(mu.ok());
+
+  auto supers = mu->SuperRsModuleIndices();
+  ASSERT_EQ(supers.size(), 2u);
+  const Module& m2 = mu->module(mu->ModuleOfToken(3));
+  EXPECT_EQ(m2.super_rs, 2u);
+  EXPECT_EQ(m2.subset_count, 2u);  // r1 and r2
+  const Module& m3 = mu->module(mu->ModuleOfToken(4));
+  EXPECT_EQ(m3.super_rs, 3u);
+  EXPECT_EQ(m3.subset_count, 1u);
+
+  auto fresh = mu->FreshModuleIndices();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(mu->module(fresh[0]).tokens, (std::vector<TokenId>{6}));
+  EXPECT_TRUE(mu->module(fresh[0]).is_fresh);
+  EXPECT_EQ(mu->token_count(), 6u);
+}
+
+TEST(ModuleUniverseTest, EmptyHistoryIsAllFresh) {
+  auto mu = ModuleUniverse::Build({1, 2, 3}, {});
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(mu->FreshModuleIndices().size(), 3u);
+  EXPECT_TRUE(mu->SuperRsModuleIndices().empty());
+}
+
+TEST(ModuleUniverseTest, RejectsPartialOverlap) {
+  // {1,2} and {2,3} violate the first practical configuration.
+  auto mu = ModuleUniverse::Build({1, 2, 3},
+                                  {View(0, {1, 2}), View(1, {2, 3})});
+  EXPECT_FALSE(mu.ok());
+  EXPECT_TRUE(mu.status().IsInvalidArgument());
+}
+
+TEST(ModuleUniverseTest, RejectsTokensOutsideUniverse) {
+  auto mu = ModuleUniverse::Build({1, 2}, {View(0, {1, 2, 99})});
+  EXPECT_FALSE(mu.ok());
+  EXPECT_TRUE(mu.status().IsInvalidArgument());
+}
+
+TEST(ModuleUniverseTest, NestedChainsCollapseToLatestSuper) {
+  // r0 ⊂ r1 ⊂ r2: only r2 is a super RS, with subset count 3.
+  std::vector<RsView> history = {View(0, {1}, 1), View(1, {1, 2}, 2),
+                                 View(2, {1, 2, 3}, 3)};
+  auto mu = ModuleUniverse::Build({1, 2, 3, 4}, history);
+  ASSERT_TRUE(mu.ok());
+  auto supers = mu->SuperRsModuleIndices();
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(mu->module(supers[0]).super_rs, 2u);
+  EXPECT_EQ(mu->module(supers[0]).subset_count, 3u);
+  EXPECT_EQ(mu->SubsetRsOf(supers[0]).size(), 3u);
+  EXPECT_EQ(mu->FreshModuleIndices().size(), 1u);  // token 4
+}
+
+TEST(ModuleUniverseTest, EqualSetsLaterWins) {
+  // Two identical RSs: the later one is the super RS (Def. 7 excludes an
+  // RS that a later superset covers; ⊇ includes equality).
+  std::vector<RsView> history = {View(0, {1, 2}, 1), View(1, {1, 2}, 2)};
+  auto mu = ModuleUniverse::Build({1, 2}, history);
+  ASSERT_TRUE(mu.ok());
+  auto supers = mu->SuperRsModuleIndices();
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(mu->module(supers[0]).super_rs, 1u);
+  EXPECT_EQ(mu->module(supers[0]).subset_count, 2u);
+}
+
+TEST(ModuleUniverseTest, ModuleOfTokenCoversEveryToken) {
+  std::vector<RsView> history = {View(0, {1, 2}), View(1, {3, 4, 5})};
+  auto mu = ModuleUniverse::Build({1, 2, 3, 4, 5, 6, 7}, history);
+  ASSERT_TRUE(mu.ok());
+  for (TokenId t : {1, 2, 3, 4, 5, 6, 7}) {
+    size_t index = mu->ModuleOfToken(t);
+    const Module& module = mu->module(index);
+    EXPECT_NE(std::find(module.tokens.begin(), module.tokens.end(), t),
+              module.tokens.end());
+  }
+}
+
+TEST(ModuleUniverseTest, ModuleIndicesAreDense) {
+  std::vector<RsView> history = {View(0, {1, 2})};
+  auto mu = ModuleUniverse::Build({1, 2, 3}, history);
+  ASSERT_TRUE(mu.ok());
+  for (size_t i = 0; i < mu->module_count(); ++i) {
+    EXPECT_EQ(mu->module(i).index, i);
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::core

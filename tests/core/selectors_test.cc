@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/game_theoretic.h"
+#include "core/module_greedy.h"
+#include "core/progressive.h"
+
+namespace tokenmagic::core {
+namespace {
+
+using chain::DiversityRequirement;
+using chain::RsView;
+using chain::TokenId;
+using chain::TxId;
+
+RsView View(chain::RsId id, std::vector<TokenId> members) {
+  RsView v;
+  v.id = id;
+  v.members = std::move(members);
+  std::sort(v.members.begin(), v.members.end());
+  v.proposed_at = id;
+  v.requirement = {1.0, 1};
+  return v;
+}
+
+/// Paper Example 3 fixture.
+/// s1={t1..t6}, s2={t7..t10}, s3={t11,t12}, s4={t13..t15}.
+/// HTs: h1:{1,2,7,8}, h2:{3,4,9}, h3:{5,13,14}, h6:{6,10}, h4:{11,15},
+/// h5:{12}. Target t11, recursive (1,4)-diversity.
+struct Example3 {
+  SelectionInput input;
+  analysis::HtIndex index;
+
+  Example3() {
+    index.Set(1, 1);
+    index.Set(2, 1);
+    index.Set(7, 1);
+    index.Set(8, 1);
+    index.Set(3, 2);
+    index.Set(4, 2);
+    index.Set(9, 2);
+    index.Set(5, 3);
+    index.Set(13, 3);
+    index.Set(14, 3);
+    index.Set(6, 6);
+    index.Set(10, 6);
+    index.Set(11, 4);
+    index.Set(15, 4);
+    index.Set(12, 5);
+
+    input.target = 11;
+    for (TokenId t = 1; t <= 15; ++t) input.universe.push_back(t);
+    input.history = {View(1, {1, 2, 3, 4, 5, 6}), View(2, {7, 8, 9, 10}),
+                     View(3, {11, 12}), View(4, {13, 14, 15})};
+    input.requirement = {1.0, 4};
+    input.index = &index;
+    // The worked example applies the raw requirement with no extra
+    // configuration checks.
+    input.policy.strict_dtrs = false;
+    input.policy.check_dtrs_explicitly = false;
+    input.policy.check_immutability = false;
+  }
+};
+
+TEST(GreedyCoverHtsTest, Example3Phase1PicksS2) {
+  Example3 fx;
+  auto state = InitModuleState(fx.input);
+  ASSERT_TRUE(state.ok());
+  auto steps = GreedyCoverHts(&*state, fx.index, 4);
+  ASSERT_TRUE(steps.ok());
+  // r_tau = s3 ∪ s2 after the first loop (paper trace).
+  auto members = MaterializeCandidate(state->mu, state->chosen);
+  EXPECT_EQ(members, (std::vector<TokenId>{7, 8, 9, 10, 11, 12}));
+}
+
+TEST(ProgressiveTest, PaperExample3Trace) {
+  Example3 fx;
+  ProgressiveSelector selector;
+  common::Rng rng(1);
+  auto result = selector.Select(fx.input, &rng);
+  ASSERT_TRUE(result.ok());
+  // Paper: phase 2 adds s4 (beta_4 = 1/3 > beta_1 = -1/6), giving
+  // s2 ∪ s3 ∪ s4 = {t7..t15}.
+  EXPECT_EQ(result->members,
+            (std::vector<TokenId>{7, 8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(GameTheoreticTest, PaperExample3ReachesS1S3) {
+  Example3 fx;
+  GameTheoreticSelector selector;
+  common::Rng rng(1);
+  auto result = selector.Select(fx.input, &rng);
+  ASSERT_TRUE(result.ok());
+  // Paper Section 6.3: the equilibrium is r_tau = s1 ∪ s3 (8 tokens),
+  // strictly smaller than the Progressive result (9 tokens).
+  EXPECT_EQ(result->members,
+            (std::vector<TokenId>{1, 2, 3, 4, 5, 6, 11, 12}));
+}
+
+TEST(SelectorsTest, ResultsAlwaysContainTarget) {
+  Example3 fx;
+  common::Rng rng(7);
+  for (const MixinSelector* selector :
+       std::initializer_list<const MixinSelector*>{
+           new ProgressiveSelector, new GameTheoreticSelector,
+           new SmallestSelector, new RandomSelector}) {
+    auto result = selector->Select(fx.input, &rng);
+    ASSERT_TRUE(result.ok()) << selector->name();
+    EXPECT_TRUE(std::binary_search(result->members.begin(),
+                                   result->members.end(), fx.input.target))
+        << selector->name();
+    delete selector;
+  }
+}
+
+TEST(SelectorsTest, ResultsSatisfyTheRequirement) {
+  Example3 fx;
+  common::Rng rng(11);
+  ProgressiveSelector progressive;
+  GameTheoreticSelector game;
+  SmallestSelector smallest;
+  RandomSelector random;
+  std::vector<const MixinSelector*> selectors = {&progressive, &game,
+                                                 &smallest, &random};
+  for (const MixinSelector* selector : selectors) {
+    auto result = selector->Select(fx.input, &rng);
+    ASSERT_TRUE(result.ok()) << selector->name();
+    EXPECT_TRUE(analysis::SatisfiesRecursiveDiversity(
+        result->members, fx.index, fx.input.requirement))
+        << selector->name();
+  }
+}
+
+TEST(SelectorsTest, GameNeverLargerThanProgressiveOnExample3) {
+  Example3 fx;
+  common::Rng rng(13);
+  ProgressiveSelector progressive;
+  GameTheoreticSelector game;
+  auto p = progressive.Select(fx.input, &rng);
+  auto g = game.Select(fx.input, &rng);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g->members.size(), p->members.size());
+}
+
+TEST(SelectorsTest, UnsatisfiableUniverseReported) {
+  // Universe with a single HT can never reach 4 distinct HTs.
+  analysis::HtIndex idx;
+  for (TokenId t = 1; t <= 5; ++t) idx.Set(t, 1);
+  SelectionInput input;
+  input.target = 1;
+  input.universe = {1, 2, 3, 4, 5};
+  input.requirement = {1.0, 4};
+  input.index = &idx;
+  input.policy.strict_dtrs = false;
+  common::Rng rng(1);
+  ProgressiveSelector progressive;
+  GameTheoreticSelector game;
+  SmallestSelector smallest;
+  RandomSelector random;
+  std::vector<const MixinSelector*> selectors = {&progressive, &game,
+                                                 &smallest, &random};
+  for (const MixinSelector* selector : selectors) {
+    auto result = selector->Select(input, &rng);
+    EXPECT_FALSE(result.ok()) << selector->name();
+    EXPECT_TRUE(result.status().IsUnsatisfiable()) << selector->name();
+  }
+}
+
+TEST(SelectorsTest, TargetOutsideUniverseIsInvalid) {
+  analysis::HtIndex idx;
+  idx.Set(1, 1);
+  SelectionInput input;
+  input.target = 99;
+  input.universe = {1};
+  input.requirement = {1.0, 1};
+  input.index = &idx;
+  common::Rng rng(1);
+  ProgressiveSelector selector;
+  EXPECT_TRUE(selector.Select(input, &rng).status().IsInvalidArgument());
+}
+
+TEST(SelectorsTest, MissingIndexIsInvalid) {
+  SelectionInput input;
+  input.target = 1;
+  input.universe = {1};
+  common::Rng rng(1);
+  ProgressiveSelector selector;
+  EXPECT_TRUE(selector.Select(input, &rng).status().IsInvalidArgument());
+}
+
+TEST(SmallestTest, PrefersSmallModules) {
+  // Modules: fresh tokens (size 1) with distinct HTs vs a big super RS.
+  analysis::HtIndex idx;
+  for (TokenId t = 1; t <= 10; ++t) {
+    idx.Set(t, static_cast<TxId>(t));  // all distinct HTs
+  }
+  SelectionInput input;
+  input.target = 1;
+  for (TokenId t = 1; t <= 10; ++t) input.universe.push_back(t);
+  input.history = {View(0, {5, 6, 7, 8, 9, 10})};  // one big super RS
+  input.requirement = {2.0, 3};
+  input.index = &idx;
+  input.policy.strict_dtrs = false;
+  common::Rng rng(1);
+  SmallestSelector selector;
+  auto result = selector.Select(input, &rng);
+  ASSERT_TRUE(result.ok());
+  // Needs 3 distinct HTs; fresh tokens 2,3 (size 1 each) beat the
+  // 6-token super RS: members = {1, 2, 3}.
+  EXPECT_EQ(result->members.size(), 3u);
+}
+
+TEST(RandomTest, IsSeedDeterministic) {
+  Example3 fx;
+  RandomSelector selector;
+  common::Rng rng1(99), rng2(99);
+  auto r1 = selector.Select(fx.input, &rng1);
+  auto r2 = selector.Select(fx.input, &rng2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->members, r2->members);
+}
+
+TEST(MoneroSelectorTest, ProducesFixedSizeRing) {
+  analysis::HtIndex idx;
+  SelectionInput input;
+  for (TokenId t = 0; t < 100; ++t) {
+    idx.Set(t, static_cast<TxId>(t / 2));
+    input.universe.push_back(t);
+  }
+  input.target = 50;
+  input.index = &idx;
+  common::Rng rng(3);
+  MoneroSelector selector(11);
+  auto result = selector.Select(input, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->members.size(), 11u);
+  EXPECT_TRUE(std::binary_search(result->members.begin(),
+                                 result->members.end(), TokenId{50}));
+}
+
+TEST(GameTheoreticTest, FallsBackToFeasibleProfileOnNonMonotoneInstance) {
+  // A universe where the whole-universe profile violates the diversity
+  // requirement (one dominant HT) but a careful subset satisfies it:
+  // the raw accretion dynamics plateau infeasibly and the Progressive
+  // restart must rescue the game.
+  analysis::HtIndex idx;
+  // 12 tokens of HT 0 (dominant), plus 8 singleton HTs.
+  for (TokenId t = 0; t < 12; ++t) idx.Set(t, 0);
+  for (TokenId t = 12; t < 20; ++t) idx.Set(t, static_cast<TxId>(t));
+  SelectionInput input;
+  for (TokenId t = 0; t < 20; ++t) input.universe.push_back(t);
+  // One super RS holding most of the dominant-HT tokens so choosing it
+  // wrecks diversity.
+  input.history = {View(0, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9})};
+  input.target = 12;
+  input.requirement = {1.0, 4};
+  input.index = &idx;
+  input.policy.strict_dtrs = false;
+  // Whole universe: q1 = 12, tail(4) = sum of ranks >= 4 over 9 HTs of
+  // frequency 1 => 12 < 1*6? No: infeasible. Subset of singletons only:
+  // q1 = 1 < 1*(theta - 3): feasible for theta >= 5.
+  common::Rng rng(5);
+  GameTheoreticSelector game;
+  auto result = game.Select(input, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(analysis::SatisfiesRecursiveDiversity(
+      result->members, idx, input.requirement));
+  // The dominant super RS must have been left out.
+  EXPECT_FALSE(std::binary_search(result->members.begin(),
+                                  result->members.end(), TokenId{0}));
+}
+
+TEST(MoneroSelectorTest, SmallUniverseUnsatisfiable) {
+  analysis::HtIndex idx;
+  SelectionInput input;
+  for (TokenId t = 0; t < 5; ++t) {
+    idx.Set(t, 0);
+    input.universe.push_back(t);
+  }
+  input.target = 0;
+  input.index = &idx;
+  common::Rng rng(3);
+  MoneroSelector selector(11);
+  EXPECT_TRUE(selector.Select(input, &rng).status().IsUnsatisfiable());
+}
+
+}  // namespace
+}  // namespace tokenmagic::core

@@ -1,0 +1,117 @@
+#include "crypto/pedersen.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/field.h"
+
+namespace tokenmagic::crypto {
+namespace {
+
+TEST(PedersenTest, ValueGeneratorIsValidAndDistinctFromG) {
+  const Point& h = Pedersen::ValueGenerator();
+  EXPECT_TRUE(Secp256k1::IsOnCurve(h));
+  EXPECT_FALSE(h.infinity);
+  EXPECT_NE(h, Secp256k1::Generator());
+}
+
+TEST(PedersenTest, CommitOpensCorrectly) {
+  common::Rng rng(1);
+  Commitment c = Pedersen::Commit(12345, &rng);
+  EXPECT_TRUE(Pedersen::VerifyOpening(c.point, c.blinding, 12345));
+  EXPECT_FALSE(Pedersen::VerifyOpening(c.point, c.blinding, 12346));
+}
+
+TEST(PedersenTest, WrongBlindingRejected) {
+  common::Rng rng(2);
+  Commitment c = Pedersen::Commit(7, &rng);
+  U256 other = ScalarAdd(c.blinding, U256::One());
+  EXPECT_FALSE(Pedersen::VerifyOpening(c.point, other, 7));
+}
+
+TEST(PedersenTest, ZeroValueCommitmentIsBlindingOnly) {
+  Commitment c = Pedersen::CommitWithBlinding(0, U256(42));
+  EXPECT_EQ(c.point, Secp256k1::MulBase(U256(42)));
+  EXPECT_TRUE(Pedersen::VerifyOpening(c.point, U256(42), 0));
+}
+
+TEST(PedersenTest, CommitmentsAreHiding) {
+  // Same value, different blinding: indistinguishable points.
+  common::Rng rng(3);
+  Commitment a = Pedersen::Commit(100, &rng);
+  Commitment b = Pedersen::Commit(100, &rng);
+  EXPECT_NE(a.point, b.point);
+}
+
+TEST(PedersenTest, AdditiveHomomorphism) {
+  // C(v1, r1) + C(v2, r2) == C(v1+v2, r1+r2).
+  common::Rng rng(4);
+  Commitment a = Pedersen::Commit(30, &rng);
+  Commitment b = Pedersen::Commit(12, &rng);
+  Point sum = Secp256k1::Add(a.point, b.point);
+  U256 blinding_sum = ScalarAdd(a.blinding, b.blinding);
+  EXPECT_TRUE(Pedersen::VerifyOpening(sum, blinding_sum, 42));
+}
+
+TEST(ConfidentialBalanceTest, BalancedTransactionVerifies) {
+  common::Rng rng(5);
+  std::vector<Commitment> inputs = {Pedersen::Commit(100, &rng)};
+  std::vector<Commitment> outputs = {Pedersen::Commit(60, &rng),
+                                     Pedersen::Commit(37, &rng)};
+  uint64_t fee = 3;
+  auto proof = ConfidentialBalance::Prove(inputs, outputs, fee, &rng);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(ConfidentialBalance::Verify(
+      {inputs[0].point}, {outputs[0].point, outputs[1].point}, fee,
+      *proof));
+}
+
+TEST(ConfidentialBalanceTest, ImbalancedProofRefused) {
+  common::Rng rng(6);
+  std::vector<Commitment> inputs = {Pedersen::Commit(100, &rng)};
+  std::vector<Commitment> outputs = {Pedersen::Commit(99, &rng)};
+  auto proof = ConfidentialBalance::Prove(inputs, outputs, 3, &rng);
+  EXPECT_FALSE(proof.ok());
+  EXPECT_TRUE(proof.status().IsInvalidArgument());
+}
+
+TEST(ConfidentialBalanceTest, WrongFeeFailsVerification) {
+  common::Rng rng(7);
+  std::vector<Commitment> inputs = {Pedersen::Commit(50, &rng)};
+  std::vector<Commitment> outputs = {Pedersen::Commit(45, &rng)};
+  auto proof = ConfidentialBalance::Prove(inputs, outputs, 5, &rng);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(ConfidentialBalance::Verify({inputs[0].point},
+                                          {outputs[0].point}, 5, *proof));
+  EXPECT_FALSE(ConfidentialBalance::Verify({inputs[0].point},
+                                           {outputs[0].point}, 4, *proof));
+}
+
+TEST(ConfidentialBalanceTest, SwappedCommitmentFails) {
+  common::Rng rng(8);
+  std::vector<Commitment> inputs = {Pedersen::Commit(20, &rng)};
+  std::vector<Commitment> outputs = {Pedersen::Commit(20, &rng)};
+  auto proof = ConfidentialBalance::Prove(inputs, outputs, 0, &rng);
+  ASSERT_TRUE(proof.ok());
+  // Substitute an unrelated commitment on the output side.
+  Commitment other = Pedersen::Commit(20, &rng);
+  EXPECT_FALSE(ConfidentialBalance::Verify({inputs[0].point},
+                                           {other.point}, 0, *proof));
+}
+
+TEST(ConfidentialBalanceTest, MultiInputMultiOutput) {
+  common::Rng rng(9);
+  std::vector<Commitment> inputs = {Pedersen::Commit(10, &rng),
+                                    Pedersen::Commit(25, &rng),
+                                    Pedersen::Commit(7, &rng)};
+  std::vector<Commitment> outputs = {Pedersen::Commit(40, &rng),
+                                     Pedersen::Commit(1, &rng)};
+  auto proof = ConfidentialBalance::Prove(inputs, outputs, 1, &rng);
+  ASSERT_TRUE(proof.ok());
+  std::vector<Point> in_points, out_points;
+  for (const auto& c : inputs) in_points.push_back(c.point);
+  for (const auto& c : outputs) out_points.push_back(c.point);
+  EXPECT_TRUE(ConfidentialBalance::Verify(in_points, out_points, 1, *proof));
+}
+
+}  // namespace
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,110 @@
+#include "crypto/schnorr.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/field.h"
+
+namespace tokenmagic::crypto {
+namespace {
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  common::Rng rng(1);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "hello world", &rng);
+  EXPECT_TRUE(Schnorr::Verify(key.pub, "hello world", sig));
+}
+
+TEST(SchnorrTest, WrongMessageRejected) {
+  common::Rng rng(2);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "message A", &rng);
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "message B", sig));
+}
+
+TEST(SchnorrTest, WrongKeyRejected) {
+  common::Rng rng(3);
+  Keypair signer = Keypair::Generate(&rng);
+  Keypair other = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(signer, "payload", &rng);
+  EXPECT_FALSE(Schnorr::Verify(other.pub, "payload", sig));
+}
+
+TEST(SchnorrTest, TamperedChallengeRejected) {
+  common::Rng rng(4);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "payload", &rng);
+  sig.challenge = ScalarAdd(sig.challenge, U256::One());
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "payload", sig));
+}
+
+TEST(SchnorrTest, TamperedResponseRejected) {
+  common::Rng rng(5);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "payload", &rng);
+  sig.response = ScalarAdd(sig.response, U256::One());
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "payload", sig));
+}
+
+TEST(SchnorrTest, OutOfRangeScalarsRejected) {
+  common::Rng rng(6);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "payload", &rng);
+  SchnorrSignature bad = sig;
+  bad.challenge = GroupOrder();
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "payload", bad));
+  bad = sig;
+  bad.response = GroupOrder();
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "payload", bad));
+  bad = sig;
+  bad.challenge = U256::Zero();
+  EXPECT_FALSE(Schnorr::Verify(key.pub, "payload", bad));
+}
+
+TEST(SchnorrTest, InfinityPublicKeyRejected) {
+  common::Rng rng(7);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature sig = Schnorr::Sign(key, "payload", &rng);
+  EXPECT_FALSE(Schnorr::Verify(Point::Infinity(), "payload", sig));
+}
+
+TEST(SchnorrTest, SignaturesAreRandomizedButBothVerify) {
+  common::Rng rng(8);
+  Keypair key = Keypair::Generate(&rng);
+  SchnorrSignature s1 = Schnorr::Sign(key, "same message", &rng);
+  SchnorrSignature s2 = Schnorr::Sign(key, "same message", &rng);
+  EXPECT_FALSE(s1.challenge == s2.challenge && s1.response == s2.response);
+  EXPECT_TRUE(Schnorr::Verify(key.pub, "same message", s1));
+  EXPECT_TRUE(Schnorr::Verify(key.pub, "same message", s2));
+}
+
+TEST(KeypairTest, GenerateProducesValidKeys) {
+  common::Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    Keypair key = Keypair::Generate(&rng);
+    EXPECT_TRUE(IsValidScalar(key.secret));
+    EXPECT_TRUE(Secp256k1::IsOnCurve(key.pub));
+    EXPECT_EQ(key.pub, Secp256k1::MulBase(key.secret));
+  }
+}
+
+TEST(KeypairTest, FromSeedIsDeterministic) {
+  Keypair a = Keypair::FromSeed("alice");
+  Keypair b = Keypair::FromSeed("alice");
+  Keypair c = Keypair::FromSeed("bob");
+  EXPECT_EQ(a.secret, b.secret);
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_NE(a.secret, c.secret);
+}
+
+TEST(HashToScalarTest, ValidAndDeterministic) {
+  U256 s1 = HashToScalar("input");
+  U256 s2 = HashToScalar("input");
+  U256 s3 = HashToScalar("other");
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_TRUE(IsValidScalar(s1));
+  EXPECT_NE(HashToScalar("input", "tag-a"), HashToScalar("input", "tag-b"));
+}
+
+}  // namespace
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,90 @@
+#include "crypto/sha256.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace tokenmagic::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP standard test vectors.
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b"
+            "855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2001"
+            "5ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                      "nopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db0"
+            "6c1");
+}
+
+TEST(Sha256Test, OneMillionA) {
+  Sha256 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  auto digest = hasher.Finalize();
+  EXPECT_EQ(common::HexEncode(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112"
+            "cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string message =
+      "The quick brown fox jumps over the lazy dog and keeps running";
+  for (size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 hasher;
+    hasher.Update(message.substr(0, split));
+    hasher.Update(message.substr(split));
+    auto incremental = hasher.Finalize();
+    EXPECT_EQ(incremental, Sha256::Hash(message));
+  }
+}
+
+TEST(Sha256Test, BoundaryLengthsAroundBlockSize) {
+  // Lengths 55, 56, 57, 63, 64, 65 exercise every padding branch; verify
+  // incremental == one-shot and that each digest is distinct.
+  std::vector<Sha256::Digest> digests;
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string msg(len, 'x');
+    Sha256 byte_at_a_time;
+    for (char c : msg) {
+      byte_at_a_time.Update(std::string_view(&c, 1));
+    }
+    auto digest = byte_at_a_time.Finalize();
+    EXPECT_EQ(digest, Sha256::Hash(msg)) << "len=" << len;
+    digests.push_back(digest);
+  }
+  for (size_t i = 0; i < digests.size(); ++i) {
+    for (size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+TEST(Sha256Test, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::Hash("a"), Sha256::Hash("b"));
+  EXPECT_NE(Sha256::Hash("a"), Sha256::Hash("aa"));
+  EXPECT_NE(Sha256::Hash(""), Sha256::Hash(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, HashVectorOverloadMatches) {
+  std::vector<uint8_t> bytes = {'a', 'b', 'c'};
+  Sha256 hasher;
+  hasher.Update(bytes);
+  EXPECT_EQ(hasher.Finalize(), Sha256::Hash("abc"));
+}
+
+}  // namespace
+}  // namespace tokenmagic::crypto

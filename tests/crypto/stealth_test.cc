@@ -1,0 +1,90 @@
+#include "crypto/stealth.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/field.h"
+#include "crypto/lsag.h"
+
+namespace tokenmagic::crypto {
+namespace {
+
+TEST(StealthTest, RecipientDetectsOwnOutput) {
+  common::Rng rng(1);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthOutput output = Stealth::Derive(bob.public_address(), &rng);
+  EXPECT_TRUE(Stealth::IsMine(bob, output));
+}
+
+TEST(StealthTest, OtherWalletsDoNotDetect) {
+  common::Rng rng(2);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthAddress eve = StealthAddress::Generate(&rng);
+  StealthOutput output = Stealth::Derive(bob.public_address(), &rng);
+  EXPECT_FALSE(Stealth::IsMine(eve, output));
+  EXPECT_FALSE(Stealth::RecoverKey(eve, output).has_value());
+}
+
+TEST(StealthTest, RecoveredKeyMatchesOneTimeKey) {
+  common::Rng rng(3);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthOutput output = Stealth::Derive(bob.public_address(), &rng);
+  auto key = Stealth::RecoverKey(bob, output);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->pub, output.one_time_key);
+  EXPECT_EQ(Secp256k1::MulBase(key->secret), output.one_time_key);
+}
+
+TEST(StealthTest, RecoveredKeyCanSignLsag) {
+  common::Rng rng(4);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthOutput mine = Stealth::Derive(bob.public_address(), &rng);
+  auto key = Stealth::RecoverKey(bob, mine);
+  ASSERT_TRUE(key.has_value());
+
+  // Ring of decoy one-time keys + bob's.
+  std::vector<Point> ring;
+  for (int i = 0; i < 3; ++i) {
+    StealthAddress decoy = StealthAddress::Generate(&rng);
+    ring.push_back(
+        Stealth::Derive(decoy.public_address(), &rng).one_time_key);
+  }
+  ring.push_back(mine.one_time_key);
+  auto sig = Lsag::Sign(ring, 3, *key, "stealth spend", &rng);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(Lsag::Verify(*sig, "stealth spend"));
+}
+
+TEST(StealthTest, RepeatedPaymentsAreUnlinkable) {
+  common::Rng rng(5);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthOutput p1 = Stealth::Derive(bob.public_address(), &rng);
+  StealthOutput p2 = Stealth::Derive(bob.public_address(), &rng);
+  // Fresh transaction keys => distinct one-time keys every time.
+  EXPECT_NE(p1.one_time_key, p2.one_time_key);
+  EXPECT_NE(p1.tx_pubkey, p2.tx_pubkey);
+  // Both still detectable by bob.
+  EXPECT_TRUE(Stealth::IsMine(bob, p1));
+  EXPECT_TRUE(Stealth::IsMine(bob, p2));
+}
+
+TEST(StealthTest, TamperedTxPubkeyBreaksDetection) {
+  common::Rng rng(6);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  StealthOutput output = Stealth::Derive(bob.public_address(), &rng);
+  output.tx_pubkey = Secp256k1::Add(output.tx_pubkey,
+                                    Secp256k1::Generator());
+  EXPECT_FALSE(Stealth::IsMine(bob, output));
+}
+
+TEST(StealthTest, OneTimeKeysAreValidCurvePoints) {
+  common::Rng rng(7);
+  StealthAddress bob = StealthAddress::Generate(&rng);
+  for (int i = 0; i < 8; ++i) {
+    StealthOutput output = Stealth::Derive(bob.public_address(), &rng);
+    EXPECT_TRUE(Secp256k1::IsOnCurve(output.one_time_key));
+    EXPECT_FALSE(output.one_time_key.infinity);
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,291 @@
+#include "node/node.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive.h"
+#include "node/wallet.h"
+
+namespace tokenmagic::node {
+namespace {
+
+/// A two-wallet network fixture: alice and bob each receive a genesis
+/// grant of `tokens_each` tokens across several transactions so the HT
+/// structure is diverse enough for selection.
+struct Network {
+  Node node;
+  Wallet alice;
+  Wallet bob;
+
+  explicit Network(size_t tokens_each = 12, size_t lambda = 64)
+      : node(MakeConfig(lambda)),
+        alice("alice", &node, 111),
+        bob("bob", &node, 222) {
+    std::vector<std::vector<crypto::Point>> grants;
+    // Interleave 1-token grants: every token gets its own HT.
+    for (size_t i = 0; i < tokens_each; ++i) {
+      grants.push_back({alice.NewOutputKey()});
+      grants.push_back({bob.NewOutputKey()});
+    }
+    auto minted = node.Genesis(grants);
+    for (size_t i = 0; i < minted.size(); ++i) {
+      Wallet& owner = (i % 2 == 0) ? alice : bob;
+      for (chain::TokenId t : minted[i]) {
+        EXPECT_TRUE(owner.Claim(t).ok());
+      }
+    }
+  }
+
+  static NodeConfig MakeConfig(size_t lambda) {
+    NodeConfig config;
+    config.lambda = lambda;
+    return config;
+  }
+};
+
+TEST(NodeTest, GenesisMintsAndRegistersKeys) {
+  Network net(4);
+  EXPECT_EQ(net.node.blockchain().token_count(), 8u);
+  EXPECT_EQ(net.node.keys().size(), 8u);
+  EXPECT_EQ(net.alice.balance(), 4u);
+  EXPECT_EQ(net.bob.balance(), 4u);
+}
+
+TEST(NodeTest, WalletClaimRejectsForeignTokens) {
+  Network net(2);
+  // Token 0 belongs to alice; bob cannot claim it.
+  EXPECT_TRUE(net.bob.Claim(0).IsNotFound());
+}
+
+TEST(NodeTest, SpendSubmitMineLifecycle) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto receiver_key = net.bob.NewOutputKey();
+  ASSERT_TRUE(net.alice
+                  .Spend(&net.node, token, {2.0, 3}, selector,
+                         {receiver_key}, "pay bob")
+                  .ok());
+  EXPECT_EQ(net.node.mempool_size(), 1u);
+
+  MinedBlock block = net.node.MineBlock();
+  EXPECT_EQ(block.transactions, 1u);
+  ASSERT_EQ(block.outputs.size(), 1u);
+  ASSERT_EQ(block.outputs[0].size(), 1u);
+  EXPECT_EQ(net.node.mempool_size(), 0u);
+  EXPECT_EQ(net.node.ledger().size(), 1u);
+
+  // Bob claims the freshly minted token and can see it in his balance.
+  EXPECT_TRUE(net.bob.Claim(block.outputs[0][0]).ok());
+  EXPECT_EQ(net.bob.balance(), 13u);
+}
+
+TEST(NodeTest, DoubleSpendRejectedAtSubmit) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx1 = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                  {net.bob.NewOutputKey()}, "first");
+  ASSERT_TRUE(tx1.ok());
+  auto tx2 = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                  {net.bob.NewOutputKey()}, "second");
+  ASSERT_TRUE(tx2.ok());
+  // Both have the same key image (same token).
+  ASSERT_TRUE(net.node
+                  .SubmitTransaction(std::move(tx1).value(),
+                                     {net.bob.NewOutputKey()})
+                  .ok());
+  auto verdict = net.node.SubmitTransaction(std::move(tx2).value(),
+                                            {net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, DoubleSpendRejectedAcrossBlocks) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx1 = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                  {net.bob.NewOutputKey()}, "first");
+  ASSERT_TRUE(tx1.ok());
+  auto tx2 = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                  {net.bob.NewOutputKey()}, "second");
+  ASSERT_TRUE(tx2.ok());
+  ASSERT_TRUE(net.node
+                  .SubmitTransaction(std::move(tx1).value(),
+                                     {net.bob.NewOutputKey()})
+                  .ok());
+  net.node.MineBlock();
+  auto verdict = net.node.SubmitTransaction(std::move(tx2).value(),
+                                            {net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, TamperedSignatureRejected) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                 {net.bob.NewOutputKey()}, "pay");
+  ASSERT_TRUE(tx.ok());
+  SignedTransaction bad = std::move(tx).value();
+  bad.memo = "pay MORE";  // breaks the signing-message binding
+  auto verdict =
+      net.node.SubmitTransaction(std::move(bad), {net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, ForeignTokenCannotBeSpent) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  // Bob tries to spend alice's token.
+  chain::TokenId alices = net.alice.SpendableTokens()[0];
+  auto attempt = net.bob.BuildSpend(alices, {2.0, 3}, selector,
+                                    {net.bob.NewOutputKey()}, "steal");
+  EXPECT_TRUE(attempt.status().IsNotFound());
+}
+
+TEST(NodeTest, VerifierEnforcesDeclaredDiversity) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                 {net.bob.NewOutputKey()}, "pay");
+  ASSERT_TRUE(tx.ok());
+  // Inflate the declared requirement beyond what the ring satisfies: the
+  // node must reject even though the LSAG itself still verifies.
+  SignedTransaction bad = std::move(tx).value();
+  bad.inputs[0].requirement = {0.0001, 50};
+  auto verdict =
+      net.node.SubmitTransaction(std::move(bad), {net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, ConfigurationViolationRejected) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  // First spend creates an RS on the ledger.
+  chain::TokenId t1 = net.alice.SpendableTokens()[0];
+  ASSERT_TRUE(net.alice
+                  .Spend(&net.node, t1, {2.0, 3}, selector,
+                         {net.bob.NewOutputKey()}, "a")
+                  .ok());
+  net.node.MineBlock();
+  const auto& first_rs = net.node.ledger().view(0);
+
+  // Hand-craft a second transaction whose ring partially overlaps the
+  // existing RS (takes some but not all of its members plus extras).
+  chain::TokenId t2 = net.bob.SpendableTokens()[0];
+  auto tx = net.bob.BuildSpend(t2, {2.0, 3}, selector,
+                               {net.alice.NewOutputKey()}, "b");
+  ASSERT_TRUE(tx.ok());
+  SignedTransaction bad = std::move(tx).value();
+  // Force a partial overlap: {one member of the existing RS} ∪ {t2}.
+  // Either the configuration check or the (now unbound) LSAG rejects it;
+  // both are VerificationFailed.
+  std::vector<chain::TokenId> overlap_ring = {first_rs.members[0], t2};
+  std::sort(overlap_ring.begin(), overlap_ring.end());
+  bad.inputs[0].ring = overlap_ring;
+  auto verdict =
+      net.node.SubmitTransaction(std::move(bad), {net.alice.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, MempoolRejectsDuplicateKeyImages) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                 {net.bob.NewOutputKey()}, "pay");
+  ASSERT_TRUE(tx.ok());
+  SignedTransaction duplicate = tx.value();
+  ASSERT_TRUE(net.node
+                  .SubmitTransaction(std::move(tx).value(),
+                                     {net.bob.NewOutputKey()})
+                  .ok());
+  auto verdict = net.node.SubmitTransaction(std::move(duplicate),
+                                            {net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsVerificationFailed());
+}
+
+TEST(NodeTest, OutputKeyCountMustMatch) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  auto tx = net.alice.BuildSpend(token, {2.0, 3}, selector,
+                                 {net.bob.NewOutputKey()}, "pay");
+  ASSERT_TRUE(tx.ok());
+  auto verdict = net.node.SubmitTransaction(
+      std::move(tx).value(),
+      {net.bob.NewOutputKey(), net.bob.NewOutputKey()});
+  EXPECT_TRUE(verdict.IsInvalidArgument());
+}
+
+TEST(NodeTest, MultiInputTransactionVerifiesAndMines) {
+  Network net(14);
+  core::ProgressiveSelector selector;
+  auto spendable = net.alice.SpendableTokens();
+  ASSERT_GE(spendable.size(), 2u);
+  std::vector<chain::TokenId> inputs = {spendable[0], spendable[1]};
+  auto tx = net.alice.BuildSpendMulti(inputs, {2.0, 3}, selector,
+                                      {net.bob.NewOutputKey()}, "multi");
+  ASSERT_TRUE(tx.ok());
+  EXPECT_EQ(tx->inputs.size(), 2u);
+  // Sibling rings must respect the first configuration between each
+  // other: superset or disjoint.
+  const auto& a = tx->inputs[0].ring;
+  const auto& b = tx->inputs[1].ring;
+  std::vector<chain::TokenId> intersection;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(intersection));
+  bool disjoint = intersection.empty();
+  bool nested = std::includes(a.begin(), a.end(), b.begin(), b.end()) ||
+                std::includes(b.begin(), b.end(), a.begin(), a.end());
+  EXPECT_TRUE(disjoint || nested);
+
+  ASSERT_TRUE(net.node
+                  .SubmitTransaction(std::move(tx).value(),
+                                     {net.bob.NewOutputKey()})
+                  .ok());
+  auto mined = net.node.MineBlock();
+  EXPECT_EQ(mined.transactions, 1u);
+  EXPECT_EQ(net.node.ledger().size(), 2u);  // one RS per input
+}
+
+TEST(NodeTest, MultiInputRejectsDuplicatesAndUnknowns) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  auto spendable = net.alice.SpendableTokens();
+  auto dup = net.alice.BuildSpendMulti({spendable[0], spendable[0]},
+                                       {2.0, 3}, selector,
+                                       {net.bob.NewOutputKey()}, "dup");
+  EXPECT_TRUE(dup.status().IsInvalidArgument());
+  auto none = net.alice.BuildSpendMulti({}, {2.0, 3}, selector,
+                                        {net.bob.NewOutputKey()}, "none");
+  EXPECT_TRUE(none.status().IsInvalidArgument());
+}
+
+TEST(NodeTest, ManySpendsRemainUnlinkable) {
+  Network net(16, 64);
+  core::ProgressiveSelector selector;
+  // Alternate spenders over several blocks.
+  for (int round = 0; round < 3; ++round) {
+    Wallet& spender = (round % 2 == 0) ? net.alice : net.bob;
+    Wallet& receiver = (round % 2 == 0) ? net.bob : net.alice;
+    auto spendable = spender.SpendableTokens();
+    ASSERT_FALSE(spendable.empty());
+    ASSERT_TRUE(spender
+                    .Spend(&net.node, spendable[round], {2.0, 3}, selector,
+                           {receiver.NewOutputKey()}, "round")
+                    .ok());
+    net.node.MineBlock();
+  }
+  EXPECT_EQ(net.node.ledger().size(), 3u);
+  // The node itself cannot name any spend: ground truth is blind.
+  for (size_t i = 0; i < net.node.ledger().size(); ++i) {
+    EXPECT_EQ(net.node.ledger().GroundTruthSpent(i), chain::kInvalidToken);
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::node

@@ -1,0 +1,58 @@
+#include "node/types.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::node {
+namespace {
+
+SignedTransaction MakeTx() {
+  SignedTransaction tx;
+  tx.memo = "memo";
+  tx.output_count = 2;
+  TxInput input;
+  input.ring = {1, 2, 3};
+  tx.inputs.push_back(input);
+  TxInput input2;
+  input2.ring = {4, 5};
+  tx.inputs.push_back(input2);
+  return tx;
+}
+
+TEST(SigningMessageTest, DeterministicPerInput) {
+  SignedTransaction tx = MakeTx();
+  EXPECT_EQ(tx.SigningMessage(0), tx.SigningMessage(0));
+  EXPECT_EQ(tx.SigningMessage(1), tx.SigningMessage(1));
+  EXPECT_NE(tx.SigningMessage(0), tx.SigningMessage(1));
+}
+
+TEST(SigningMessageTest, BindsMemo) {
+  SignedTransaction a = MakeTx();
+  SignedTransaction b = MakeTx();
+  b.memo = "other memo";
+  EXPECT_NE(a.SigningMessage(0), b.SigningMessage(0));
+}
+
+TEST(SigningMessageTest, BindsOutputCount) {
+  SignedTransaction a = MakeTx();
+  SignedTransaction b = MakeTx();
+  b.output_count = 3;
+  EXPECT_NE(a.SigningMessage(0), b.SigningMessage(0));
+}
+
+TEST(SigningMessageTest, BindsRingMembers) {
+  SignedTransaction a = MakeTx();
+  SignedTransaction b = MakeTx();
+  b.inputs[0].ring = {1, 2, 7};
+  EXPECT_NE(a.SigningMessage(0), b.SigningMessage(0));
+  // The *other* input's message is ring-local, so it stays unchanged.
+  EXPECT_EQ(a.SigningMessage(1), b.SigningMessage(1));
+}
+
+TEST(SigningMessageTest, FixedDigestLength) {
+  SignedTransaction tx = MakeTx();
+  EXPECT_EQ(tx.SigningMessage(0).size(), 32u);
+  EXPECT_EQ(tx.SigningMessage(1).size(), 32u);
+}
+
+}  // namespace
+}  // namespace tokenmagic::node

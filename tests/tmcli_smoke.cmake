@@ -1,0 +1,16 @@
+# Drives tmcli through its whole surface; any non-zero exit fails the test.
+file(MAKE_DIRECTORY ${WORKDIR})
+foreach(args
+    "gen-monero;--out;${WORKDIR}/data"
+    "gen-synthetic;--out;${WORKDIR}/synth;--supers;10;--sigma;8"
+    "stats;--data;${WORKDIR}/data"
+    "select;--data;${WORKDIR}/data;--target;5;--algo;TM_P;--ell;20"
+    "select;--data;${WORKDIR}/data;--target;5;--algo;TM_G;--ell;20"
+    "attack;--data;${WORKDIR}/data"
+    "report;--data;${WORKDIR}/data"
+    "simulate;--rounds;2;--wallets;3")
+  execute_process(COMMAND ${TMCLI} ${args} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "tmcli ${args} failed with ${code}")
+  endif()
+endforeach()
