@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dtrs"
+  "../bench/bench_ablation_dtrs.pdb"
+  "CMakeFiles/bench_ablation_dtrs.dir/bench_ablation_dtrs.cc.o"
+  "CMakeFiles/bench_ablation_dtrs.dir/bench_ablation_dtrs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lsag"
+  "../bench/bench_ablation_lsag.pdb"
+  "CMakeFiles/bench_ablation_lsag.dir/bench_ablation_lsag.cc.o"
+  "CMakeFiles/bench_ablation_lsag.dir/bench_ablation_lsag.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_synth_fresh"
+  "../bench/bench_fig10_synth_fresh.pdb"
+  "CMakeFiles/bench_fig10_synth_fresh.dir/bench_fig10_synth_fresh.cc.o"
+  "CMakeFiles/bench_fig10_synth_fresh.dir/bench_fig10_synth_fresh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_synth_fresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_bfs_smallscale"
+  "../bench/bench_fig4_bfs_smallscale.pdb"
+  "CMakeFiles/bench_fig4_bfs_smallscale.dir/bench_fig4_bfs_smallscale.cc.o"
+  "CMakeFiles/bench_fig4_bfs_smallscale.dir/bench_fig4_bfs_smallscale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bfs_smallscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_real_c"
+  "../bench/bench_fig5_real_c.pdb"
+  "CMakeFiles/bench_fig5_real_c.dir/bench_fig5_real_c.cc.o"
+  "CMakeFiles/bench_fig5_real_c.dir/bench_fig5_real_c.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_real_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_real_ell"
+  "../bench/bench_fig6_real_ell.pdb"
+  "CMakeFiles/bench_fig6_real_ell.dir/bench_fig6_real_ell.cc.o"
+  "CMakeFiles/bench_fig6_real_ell.dir/bench_fig6_real_ell.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_real_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

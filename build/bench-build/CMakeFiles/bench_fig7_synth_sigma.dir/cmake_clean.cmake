@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_synth_sigma"
+  "../bench/bench_fig7_synth_sigma.pdb"
+  "CMakeFiles/bench_fig7_synth_sigma.dir/bench_fig7_synth_sigma.cc.o"
+  "CMakeFiles/bench_fig7_synth_sigma.dir/bench_fig7_synth_sigma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_synth_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

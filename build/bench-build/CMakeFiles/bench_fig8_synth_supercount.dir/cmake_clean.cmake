@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_synth_supercount"
+  "../bench/bench_fig8_synth_supercount.pdb"
+  "CMakeFiles/bench_fig8_synth_supercount.dir/bench_fig8_synth_supercount.cc.o"
+  "CMakeFiles/bench_fig8_synth_supercount.dir/bench_fig8_synth_supercount.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_synth_supercount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

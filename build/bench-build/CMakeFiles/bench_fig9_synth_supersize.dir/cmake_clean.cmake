@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_synth_supersize"
+  "../bench/bench_fig9_synth_supersize.pdb"
+  "CMakeFiles/bench_fig9_synth_supersize.dir/bench_fig9_synth_supersize.cc.o"
+  "CMakeFiles/bench_fig9_synth_supersize.dir/bench_fig9_synth_supersize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_synth_supersize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

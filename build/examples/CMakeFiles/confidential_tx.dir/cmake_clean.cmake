@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_tx.dir/confidential_tx.cpp.o"
+  "CMakeFiles/confidential_tx.dir/confidential_tx.cpp.o.d"
+  "confidential_tx"
+  "confidential_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

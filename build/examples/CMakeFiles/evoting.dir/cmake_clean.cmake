@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evoting.dir/evoting.cpp.o"
+  "CMakeFiles/evoting.dir/evoting.cpp.o.d"
+  "evoting"
+  "evoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

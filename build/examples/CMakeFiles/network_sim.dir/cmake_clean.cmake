@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/network_sim.dir/network_sim.cpp.o.d"
+  "network_sim"
+  "network_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

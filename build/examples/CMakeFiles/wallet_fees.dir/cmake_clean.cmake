@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallet_fees.dir/wallet_fees.cpp.o"
+  "CMakeFiles/wallet_fees.dir/wallet_fees.cpp.o.d"
+  "wallet_fees"
+  "wallet_fees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallet_fees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

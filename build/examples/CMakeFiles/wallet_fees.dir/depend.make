@@ -1,0 +1,2 @@
+# Empty dependencies file for wallet_fees.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anonymity.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/anonymity.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/anonymity.cc.o.d"
+  "/root/repo/src/analysis/chain_reaction.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/chain_reaction.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/chain_reaction.cc.o.d"
+  "/root/repo/src/analysis/diversity.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/diversity.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/diversity.cc.o.d"
+  "/root/repo/src/analysis/dtrs.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/dtrs.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/dtrs.cc.o.d"
+  "/root/repo/src/analysis/homogeneity.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/homogeneity.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/homogeneity.cc.o.d"
+  "/root/repo/src/analysis/ht_index.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/ht_index.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/ht_index.cc.o.d"
+  "/root/repo/src/analysis/incremental.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/incremental.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/incremental.cc.o.d"
+  "/root/repo/src/analysis/matching.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/matching.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/matching.cc.o.d"
+  "/root/repo/src/analysis/related_set.cc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/related_set.cc.o" "gcc" "src/analysis/CMakeFiles/tokenmagic_analysis.dir/related_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tokenmagic_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_analysis.dir/anonymity.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/anonymity.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/chain_reaction.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/chain_reaction.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/diversity.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/diversity.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/dtrs.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/dtrs.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/homogeneity.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/homogeneity.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/ht_index.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/ht_index.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/incremental.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/incremental.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/matching.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/matching.cc.o.d"
+  "CMakeFiles/tokenmagic_analysis.dir/related_set.cc.o"
+  "CMakeFiles/tokenmagic_analysis.dir/related_set.cc.o.d"
+  "libtokenmagic_analysis.a"
+  "libtokenmagic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

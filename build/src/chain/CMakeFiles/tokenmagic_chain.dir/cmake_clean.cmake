@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_chain.dir/blockchain.cc.o"
+  "CMakeFiles/tokenmagic_chain.dir/blockchain.cc.o.d"
+  "CMakeFiles/tokenmagic_chain.dir/ledger.cc.o"
+  "CMakeFiles/tokenmagic_chain.dir/ledger.cc.o.d"
+  "CMakeFiles/tokenmagic_chain.dir/types.cc.o"
+  "CMakeFiles/tokenmagic_chain.dir/types.cc.o.d"
+  "libtokenmagic_chain.a"
+  "libtokenmagic_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

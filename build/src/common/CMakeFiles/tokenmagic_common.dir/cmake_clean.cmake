@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_common.dir/histogram.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/histogram.cc.o.d"
+  "CMakeFiles/tokenmagic_common.dir/logging.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/logging.cc.o.d"
+  "CMakeFiles/tokenmagic_common.dir/rng.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/rng.cc.o.d"
+  "CMakeFiles/tokenmagic_common.dir/status.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/status.cc.o.d"
+  "CMakeFiles/tokenmagic_common.dir/stopwatch.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/stopwatch.cc.o.d"
+  "CMakeFiles/tokenmagic_common.dir/strings.cc.o"
+  "CMakeFiles/tokenmagic_common.dir/strings.cc.o.d"
+  "libtokenmagic_common.a"
+  "libtokenmagic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtokenmagic_common.a"
+)

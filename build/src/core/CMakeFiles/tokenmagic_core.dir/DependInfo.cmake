@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/tokenmagic_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/tokenmagic_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/bfs.cc" "src/core/CMakeFiles/tokenmagic_core.dir/bfs.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/bfs.cc.o.d"
+  "/root/repo/src/core/eligibility.cc" "src/core/CMakeFiles/tokenmagic_core.dir/eligibility.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/eligibility.cc.o.d"
+  "/root/repo/src/core/game_theoretic.cc" "src/core/CMakeFiles/tokenmagic_core.dir/game_theoretic.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/game_theoretic.cc.o.d"
+  "/root/repo/src/core/module_greedy.cc" "src/core/CMakeFiles/tokenmagic_core.dir/module_greedy.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/module_greedy.cc.o.d"
+  "/root/repo/src/core/modules.cc" "src/core/CMakeFiles/tokenmagic_core.dir/modules.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/modules.cc.o.d"
+  "/root/repo/src/core/progressive.cc" "src/core/CMakeFiles/tokenmagic_core.dir/progressive.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/progressive.cc.o.d"
+  "/root/repo/src/core/relaxing.cc" "src/core/CMakeFiles/tokenmagic_core.dir/relaxing.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/relaxing.cc.o.d"
+  "/root/repo/src/core/token_magic.cc" "src/core/CMakeFiles/tokenmagic_core.dir/token_magic.cc.o" "gcc" "src/core/CMakeFiles/tokenmagic_core.dir/token_magic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tokenmagic_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tokenmagic_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_core.dir/baselines.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/baselines.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/batch.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/batch.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/bfs.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/bfs.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/eligibility.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/eligibility.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/game_theoretic.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/game_theoretic.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/module_greedy.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/module_greedy.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/modules.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/modules.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/progressive.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/progressive.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/relaxing.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/relaxing.cc.o.d"
+  "CMakeFiles/tokenmagic_core.dir/token_magic.cc.o"
+  "CMakeFiles/tokenmagic_core.dir/token_magic.cc.o.d"
+  "libtokenmagic_core.a"
+  "libtokenmagic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

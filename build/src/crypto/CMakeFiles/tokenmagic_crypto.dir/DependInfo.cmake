@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/field.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/field.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/field.cc.o.d"
+  "/root/repo/src/crypto/keys.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/keys.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/keys.cc.o.d"
+  "/root/repo/src/crypto/lsag.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/lsag.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/lsag.cc.o.d"
+  "/root/repo/src/crypto/pedersen.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/pedersen.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/pedersen.cc.o.d"
+  "/root/repo/src/crypto/range_proof.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/range_proof.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/range_proof.cc.o.d"
+  "/root/repo/src/crypto/schnorr.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/schnorr.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/schnorr.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/secp256k1.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/serialize.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/serialize.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/serialize.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/stealth.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/stealth.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/stealth.cc.o.d"
+  "/root/repo/src/crypto/u256.cc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/u256.cc.o" "gcc" "src/crypto/CMakeFiles/tokenmagic_crypto.dir/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_crypto.dir/field.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/field.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/keys.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/keys.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/lsag.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/lsag.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/pedersen.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/pedersen.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/range_proof.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/range_proof.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/schnorr.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/schnorr.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/serialize.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/serialize.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/sha256.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/stealth.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/stealth.cc.o.d"
+  "CMakeFiles/tokenmagic_crypto.dir/u256.cc.o"
+  "CMakeFiles/tokenmagic_crypto.dir/u256.cc.o.d"
+  "libtokenmagic_crypto.a"
+  "libtokenmagic_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

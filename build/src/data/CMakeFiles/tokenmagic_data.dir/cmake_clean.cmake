@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_data.dir/csv.cc.o"
+  "CMakeFiles/tokenmagic_data.dir/csv.cc.o.d"
+  "CMakeFiles/tokenmagic_data.dir/dataset.cc.o"
+  "CMakeFiles/tokenmagic_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tokenmagic_data.dir/monero_like.cc.o"
+  "CMakeFiles/tokenmagic_data.dir/monero_like.cc.o.d"
+  "CMakeFiles/tokenmagic_data.dir/synthetic.cc.o"
+  "CMakeFiles/tokenmagic_data.dir/synthetic.cc.o.d"
+  "libtokenmagic_data.a"
+  "libtokenmagic_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_node.dir/node.cc.o"
+  "CMakeFiles/tokenmagic_node.dir/node.cc.o.d"
+  "CMakeFiles/tokenmagic_node.dir/snapshot.cc.o"
+  "CMakeFiles/tokenmagic_node.dir/snapshot.cc.o.d"
+  "CMakeFiles/tokenmagic_node.dir/types.cc.o"
+  "CMakeFiles/tokenmagic_node.dir/types.cc.o.d"
+  "CMakeFiles/tokenmagic_node.dir/verifier.cc.o"
+  "CMakeFiles/tokenmagic_node.dir/verifier.cc.o.d"
+  "CMakeFiles/tokenmagic_node.dir/wallet.cc.o"
+  "CMakeFiles/tokenmagic_node.dir/wallet.cc.o.d"
+  "libtokenmagic_node.a"
+  "libtokenmagic_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenmagic_sim.dir/simulation.cc.o"
+  "CMakeFiles/tokenmagic_sim.dir/simulation.cc.o.d"
+  "libtokenmagic_sim.a"
+  "libtokenmagic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenmagic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/chain_reaction_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/chain_reaction_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/chain_reaction_test.cc.o.d"
+  "/root/repo/tests/analysis/diversity_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/diversity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/diversity_test.cc.o.d"
+  "/root/repo/tests/analysis/dtrs_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/dtrs_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/dtrs_test.cc.o.d"
+  "/root/repo/tests/analysis/homogeneity_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/homogeneity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/homogeneity_test.cc.o.d"
+  "/root/repo/tests/analysis/incremental_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/incremental_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/incremental_test.cc.o.d"
+  "/root/repo/tests/analysis/matching_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/matching_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/matching_test.cc.o.d"
+  "/root/repo/tests/analysis/related_set_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/related_set_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/related_set_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tokenmagic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tokenmagic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tokenmagic_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tokenmagic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tokenmagic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tokenmagic_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tokenmagic_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/chain_reaction_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/chain_reaction_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/diversity_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/diversity_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/dtrs_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/dtrs_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/homogeneity_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/homogeneity_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/incremental_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/incremental_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/matching_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/matching_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/related_set_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/related_set_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

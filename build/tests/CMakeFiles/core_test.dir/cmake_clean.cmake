@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/batch_test.cc.o"
+  "CMakeFiles/core_test.dir/core/batch_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bfs_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bfs_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/eligibility_test.cc.o"
+  "CMakeFiles/core_test.dir/core/eligibility_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/module_greedy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/module_greedy_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/modules_test.cc.o"
+  "CMakeFiles/core_test.dir/core/modules_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/relaxing_test.cc.o"
+  "CMakeFiles/core_test.dir/core/relaxing_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/selectors_test.cc.o"
+  "CMakeFiles/core_test.dir/core/selectors_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/token_magic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/token_magic_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/field_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/field_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/field_test.cc.o.d"
+  "/root/repo/tests/crypto/fuzz_like_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/fuzz_like_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/fuzz_like_test.cc.o.d"
+  "/root/repo/tests/crypto/lsag_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/lsag_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/lsag_test.cc.o.d"
+  "/root/repo/tests/crypto/pedersen_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/pedersen_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/pedersen_test.cc.o.d"
+  "/root/repo/tests/crypto/range_proof_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/range_proof_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/range_proof_test.cc.o.d"
+  "/root/repo/tests/crypto/schnorr_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/schnorr_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/schnorr_test.cc.o.d"
+  "/root/repo/tests/crypto/secp256k1_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/secp256k1_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/secp256k1_test.cc.o.d"
+  "/root/repo/tests/crypto/serialize_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/serialize_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/serialize_test.cc.o.d"
+  "/root/repo/tests/crypto/sha256_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/sha256_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/sha256_test.cc.o.d"
+  "/root/repo/tests/crypto/stealth_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/stealth_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/stealth_test.cc.o.d"
+  "/root/repo/tests/crypto/u256_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/u256_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/u256_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tokenmagic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tokenmagic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tokenmagic_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tokenmagic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tokenmagic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tokenmagic_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tokenmagic_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/field_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/field_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/fuzz_like_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/fuzz_like_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/lsag_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/lsag_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/pedersen_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/pedersen_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/range_proof_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/range_proof_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/schnorr_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/schnorr_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/secp256k1_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/secp256k1_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/serialize_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/serialize_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/stealth_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/stealth_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/u256_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/u256_test.cc.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/simulation_test.cc" "tests/CMakeFiles/sim_test.dir/sim/simulation_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/simulation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tokenmagic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tokenmagic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tokenmagic_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tokenmagic_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tokenmagic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tokenmagic_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/tokenmagic_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tokenmagic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcli.dir/tmcli.cc.o"
+  "CMakeFiles/tmcli.dir/tmcli.cc.o.d"
+  "tmcli"
+  "tmcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
