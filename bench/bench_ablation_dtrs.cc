@@ -14,7 +14,7 @@ namespace {
 
 struct ConfiguredInstance {
   std::vector<chain::RsView> history;
-  analysis::HtIndex index;
+  chain::HtIndex index;
   chain::RsId target;
   size_t v_super;
   std::vector<chain::TokenId> target_members;

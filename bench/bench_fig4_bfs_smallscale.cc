@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "core/bfs.h"
 
 namespace tokenmagic::bench {
@@ -19,7 +19,7 @@ namespace {
 
 struct SmallScale {
   std::vector<chain::TokenId> universe;
-  analysis::HtIndex index;
+  chain::HtIndex index;
 
   explicit SmallScale(size_t num_tokens) {
     // Two tokens per HT, mirroring the real trace's dominant pattern.

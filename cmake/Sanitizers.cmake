@@ -1,0 +1,111 @@
+# Shared build hygiene for every TokenMagic target: warnings, -Werror,
+# the TOKENMAGIC_SANITIZE matrix, and opt-in clang-tidy for the crypto and
+# analysis layers. Everything is applied per target through
+# tokenmagic_configure_target() so third-party code (GTest, benchmark) is
+# never instrumented behind our back.
+#
+#   TOKENMAGIC_SANITIZE      comma-separated subset of
+#                            {address, undefined, leak, thread, memory};
+#                            e.g. -DTOKENMAGIC_SANITIZE=address,undefined
+#   TOKENMAGIC_WERROR        treat warnings as errors
+#   TOKENMAGIC_CLANG_TIDY    run clang-tidy (when found) on targets that
+#                            request it (crypto, analysis)
+
+include_guard(GLOBAL)
+
+set(TOKENMAGIC_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers: address,undefined,leak,thread,memory")
+option(TOKENMAGIC_CLANG_TIDY
+       "Run clang-tidy on crypto/analysis targets when available" OFF)
+
+# ---------------------------------------------------------------------------
+# Validate the requested sanitizer combination once, up front.
+# ---------------------------------------------------------------------------
+set(_tm_san_compile_flags "")
+set(_tm_san_link_flags "")
+if(TOKENMAGIC_SANITIZE)
+  string(REPLACE "," ";" _tm_san_list "${TOKENMAGIC_SANITIZE}")
+  set(_tm_san_known address undefined leak thread memory)
+  foreach(_san IN LISTS _tm_san_list)
+    if(NOT _san IN_LIST _tm_san_known)
+      message(FATAL_ERROR
+          "TOKENMAGIC_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected a comma-separated subset of: ${_tm_san_known})")
+    endif()
+  endforeach()
+
+  # ASan/LSan and TSan own incompatible shadow memory layouts; MSan is
+  # incompatible with all of them and needs an instrumented libc++ (clang).
+  if("thread" IN_LIST _tm_san_list AND
+     ("address" IN_LIST _tm_san_list OR "leak" IN_LIST _tm_san_list))
+    message(FATAL_ERROR
+        "TOKENMAGIC_SANITIZE: 'thread' cannot be combined with "
+        "'address'/'leak'")
+  endif()
+  if("memory" IN_LIST _tm_san_list)
+    list(LENGTH _tm_san_list _tm_san_count)
+    if(NOT _tm_san_count EQUAL 1)
+      message(FATAL_ERROR
+          "TOKENMAGIC_SANITIZE: 'memory' cannot be combined with other "
+          "sanitizers")
+    endif()
+    if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      message(FATAL_ERROR
+          "TOKENMAGIC_SANITIZE=memory requires Clang "
+          "(current compiler: ${CMAKE_CXX_COMPILER_ID})")
+    endif()
+  endif()
+
+  string(REPLACE ";" "," _tm_san_csv "${_tm_san_list}")
+  set(_tm_san_compile_flags
+      -fsanitize=${_tm_san_csv}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all
+      -g)
+  set(_tm_san_link_flags -fsanitize=${_tm_san_csv})
+  message(STATUS "TokenMagic: sanitizers enabled: ${_tm_san_csv}")
+endif()
+
+# ---------------------------------------------------------------------------
+# Locate clang-tidy once; targets opt in via tokenmagic_configure_target(TIDY).
+# ---------------------------------------------------------------------------
+set(_tm_clang_tidy_cmd "")
+if(TOKENMAGIC_CLANG_TIDY)
+  find_program(TOKENMAGIC_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(TOKENMAGIC_CLANG_TIDY_EXE)
+    set(_tm_clang_tidy_cmd
+        "${TOKENMAGIC_CLANG_TIDY_EXE};--warnings-as-errors=*")
+    message(STATUS "TokenMagic: clang-tidy: ${TOKENMAGIC_CLANG_TIDY_EXE}")
+  else()
+    message(WARNING
+        "TOKENMAGIC_CLANG_TIDY=ON but clang-tidy was not found; skipping")
+  endif()
+endif()
+
+# Applies the house build flags to `target`. Pass TIDY to additionally run
+# clang-tidy on the target's sources when TOKENMAGIC_CLANG_TIDY is enabled.
+function(tokenmagic_configure_target target)
+  cmake_parse_arguments(ARG "TIDY" "" "" ${ARGN})
+
+  target_compile_options(${target} PRIVATE -Wall -Wextra)
+  # GCC 12+ -Wmaybe-uninitialized false-positives on std::variant/optional
+  # members when destructors get inlined at -O2 (e.g. GCC PR105562); it fires
+  # inside libstdc++ headers for Result<T> and cannot be fixed in our source.
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+     AND CMAKE_CXX_COMPILER_VERSION VERSION_GREATER_EQUAL 12)
+    target_compile_options(${target} PRIVATE -Wno-maybe-uninitialized)
+  endif()
+  if(TOKENMAGIC_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+
+  if(_tm_san_compile_flags)
+    target_compile_options(${target} PRIVATE ${_tm_san_compile_flags})
+    target_link_options(${target} PRIVATE ${_tm_san_link_flags})
+  endif()
+
+  if(ARG_TIDY AND _tm_clang_tidy_cmd)
+    set_target_properties(${target} PROPERTIES
+        CXX_CLANG_TIDY "${_tm_clang_tidy_cmd}")
+  endif()
+endfunction()

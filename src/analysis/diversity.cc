@@ -1,14 +1,74 @@
 #include "analysis/diversity.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "common/macros.h"
 
 namespace tokenmagic::analysis {
 
+namespace {
+
+// Sign of (q1 - c*tail), computed exactly in integer arithmetic.
+//
+// The paper's recursive (c, l)-diversity predicate q_1 < c * tail must not
+// inherit floating-point rounding: near the boundary a double evaluation can
+// flip the verdict, and a wrong verdict silently corrupts every downstream
+// DTRS count. Any finite double c is exactly the dyadic rational m * 2^e
+// (53-bit integer m), so the comparison q1 ? c*tail becomes the integer
+// comparison q1 * 2^-e ? m * tail, done in 128 bits with saturation.
+int CompareSlackExact(int64_t q1, double c /* tm-lint: float-ok(decomposed
+                      into an exact dyadic rational below) */,
+                      int64_t tail) {
+  TM_CHECK(q1 >= 0 && tail >= 0);
+  TM_CHECK(std::isfinite(c) && c >= 0.0);  // tm-lint: float-ok(input check)
+  if (tail == 0 || c == 0.0) {  // tm-lint: float-ok(exact zero test)
+    return q1 > 0 ? 1 : 0;
+  }
+  if (q1 == 0) return -1;  // c*tail > 0 at this point
+  int exp = 0;
+  // tm-lint: float-ok(frexp/ldexp are exact: c == m * 2^e with integer m)
+  double frac = std::frexp(c, &exp);
+  int64_t m = static_cast<int64_t>(std::ldexp(frac, 53));
+  int e = exp - 53;
+  while ((m & 1) == 0 && e < 0) {  // shed trailing zeros to shrink shifts
+    m >>= 1;
+    ++e;
+  }
+  unsigned __int128 lhs = static_cast<unsigned __int128>(q1);
+  unsigned __int128 rhs =
+      static_cast<unsigned __int128>(m) * static_cast<unsigned __int128>(tail);
+  if (e > 0) {
+    // rhs scales up by 2^e; on 128-bit overflow rhs certainly exceeds lhs
+    // (lhs < 2^63 always). Shift widths stay in [1, 127].
+    if (e >= 128 || (rhs >> (128 - e)) != 0) return -1;
+    rhs <<= e;
+  } else if (e < 0) {
+    int shift = -e;
+    // lhs scales up by 2^shift; on overflow lhs certainly exceeds rhs.
+    if (shift >= 128 || (lhs >> (128 - shift)) != 0) return 1;
+    lhs <<= shift;
+  }
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+// Shared tail sum q_l + ... + q_theta of a sorted-descending frequency
+// vector (zero when theta < l).
+int64_t DiversityTail(const std::vector<int64_t>& frequencies, int ell) {
+  int64_t tail = 0;
+  for (size_t i = static_cast<size_t>(ell) - 1; i < frequencies.size(); ++i) {
+    tail += frequencies[i];
+  }
+  return tail;
+}
+
+}  // namespace
+
 std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
-                                   const HtIndex& index) {
+                                   const chain::HtIndex& index) {
   std::unordered_map<chain::TxId, int64_t> counts;
   for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
   std::vector<int64_t> out;
@@ -19,7 +79,7 @@ std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
 }
 
 size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
-                       const HtIndex& index) {
+                       const chain::HtIndex& index) {
   std::unordered_map<chain::TxId, int64_t> counts;
   for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
   return counts.size();
@@ -31,21 +91,18 @@ bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
   TM_DCHECK(std::is_sorted(frequencies.begin(), frequencies.end(),
                            std::greater<int64_t>()));
   TM_CHECK(req.ell >= 1);
-  int64_t q1 = frequencies.front();
-  int64_t tail = 0;
-  for (size_t i = static_cast<size_t>(req.ell) - 1; i < frequencies.size();
-       ++i) {
-    tail += frequencies[i];
-  }
-  return static_cast<double>(q1) < req.c * static_cast<double>(tail);
+  return CompareSlackExact(frequencies.front(), req.c,
+                           DiversityTail(frequencies, req.ell)) < 0;
 }
 
 bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
-                                 const HtIndex& index,
+                                 const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req) {
   return SatisfiesRecursiveDiversity(HtFrequencies(tokens, index), req);
 }
 
+// tm-lint: float-ok(greedy potential only; its magnitude may round but its
+// sign is forced to agree with the exact integer comparison)
 double DiversitySlack(const std::vector<int64_t>& frequencies,
                       const chain::DiversityRequirement& req) {
   TM_CHECK(req.ell >= 1);
@@ -53,12 +110,17 @@ double DiversitySlack(const std::vector<int64_t>& frequencies,
   TM_DCHECK(std::is_sorted(frequencies.begin(), frequencies.end(),
                            std::greater<int64_t>()));
   int64_t q1 = frequencies.front();
-  int64_t tail = 0;
-  for (size_t i = static_cast<size_t>(req.ell) - 1; i < frequencies.size();
-       ++i) {
-    tail += frequencies[i];
-  }
-  return static_cast<double>(q1) - req.c * static_cast<double>(tail);
+  int64_t tail = DiversityTail(frequencies, req.ell);
+  int sign = CompareSlackExact(q1, req.c, tail);
+  // tm-lint: float-ok(display/heuristic magnitude; sign corrected below)
+  double approx =
+      static_cast<double>(q1) - req.c * static_cast<double>(tail);
+  // Rounding in `approx` must never contradict the exact feasibility
+  // verdict: nudge it onto the correct side of zero when they disagree.
+  if (sign < 0 && approx >= 0.0) return -0.5;
+  if (sign > 0 && approx <= 0.0) return 0.5;
+  if (sign == 0) return 0.0;
+  return approx;
 }
 
 }  // namespace tokenmagic::analysis

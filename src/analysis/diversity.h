@@ -10,18 +10,18 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
 
 /// Descending HT frequency vector (q_1 >= ... >= q_θ) of a token set.
 std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
-                                   const HtIndex& index);
+                                   const chain::HtIndex& index);
 
 /// Number of distinct HTs among `tokens`.
 size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
-                       const HtIndex& index);
+                       const chain::HtIndex& index);
 
 /// Core predicate on a sorted-descending frequency vector.
 /// Empty input never satisfies any requirement.
@@ -30,11 +30,14 @@ bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
 
 /// Convenience: predicate on a token set.
 bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
-                                 const HtIndex& index,
+                                 const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req);
 
 /// Slack δ = q_1 - c * (q_ℓ + ... + q_θ): negative iff the requirement is
 /// met; used as the greedy potential in the Progressive Algorithm (§6.2).
+/// The sign always matches the exact integer feasibility verdict even when
+/// the double magnitude rounds.
+// tm-lint: float-ok(greedy potential; sign is exact, magnitude may round)
 double DiversitySlack(const std::vector<int64_t>& frequencies,
                       const chain::DiversityRequirement& req);
 

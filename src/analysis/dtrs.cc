@@ -64,7 +64,7 @@ common::Result<std::vector<SdrAssignment>> MaterializeCombinations(
 
 common::Result<std::vector<Dtrs>> DtrsFinder::FindAll(
     const std::vector<chain::RsView>& history, chain::RsId target,
-    const HtIndex& index, const Options& options) {
+    const chain::HtIndex& index, const Options& options) {
   common::Deadline deadline(options.budget_seconds);
   RsFamily family(history);
   const size_t k = family.RsIndexOf(target);
@@ -184,7 +184,7 @@ common::Result<std::vector<Dtrs>> DtrsFinder::FindAll(
 
 common::Result<bool> DtrsFinder::HtAlreadyDetermined(
     const std::vector<chain::RsView>& history, chain::RsId target,
-    const HtIndex& index, const Options& options) {
+    const chain::HtIndex& index, const Options& options) {
   RsFamily family(history);
   const size_t k = family.RsIndexOf(target);
   bool first = true;
@@ -213,7 +213,7 @@ common::Result<bool> DtrsFinder::HtAlreadyDetermined(
 }
 
 bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
-                                 size_t v_super, const HtIndex& index,
+                                 size_t v_super, const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req) {
   // Group members by HT.
   std::unordered_map<chain::TxId, std::vector<chain::TokenId>> by_ht;
@@ -240,7 +240,7 @@ bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
 }
 
 size_t SideInfoThreshold(const std::vector<chain::TokenId>& members,
-                         const HtIndex& index) {
+                         const chain::HtIndex& index) {
   std::vector<int64_t> freq = HtFrequencies(members, index);
   if (freq.empty()) return 0;
   int64_t q_max = freq.front();

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "analysis/diversity.h"
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "analysis/matching.h"
 #include "chain/types.h"
 #include "common/status.h"
@@ -44,6 +44,7 @@ class DtrsFinder {
     /// Cap on the number of SDRs materialized (0 = unlimited).
     uint64_t max_combinations = 200000;
     /// Wall-clock budget for the whole computation (0 = unlimited).
+    // tm-lint: float-ok(wall-clock budget, not DTRS counting math)
     double budget_seconds = 0.0;
     /// Cap on candidate-subset size (0 = up to family size - 1).
     size_t max_dtrs_size = 0;
@@ -51,24 +52,24 @@ class DtrsFinder {
 
   /// Exact enumeration of all minimal DTRSs of RS `target` (an id present
   /// in `history`). Fails with Timeout/ResourceExhausted when caps trip.
-  static common::Result<std::vector<Dtrs>> FindAll(
+  [[nodiscard]] static common::Result<std::vector<Dtrs>> FindAll(
       const std::vector<chain::RsView>& history, chain::RsId target,
-      const HtIndex& index, const Options& options);
-  static common::Result<std::vector<Dtrs>> FindAll(
+      const chain::HtIndex& index, const Options& options);
+  [[nodiscard]] static common::Result<std::vector<Dtrs>> FindAll(
       const std::vector<chain::RsView>& history, chain::RsId target,
-      const HtIndex& index) {
+      const chain::HtIndex& index) {
     return FindAll(history, target, index, Options());
   }
 
   /// True iff the HT of `target`'s spend is already determined with *no*
   /// side information (every token-RS combination gives the same HT) —
   /// the degenerate "empty DTRS" case of a homogeneity-style leak.
-  static common::Result<bool> HtAlreadyDetermined(
+  [[nodiscard]] static common::Result<bool> HtAlreadyDetermined(
       const std::vector<chain::RsView>& history, chain::RsId target,
-      const HtIndex& index, const Options& options);
-  static common::Result<bool> HtAlreadyDetermined(
+      const chain::HtIndex& index, const Options& options);
+  [[nodiscard]] static common::Result<bool> HtAlreadyDetermined(
       const std::vector<chain::RsView>& history, chain::RsId target,
-      const HtIndex& index) {
+      const chain::HtIndex& index) {
     return HtAlreadyDetermined(history, target, index, Options());
   }
 };
@@ -77,13 +78,13 @@ class DtrsFinder {
 /// and super-RS subset-count `v_super` satisfies `req`. Runs in
 /// O(|members| · |HTs|).
 bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
-                                 size_t v_super, const HtIndex& index,
+                                 size_t v_super, const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req);
 
 /// Theorem 6.2 threshold: the minimum side-information cardinality needed
 /// to confirm the spend-HT of an RS: |members| - q_M where q_M is the
 /// highest HT frequency in the RS.
 size_t SideInfoThreshold(const std::vector<chain::TokenId>& members,
-                         const HtIndex& index);
+                         const chain::HtIndex& index);
 
 }  // namespace tokenmagic::analysis

@@ -8,7 +8,7 @@ namespace tokenmagic::analysis {
 HomogeneityReport ProbeHomogeneity(
     const std::vector<chain::TokenId>& members,
     const std::unordered_set<chain::TokenId>& eliminated,
-    const HtIndex& index) {
+    const chain::HtIndex& index) {
   HomogeneityReport report;
   for (chain::TokenId t : members) {
     if (eliminated.count(t) == 0) report.surviving.push_back(t);

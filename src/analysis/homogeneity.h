@@ -9,7 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
@@ -35,6 +35,6 @@ struct HomogeneityReport {
 HomogeneityReport ProbeHomogeneity(
     const std::vector<chain::TokenId>& members,
     const std::unordered_set<chain::TokenId>& eliminated,
-    const HtIndex& index);
+    const chain::HtIndex& index);
 
 }  // namespace tokenmagic::analysis

@@ -64,6 +64,7 @@ class SdrEnumerator {
     /// Stop after this many SDRs (0 = unlimited).
     uint64_t max_results = 0;
     /// Wall-clock budget; expiry aborts with Status::Timeout.
+    // tm-lint: float-ok(wall-clock budget, not exact enumeration math)
     double budget_seconds = 0.0;
     /// Pre-forced assignments (token index per RS index, or kUnassigned).
     std::vector<size_t> forced;
@@ -72,14 +73,14 @@ class SdrEnumerator {
 
   /// Invokes `visitor` for every SDR; the visitor may return false to stop
   /// early. Returns OK, Timeout, or ResourceExhausted (max_results hit).
-  static common::Status Enumerate(
+  [[nodiscard]] static common::Status Enumerate(
       const RsFamily& family, const Options& options,
       const std::function<bool(const SdrAssignment&)>& visitor);
 
   /// Counts all SDRs (subject to the same caps).
-  static common::Result<uint64_t> Count(const RsFamily& family,
+  [[nodiscard]] static common::Result<uint64_t> Count(const RsFamily& family,
                                         const Options& options);
-  static common::Result<uint64_t> Count(const RsFamily& family) {
+  [[nodiscard]] static common::Result<uint64_t> Count(const RsFamily& family) {
     return Count(family, Options());
   }
 };

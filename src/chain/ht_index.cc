@@ -1,0 +1,40 @@
+#include "chain/ht_index.h"
+
+#include "common/macros.h"
+
+namespace tokenmagic::chain {
+
+HtIndex HtIndex::FromPairs(
+    const std::vector<std::pair<TokenId, TxId>>& pairs) {
+  HtIndex index;
+  for (const auto& [token, ht] : pairs) index.Set(token, ht);
+  return index;
+}
+
+HtIndex HtIndex::FromBlockchain(const Blockchain& bc) {
+  HtIndex index;
+  for (TokenId t : bc.AllTokens()) {
+    index.Set(t, bc.HistoricalTransactionOf(t));
+  }
+  return index;
+}
+
+void HtIndex::Set(TokenId token, TxId ht) {
+  map_[token] = ht;
+}
+
+TxId HtIndex::HtOf(TokenId token) const {
+  auto it = map_.find(token);
+  TM_CHECK(it != map_.end());
+  return it->second;
+}
+
+std::vector<TxId> HtIndex::HtsOf(
+    const std::vector<TokenId>& tokens) const {
+  std::vector<TxId> out;
+  out.reserve(tokens.size());
+  for (TokenId t : tokens) out.push_back(HtOf(t));
+  return out;
+}
+
+}  // namespace tokenmagic::chain

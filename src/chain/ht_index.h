@@ -1,0 +1,47 @@
+// Token -> historical-transaction lookup.
+//
+// Selection and analysis algorithms only ever need the map from a token to
+// the transaction (HT) that created it. HtIndex decouples them from the
+// full Blockchain so synthetic datasets can be expressed directly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/types.h"
+
+namespace tokenmagic::chain {
+
+/// Immutable token -> HT map.
+class HtIndex {
+ public:
+  HtIndex() = default;
+
+  /// Builds from explicit (token, ht) pairs.
+  static HtIndex FromPairs(
+      const std::vector<std::pair<TokenId, TxId>>& pairs);
+
+  /// Builds from every token on a blockchain.
+  static HtIndex FromBlockchain(const Blockchain& bc);
+
+  /// Registers (or overwrites) a token's HT.
+  void Set(TokenId token, TxId ht);
+
+  /// The HT of `token`; the token must be registered.
+  TxId HtOf(TokenId token) const;
+
+  bool Contains(TokenId token) const {
+    return map_.count(token) > 0;
+  }
+  size_t size() const { return map_.size(); }
+
+  /// HTs of a token set, in the same order (duplicates preserved).
+  std::vector<TxId> HtsOf(
+      const std::vector<TokenId>& tokens) const;
+
+ private:
+  std::unordered_map<TokenId, TxId> map_;
+};
+
+}  // namespace tokenmagic::chain

@@ -20,14 +20,14 @@ class Ledger {
   /// Appends a ring signature. `members` need not be sorted (a sorted copy
   /// is stored); `spent` must be one of `members` and must not have been
   /// spent by an earlier RS. Returns the assigned RsId.
-  common::Result<RsId> Propose(std::vector<TokenId> members, TokenId spent,
+  [[nodiscard]] common::Result<RsId> Propose(std::vector<TokenId> members, TokenId spent,
                                DiversityRequirement requirement);
 
   /// Appends a ring signature without ground truth — the node-side path:
   /// a verifier never learns which member is spent (double-spend
   /// protection comes from key images, not from this ledger). Records
   /// created this way return kInvalidToken from GroundTruthSpent.
-  common::Result<RsId> ProposeBlind(std::vector<TokenId> members,
+  [[nodiscard]] common::Result<RsId> ProposeBlind(std::vector<TokenId> members,
                                     DiversityRequirement requirement);
 
   size_t size() const { return records_.size(); }

@@ -15,7 +15,7 @@ namespace {
 common::Result<SelectionResult> AddUntilEligible(
     const SelectionInput& input, ModuleSelectionState* state,
     const std::function<size_t(const ModuleSelectionState&)>& pick) {
-  const analysis::HtIndex& index = *input.index;
+  const chain::HtIndex& index = *input.index;
   SelectionResult result;
   auto eligible = [&]() {
     return CheckCandidate(state->mu, state->chosen, input.history, index,

@@ -17,14 +17,14 @@ namespace tokenmagic::core {
 
 class SmallestSelector : public MixinSelector {
  public:
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_S"; }
 };
 
 class RandomSelector : public MixinSelector {
  public:
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_R"; }
 };
@@ -35,7 +35,7 @@ class MoneroSelector : public MixinSelector {
  public:
   explicit MoneroSelector(size_t ring_size = 11) : ring_size_(ring_size) {}
 
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_M"; }
 

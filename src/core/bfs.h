@@ -28,7 +28,7 @@ class BfsSelector : public MixinSelector {
   BfsSelector() = default;
   explicit BfsSelector(Options options) : options_(options) {}
 
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_B"; }
 

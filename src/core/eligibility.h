@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "analysis/diversity.h"
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/types.h"
 #include "core/modules.h"
 
@@ -49,7 +49,7 @@ struct EligibilityVerdict {
 /// `history` is the same RS list `mu` was built from (for immutability).
 EligibilityVerdict CheckCandidate(
     const ModuleUniverse& mu, const std::vector<size_t>& chosen_modules,
-    const std::vector<chain::RsView>& history, const analysis::HtIndex& index,
+    const std::vector<chain::RsView>& history, const chain::HtIndex& index,
     const chain::DiversityRequirement& requirement,
     const EligibilityPolicy& policy);
 

@@ -13,7 +13,7 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
     const SelectionInput& input, common::Rng* rng) const {
   (void)rng;  // best-response dynamics are deterministic
   TM_ASSIGN_OR_RETURN(ModuleSelectionState state, InitModuleState(input));
-  const analysis::HtIndex& index = *input.index;
+  const chain::HtIndex& index = *input.index;
   chain::DiversityRequirement effective =
       EffectiveRequirement(input.requirement, input.policy);
 

@@ -14,7 +14,7 @@ namespace tokenmagic::core {
 
 class GameTheoreticSelector : public MixinSelector {
  public:
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_G"; }
 };

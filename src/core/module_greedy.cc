@@ -40,13 +40,13 @@ common::Result<ModuleSelectionState> InitModuleState(
 }
 
 std::unordered_set<chain::TxId> ModuleHts(const Module& module,
-                                          const analysis::HtIndex& index) {
+                                          const chain::HtIndex& index) {
   std::unordered_set<chain::TxId> out;
   for (chain::TokenId t : module.tokens) out.insert(index.HtOf(t));
   return out;
 }
 
-void ChooseModule(ModuleSelectionState* state, const analysis::HtIndex& index,
+void ChooseModule(ModuleSelectionState* state, const chain::HtIndex& index,
                   size_t module_index) {
   auto it = std::find(state->remaining.begin(), state->remaining.end(),
                       module_index);
@@ -61,7 +61,7 @@ void ChooseModule(ModuleSelectionState* state, const analysis::HtIndex& index,
 }
 
 void UnchooseModule(ModuleSelectionState* state,
-                    const analysis::HtIndex& index, size_t module_index) {
+                    const chain::HtIndex& index, size_t module_index) {
   TM_CHECK(module_index != state->target_module);
   auto it = std::find(state->chosen.begin(), state->chosen.end(),
                       module_index);
@@ -80,7 +80,7 @@ void UnchooseModule(ModuleSelectionState* state,
 }
 
 common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
-                                      const analysis::HtIndex& index,
+                                      const chain::HtIndex& index,
                                       int ell) {
   size_t steps = 0;
   while (state->covered_hts.size() < static_cast<size_t>(ell)) {

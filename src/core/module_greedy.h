@@ -6,7 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/types.h"
 #include "common/status.h"
 #include "core/modules.h"
@@ -31,28 +31,28 @@ struct ModuleSelectionState {
 
 /// Builds the initial state from an instance (validates the universe /
 /// history and locates the target's module).
-common::Result<ModuleSelectionState> InitModuleState(
+[[nodiscard]] common::Result<ModuleSelectionState> InitModuleState(
     const SelectionInput& input);
 
 /// Adds module `index` to the state (moves it out of `remaining`).
-void ChooseModule(ModuleSelectionState* state, const analysis::HtIndex& index,
+void ChooseModule(ModuleSelectionState* state, const chain::HtIndex& index,
                   size_t module_index);
 
 /// Removes module `index` from `chosen` (back into `remaining`) and
 /// recomputes covered HTs.
 void UnchooseModule(ModuleSelectionState* state,
-                    const analysis::HtIndex& index, size_t module_index);
+                    const chain::HtIndex& index, size_t module_index);
 
 /// Phase 1 of Algorithms 4 and 5: greedily add the module minimizing
 ///   α_i = |x_i| / min(ℓ - |H|, |H_i \ H|)
 /// until at least `ell` distinct HTs are covered. Returns the number of
 /// greedy steps, or Unsatisfiable when the universe cannot reach ℓ HTs.
-common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
-                                      const analysis::HtIndex& index,
+[[nodiscard]] common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
+                                      const chain::HtIndex& index,
                                       int ell);
 
 /// Distinct HTs of one module.
 std::unordered_set<chain::TxId> ModuleHts(const Module& module,
-                                          const analysis::HtIndex& index);
+                                          const chain::HtIndex& index);
 
 }  // namespace tokenmagic::core

@@ -40,7 +40,7 @@ class ModuleUniverse {
   /// (e.g. the related RS set of the batch) in proposal order and must
   /// respect the first practical configuration; a violating history yields
   /// an InvalidArgument status.
-  static common::Result<ModuleUniverse> Build(
+  [[nodiscard]] static common::Result<ModuleUniverse> Build(
       const std::vector<chain::TokenId>& universe,
       const std::vector<chain::RsView>& history);
 

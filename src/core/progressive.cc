@@ -13,7 +13,7 @@ namespace {
 
 /// Diversity slack of the chosen modules' token multiset.
 double SlackOf(const ModuleUniverse& mu, const std::vector<size_t>& chosen,
-               const analysis::HtIndex& index,
+               const chain::HtIndex& index,
                const chain::DiversityRequirement& req) {
   std::vector<chain::TokenId> members;
   for (size_t i : chosen) {
@@ -30,7 +30,7 @@ common::Result<SelectionResult> ProgressiveSelector::Select(
     const SelectionInput& input, common::Rng* rng) const {
   (void)rng;  // the Progressive Algorithm is deterministic
   TM_ASSIGN_OR_RETURN(ModuleSelectionState state, InitModuleState(input));
-  const analysis::HtIndex& index = *input.index;
+  const chain::HtIndex& index = *input.index;
   chain::DiversityRequirement effective =
       EffectiveRequirement(input.requirement, input.policy);
 

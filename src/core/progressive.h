@@ -16,7 +16,7 @@ namespace tokenmagic::core {
 
 class ProgressiveSelector : public MixinSelector {
  public:
-  common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<SelectionResult> Select(const SelectionInput& input,
                                          common::Rng* rng) const override;
   std::string_view name() const override { return "TM_P"; }
 };

@@ -42,7 +42,7 @@ class RelaxingSelector {
 
   /// Tries the original requirement first, then the schedule. Returns
   /// Unsatisfiable only when even the fully relaxed instance fails.
-  common::Result<RelaxedSelection> Select(const SelectionInput& input,
+  [[nodiscard]] common::Result<RelaxedSelection> Select(const SelectionInput& input,
                                           common::Rng* rng) const;
 
   /// The requirements the schedule would try, in order (including the

@@ -6,7 +6,7 @@
 #include <string_view>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/types.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -23,7 +23,7 @@ struct SelectionInput {
   /// RSs over T in proposal order (the related RS set of the batch).
   std::vector<chain::RsView> history;
   chain::DiversityRequirement requirement;
-  const analysis::HtIndex* index = nullptr;
+  const chain::HtIndex* index = nullptr;
   EligibilityPolicy policy;
 };
 
@@ -46,7 +46,7 @@ class MixinSelector {
 
   /// Solves one instance. Returns Unsatisfiable when no eligible RS exists
   /// within the selector's reach; Timeout when a budget expires.
-  virtual common::Result<SelectionResult> Select(const SelectionInput& input,
+  [[nodiscard]] virtual common::Result<SelectionResult> Select(const SelectionInput& input,
                                                  common::Rng* rng) const = 0;
 
   /// Stable short name ("TM_P", "TM_G", "TM_S", "TM_R", "TM_B", "TM_M").

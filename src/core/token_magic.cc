@@ -13,7 +13,7 @@ TokenMagic::TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config)
     : bc_(bc),
       config_(config),
       batch_index_(*bc, config.lambda),
-      ht_index_(analysis::HtIndex::FromBlockchain(*bc)) {
+      ht_index_(chain::HtIndex::FromBlockchain(*bc)) {
   TM_CHECK(bc != nullptr);
 }
 

@@ -16,7 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
 #include "core/batch.h"
@@ -51,19 +51,19 @@ class TokenMagic {
   TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config);
 
   /// Generates, validates, and commits an RS spending `target`.
-  common::Result<GeneratedRs> GenerateRs(chain::TokenId target,
+  [[nodiscard]] common::Result<GeneratedRs> GenerateRs(chain::TokenId target,
                                          chain::DiversityRequirement req,
                                          const MixinSelector& selector,
                                          common::Rng* rng);
 
   /// Builds the DA-MS instance for `target` without committing anything
   /// (used by benchmarks to time the bare selector).
-  common::Result<SelectionInput> InstanceFor(
+  [[nodiscard]] common::Result<SelectionInput> InstanceFor(
       chain::TokenId target, chain::DiversityRequirement req) const;
 
   const chain::Ledger& ledger() const { return ledger_; }
   const BatchIndex& batches() const { return batch_index_; }
-  const analysis::HtIndex& ht_index() const { return ht_index_; }
+  const chain::HtIndex& ht_index() const { return ht_index_; }
 
   /// The liquidity check (Section 4): with the RSs of `target`'s batch
   /// plus the prospective `members`, would i − μ_i ≥ η·(|T| − i) hold?
@@ -77,7 +77,7 @@ class TokenMagic {
   const chain::Blockchain* bc_;
   TokenMagicConfig config_;
   BatchIndex batch_index_;
-  analysis::HtIndex ht_index_;
+  chain::HtIndex ht_index_;
   chain::Ledger ledger_;
 };
 

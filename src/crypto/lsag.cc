@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "crypto/field.h"
+#include "crypto/memzero.h"
 #include "crypto/sha256.h"
 
 namespace tokenmagic::crypto {
@@ -80,13 +81,17 @@ common::Result<LsagSignature> Lsag::Sign(const std::vector<Point>& ring,
   sig.responses.assign(n, U256::Zero());
 
   Point hp_signer = HashPointOfKey(signer.pub);
-  sig.key_image = Secp256k1::Mul(signer.secret, hp_signer);
+
+  // tm-lint: ct-begin -- key image and commitment: every scalar multiple of
+  // the secret key x and the nonce u goes through the constant-time ladder.
+  sig.key_image = Secp256k1::MulCT(signer.secret, hp_signer);
 
   // Start the chain at the signer with a fresh commitment nonce u:
   //   L_j = u*G,  R_j = u*Hp(P_j),  c_{j+1} = H(..., L_j, R_j)
   U256 u = RandomScalar(rng);
-  Point l = Secp256k1::MulBase(u);
-  Point r = Secp256k1::Mul(u, hp_signer);
+  Point l = Secp256k1::MulBaseCT(u);
+  Point r = Secp256k1::MulCT(u, hp_signer);
+  // tm-lint: ct-end
 
   std::vector<U256> challenges(n, U256::Zero());
   size_t next = (signer_index + 1) % n;
@@ -106,9 +111,13 @@ common::Result<LsagSignature> Lsag::Sign(const std::vector<Point>& ring,
         ChainChallenge(ring, sig.key_image, message, l_i, r_i);
   }
 
+  // tm-lint: ct-begin -- closing response touches the secret scalar; the
+  // nonce is wiped before it can leak through a reused stack frame.
   // Close the ring: s_j = u - c_j * x (mod n).
   sig.responses[signer_index] =
       ScalarSub(u, ScalarMul(challenges[signer_index], signer.secret));
+  SecureWipe(u.limbs.data(), sizeof(u.limbs));
+  // tm-lint: ct-end
   sig.c0 = challenges[0];
   return sig;
 }

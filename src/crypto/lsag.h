@@ -36,7 +36,7 @@ class Lsag {
  public:
   /// Signs `message` over `ring`. `signer_index` selects the real key, whose
   /// secret is `signer.secret` (signer.pub must equal ring[signer_index]).
-  static common::Result<LsagSignature> Sign(const std::vector<Point>& ring,
+  [[nodiscard]] static common::Result<LsagSignature> Sign(const std::vector<Point>& ring,
                                             size_t signer_index,
                                             const Keypair& signer,
                                             std::string_view message,
@@ -54,7 +54,7 @@ class KeyImageRegistry {
  public:
   /// Registers a key image; fails with AlreadyExists if it was seen before
   /// (i.e. a double-spend attempt).
-  common::Status Register(const Point& key_image);
+  [[nodiscard]] common::Status Register(const Point& key_image);
 
   bool Contains(const Point& key_image) const;
   size_t size() const { return images_.size(); }

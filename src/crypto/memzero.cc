@@ -1,0 +1,15 @@
+#include "crypto/memzero.h"
+
+namespace tokenmagic::crypto {
+
+void SecureWipe(void* ptr, size_t size) {
+  volatile unsigned char* bytes = static_cast<volatile unsigned char*>(ptr);
+  for (size_t i = 0; i < size; ++i) bytes[i] = 0;
+#if defined(__GNUC__) || defined(__clang__)
+  // Barrier: tells the optimizer the memory at `ptr` is observed, so the
+  // volatile stores above cannot be treated as dead.
+  __asm__ __volatile__("" : : "r"(ptr) : "memory");
+#endif
+}
+
+}  // namespace tokenmagic::crypto

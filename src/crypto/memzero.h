@@ -1,0 +1,16 @@
+// Guaranteed memory zeroization for secret key material.
+//
+// A plain memset before free/return is legal for the compiler to elide under
+// the as-if rule, which is exactly the bug class that leaks keys into core
+// dumps and freed heap pages. SecureWipe writes through a volatile pointer
+// and ends with a compiler barrier so the stores are always emitted.
+#pragma once
+
+#include <cstddef>
+
+namespace tokenmagic::crypto {
+
+/// Zeroizes `size` bytes at `ptr`; never elided by the optimizer.
+void SecureWipe(void* ptr, size_t size);
+
+}  // namespace tokenmagic::crypto

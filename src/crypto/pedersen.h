@@ -59,7 +59,7 @@ class ConfidentialBalance {
   /// Builds the proof; requires the openings of all commitments. Fails
   /// with InvalidArgument when the values do not actually balance
   /// (inputs != outputs + fee).
-  static common::Result<BalanceProof> Prove(
+  [[nodiscard]] static common::Result<BalanceProof> Prove(
       const std::vector<Commitment>& inputs,
       const std::vector<Commitment>& outputs, uint64_t fee,
       common::Rng* rng);

@@ -42,7 +42,7 @@ class RangeProver {
  public:
   /// Proves `opening.value` ∈ [0, 2^bit_width). Fails with
   /// InvalidArgument when the value does not fit.
-  static common::Result<RangeProof> Prove(const Commitment& opening,
+  [[nodiscard]] static common::Result<RangeProof> Prove(const Commitment& opening,
                                           size_t bit_width,
                                           common::Rng* rng);
 

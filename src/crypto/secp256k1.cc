@@ -101,6 +101,50 @@ Jacobian JacobianMul(const U256& k, const Jacobian& p) {
   return acc;
 }
 
+// tm-lint: ct-begin -- Montgomery ladder; no branch may depend on a bit of
+// the scalar. The only scalar-dependent operation is the masked swap below.
+
+// Swaps a and b when `swap` is 1, leaves them untouched when 0, with no
+// branch: mask is all-ones or all-zero and the XOR trick moves limbs
+// unconditionally through the same instruction stream.
+void JacobianCondSwap(uint64_t swap, Jacobian* a, Jacobian* b) {
+  uint64_t mask = 0 - swap;
+  for (int i = 0; i < 4; ++i) {  // tm-lint: ct-ok(fixed four-limb trip count)
+    uint64_t tx = mask & (a->x.limbs[i] ^ b->x.limbs[i]);
+    a->x.limbs[i] ^= tx;
+    b->x.limbs[i] ^= tx;
+    uint64_t ty = mask & (a->y.limbs[i] ^ b->y.limbs[i]);
+    a->y.limbs[i] ^= ty;
+    b->y.limbs[i] ^= ty;
+    uint64_t tz = mask & (a->z.limbs[i] ^ b->z.limbs[i]);
+    a->z.limbs[i] ^= tz;
+    b->z.limbs[i] ^= tz;
+  }
+}
+
+// RFC 7748-style ladder with lazy conditional swaps: all 256 iterations run
+// regardless of where the highest set bit of k falls, and each iteration
+// executes exactly one JacobianAdd and one JacobianDouble. The underlying
+// field routines still take value-dependent paths (identity handling,
+// modular-reduction borrows), so this is source-level scalar-bit hygiene,
+// not a full machine-level constant-time guarantee.
+Jacobian JacobianMulCT(const U256& k, const Jacobian& p) {
+  Jacobian r0 = Jacobian::Identity();
+  Jacobian r1 = p;
+  uint64_t swap = 0;
+  for (int i = 255; i >= 0; --i) {  // tm-lint: ct-ok(fixed 256-bit trip count)
+    uint64_t bit = (k.limbs[i >> 6] >> (i & 63)) & 1;
+    swap ^= bit;
+    JacobianCondSwap(swap, &r0, &r1);
+    swap = bit;
+    r1 = JacobianAdd(r0, r1);
+    r0 = JacobianDouble(r0);
+  }
+  JacobianCondSwap(swap, &r0, &r1);
+  return r0;
+}
+// tm-lint: ct-end
+
 }  // namespace
 
 bool Point::operator==(const Point& other) const {
@@ -189,6 +233,16 @@ Point Secp256k1::Mul(const U256& k, const Point& p) {
 }
 
 Point Secp256k1::MulBase(const U256& k) { return Mul(k, Generator()); }
+
+Point Secp256k1::MulCT(const U256& k, const Point& p) {
+  // No early-out on k == 0: the ladder runs all 256 iterations for every
+  // scalar and lands on the identity by itself.
+  return ToAffine(JacobianMulCT(k, ToJacobian(p)));
+}
+
+Point Secp256k1::MulBaseCT(const U256& k) {
+  return MulCT(k, Generator());
+}
 
 Point Secp256k1::MulAdd(const U256& a, const Point& p, const U256& b,
                         const Point& q) {

@@ -56,10 +56,21 @@ class Secp256k1 {
 
   /// Scalar multiplication k * p (double-and-add, k taken mod n implicitly
   /// only in the sense that the caller passes reduced scalars).
+  /// Variable-time: the bit pattern of `k` shapes the instruction stream, so
+  /// this must only ever see public scalars (verification, test vectors).
   static Point Mul(const U256& k, const Point& p);
 
-  /// k * G with the fixed generator.
+  /// k * G with the fixed generator. Variable-time; public scalars only.
   static Point MulBase(const U256& k);
+
+  /// k * p via a Montgomery ladder whose source contains no branch or
+  /// memory access indexed by the bits of `k`: every iteration performs the
+  /// same add + double and selects operands with arithmetic masking. Use for
+  /// every secret scalar (signing nonces, private keys, key images).
+  static Point MulCT(const U256& k, const Point& p);
+
+  /// k * G, constant-time with respect to the bits of `k` (see MulCT).
+  static Point MulBaseCT(const U256& k);
 
   /// Shamir's trick: a*P + b*Q in one pass (used by signature verification).
   static Point MulAdd(const U256& a, const Point& p, const U256& b,

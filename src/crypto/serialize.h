@@ -25,11 +25,11 @@ std::vector<uint8_t> SerializeLsag(const LsagSignature& sig);
 
 /// Parses a serialized LSAG signature; verifies structure only (points
 /// decode and scalars are in range) — call Lsag::Verify for validity.
-common::Result<LsagSignature> DeserializeLsag(
+[[nodiscard]] common::Result<LsagSignature> DeserializeLsag(
     const std::vector<uint8_t>& bytes);
 
 std::vector<uint8_t> SerializeSchnorr(const SchnorrSignature& sig);
-common::Result<SchnorrSignature> DeserializeSchnorr(
+[[nodiscard]] common::Result<SchnorrSignature> DeserializeSchnorr(
     const std::vector<uint8_t>& bytes);
 
 }  // namespace tokenmagic::crypto

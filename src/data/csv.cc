@@ -94,7 +94,7 @@ common::Result<Dataset> DatasetFromCsv(const std::string& tokens_csv,
     remap[token] = new_ids_by_ht[ht][slot];
   }
 
-  ds.index = analysis::HtIndex::FromBlockchain(ds.blockchain);
+  ds.index = chain::HtIndex::FromBlockchain(ds.blockchain);
   ds.universe = ds.blockchain.AllTokens();
 
   // rings.csv

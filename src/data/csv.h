@@ -25,13 +25,13 @@ std::string RingsToCsv(const Dataset& ds);
 
 /// Parses both files back into a dataset (blockchain reconstructed with
 /// one transaction per distinct HT; ground truth is not serialized).
-common::Result<Dataset> DatasetFromCsv(const std::string& tokens_csv,
+[[nodiscard]] common::Result<Dataset> DatasetFromCsv(const std::string& tokens_csv,
                                        const std::string& rings_csv);
 
 /// Saves both files under `directory` (created if needed).
-common::Status SaveDataset(const Dataset& ds, const std::string& directory);
+[[nodiscard]] common::Status SaveDataset(const Dataset& ds, const std::string& directory);
 
 /// Loads a dataset saved by SaveDataset.
-common::Result<Dataset> LoadDataset(const std::string& directory);
+[[nodiscard]] common::Result<Dataset> LoadDataset(const std::string& directory);
 
 }  // namespace tokenmagic::data

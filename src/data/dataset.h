@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/types.h"
 
@@ -14,7 +14,7 @@ namespace tokenmagic::data {
 /// A fully materialized problem universe.
 struct Dataset {
   chain::Blockchain blockchain;
-  analysis::HtIndex index;
+  chain::HtIndex index;
   /// The mixin universe T (all tokens, creation order).
   std::vector<chain::TokenId> universe;
   /// Pre-existing RSs (the super RSs of the setup), proposal order.

@@ -91,7 +91,7 @@ Dataset MakeMoneroLikeTrace(const MoneroLikeParams& params) {
   }
   TM_CHECK(ds.blockchain.token_count() == params.num_tokens);
 
-  ds.index = analysis::HtIndex::FromBlockchain(ds.blockchain);
+  ds.index = chain::HtIndex::FromBlockchain(ds.blockchain);
   ds.universe = ds.blockchain.AllTokens();
 
   // Partition tokens into super RSs of exactly super_rs_size tokens each

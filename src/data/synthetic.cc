@@ -47,7 +47,7 @@ Dataset MakeSyntheticDataset(const SyntheticParams& params) {
   ds.blockchain.AddBlock(0, output_counts);
   TM_CHECK(ds.blockchain.token_count() == total_tokens);
 
-  ds.index = analysis::HtIndex::FromBlockchain(ds.blockchain);
+  ds.index = chain::HtIndex::FromBlockchain(ds.blockchain);
   ds.universe = ds.blockchain.AllTokens();
 
   // Random partition into super RSs + fresh.

@@ -8,7 +8,7 @@ namespace tokenmagic::node {
 Node::Node(NodeConfig config) : config_(config) { RebuildIndices(); }
 
 void Node::RebuildIndices() {
-  ht_index_ = analysis::HtIndex::FromBlockchain(bc_);
+  ht_index_ = chain::HtIndex::FromBlockchain(bc_);
   batches_ = std::make_unique<core::BatchIndex>(bc_, config_.lambda);
 }
 

@@ -7,7 +7,7 @@
 #include <memory>
 #include <vector>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
 #include "core/batch.h"
@@ -42,7 +42,7 @@ class Node {
 
   /// Verifies and pools a transaction. Rejected transactions are not
   /// pooled and the failed check is returned.
-  common::Status SubmitTransaction(SignedTransaction tx,
+  [[nodiscard]] common::Status SubmitTransaction(SignedTransaction tx,
                                    std::vector<crypto::Point> output_keys);
 
   size_t mempool_size() const { return mempool_.size(); }
@@ -55,7 +55,7 @@ class Node {
   // Read-only chain state.
   const chain::Blockchain& blockchain() const { return bc_; }
   const chain::Ledger& ledger() const { return ledger_; }
-  const analysis::HtIndex& ht_index() const { return ht_index_; }
+  const chain::HtIndex& ht_index() const { return ht_index_; }
   const core::BatchIndex& batches() const { return *batches_; }
   const KeyDirectory& keys() const { return keys_; }
   const crypto::KeyImageRegistry& spent_images() const {
@@ -81,7 +81,7 @@ class Node {
   NodeConfig config_;
   chain::Blockchain bc_;
   chain::Ledger ledger_;
-  analysis::HtIndex ht_index_;
+  chain::HtIndex ht_index_;
   std::unique_ptr<core::BatchIndex> batches_;
   KeyDirectory keys_;
   crypto::KeyImageRegistry spent_images_;

@@ -26,12 +26,12 @@ std::string SnapshotToString(const Node& node);
 /// Restores a node from a snapshot produced by SnapshotToString. The
 /// returned node has an empty mempool and verifies new transactions
 /// against the restored state.
-common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
+[[nodiscard]] common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
     const std::string& snapshot, NodeConfig config = {});
 
 /// File convenience wrappers.
-common::Status SaveSnapshot(const Node& node, const std::string& path);
-common::Result<std::unique_ptr<Node>> LoadSnapshot(const std::string& path,
+[[nodiscard]] common::Status SaveSnapshot(const Node& node, const std::string& path);
+[[nodiscard]] common::Result<std::unique_ptr<Node>> LoadSnapshot(const std::string& path,
                                                    NodeConfig config = {});
 
 }  // namespace tokenmagic::node

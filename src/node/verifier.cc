@@ -58,7 +58,7 @@ const crypto::Point& KeyDirectory::KeyOf(chain::TokenId token) const {
 
 Verifier::Verifier(const chain::Blockchain* bc, const chain::Ledger* ledger,
                    const core::BatchIndex* batches,
-                   const analysis::HtIndex* index, const KeyDirectory* keys,
+                   const chain::HtIndex* index, const KeyDirectory* keys,
                    const crypto::KeyImageRegistry* spent_images,
                    VerifierPolicy policy)
     : bc_(bc),

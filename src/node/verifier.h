@@ -15,7 +15,7 @@
 
 #include <unordered_map>
 
-#include "analysis/ht_index.h"
+#include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
 #include "common/status.h"
@@ -52,24 +52,24 @@ class Verifier {
  public:
   /// All referenced state must outlive the verifier.
   Verifier(const chain::Blockchain* bc, const chain::Ledger* ledger,
-           const core::BatchIndex* batches, const analysis::HtIndex* index,
+           const core::BatchIndex* batches, const chain::HtIndex* index,
            const KeyDirectory* keys,
            const crypto::KeyImageRegistry* spent_images,
            VerifierPolicy policy = {});
 
   /// Full Step-3 check of one transaction. OK means the transaction may
   /// be mined; the specific failed check is reported otherwise.
-  common::Status Verify(const SignedTransaction& tx) const;
+  [[nodiscard]] common::Status Verify(const SignedTransaction& tx) const;
 
   /// Checks one input in isolation (exposed for tests/tools).
-  common::Status VerifyInput(const SignedTransaction& tx,
+  [[nodiscard]] common::Status VerifyInput(const SignedTransaction& tx,
                              size_t input_index) const;
 
  private:
   const chain::Blockchain* bc_;
   const chain::Ledger* ledger_;
   const core::BatchIndex* batches_;
-  const analysis::HtIndex* index_;
+  const chain::HtIndex* index_;
   const KeyDirectory* keys_;
   const crypto::KeyImageRegistry* spent_images_;
   VerifierPolicy policy_;

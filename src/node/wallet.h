@@ -30,7 +30,7 @@ class Wallet {
 
   /// Records that `token` on-chain belongs to this wallet (its key must
   /// be one returned by NewOutputKey).
-  common::Status Claim(chain::TokenId token);
+  [[nodiscard]] common::Status Claim(chain::TokenId token);
 
   /// Tokens owned and not yet spent by this wallet.
   std::vector<chain::TokenId> SpendableTokens() const;
@@ -39,7 +39,7 @@ class Wallet {
   /// Builds a fully signed transaction spending `token` with mixins
   /// chosen by `selector` under `requirement`, minting `output_count`
   /// outputs with the supplied keys.
-  common::Result<SignedTransaction> BuildSpend(
+  [[nodiscard]] common::Result<SignedTransaction> BuildSpend(
       chain::TokenId token, chain::DiversityRequirement requirement,
       const core::MixinSelector& selector,
       const std::vector<crypto::Point>& output_keys, std::string memo);
@@ -50,14 +50,14 @@ class Wallet {
   /// sequentially against a history that already includes the earlier
   /// rings of this very transaction, so the first practical
   /// configuration holds between them.
-  common::Result<SignedTransaction> BuildSpendMulti(
+  [[nodiscard]] common::Result<SignedTransaction> BuildSpendMulti(
       const std::vector<chain::TokenId>& tokens,
       chain::DiversityRequirement requirement,
       const core::MixinSelector& selector,
       const std::vector<crypto::Point>& output_keys, std::string memo);
 
   /// Convenience: build + submit to the node in one call.
-  common::Status Spend(Node* node, chain::TokenId token,
+  [[nodiscard]] common::Status Spend(Node* node, chain::TokenId token,
                        chain::DiversityRequirement requirement,
                        const core::MixinSelector& selector,
                        std::vector<crypto::Point> output_keys,

@@ -6,6 +6,7 @@ namespace tokenmagic::analysis {
 namespace {
 
 using chain::DiversityRequirement;
+using chain::HtIndex;
 using chain::TokenId;
 using chain::TxId;
 

@@ -7,6 +7,7 @@ namespace {
 
 using chain::RsId;
 using chain::RsView;
+using chain::HtIndex;
 using chain::TokenId;
 using chain::TokenRsPair;
 using chain::TxId;

@@ -9,6 +9,7 @@ namespace tokenmagic::analysis {
 namespace {
 
 using chain::RsView;
+using chain::HtIndex;
 using chain::TokenId;
 using chain::TokenRsPair;
 

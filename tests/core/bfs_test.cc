@@ -23,8 +23,8 @@ RsView View(chain::RsId id, std::vector<TokenId> members,
   return v;
 }
 
-analysis::HtIndex IdentityIndex(TokenId first, TokenId last) {
-  analysis::HtIndex idx;
+chain::HtIndex IdentityIndex(TokenId first, TokenId last) {
+  chain::HtIndex idx;
   for (TokenId t = first; t <= last; ++t) {
     idx.Set(t, static_cast<chain::TxId>(t));
   }
@@ -35,7 +35,7 @@ analysis::HtIndex IdentityIndex(TokenId first, TokenId last) {
 // Generating for t3 must avoid {t1,t3} (homogeneity), {t2,t3} (chain
 // reaction), and the paper points to {t3, t4} as a good minimal answer.
 TEST(BfsTest, PaperExample1FindsGoodSolution) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   idx.Set(1, 100);  // h1
   idx.Set(3, 100);  // h1
   idx.Set(2, 200);
@@ -56,7 +56,7 @@ TEST(BfsTest, PaperExample1FindsGoodSolution) {
 TEST(BfsTest, ReturnsMinimumSizeSolution) {
   // No history: any 2 distinct-HT tokens satisfy (2.0, 2); BFS must
   // return exactly 2 members (target + 1 mixin).
-  analysis::HtIndex idx = IdentityIndex(1, 6);
+  chain::HtIndex idx = IdentityIndex(1, 6);
   SelectionInput input;
   input.target = 1;
   input.universe = {1, 2, 3, 4, 5, 6};
@@ -70,7 +70,7 @@ TEST(BfsTest, ReturnsMinimumSizeSolution) {
 }
 
 TEST(BfsTest, ResultPassesExactNonEliminationCheck) {
-  analysis::HtIndex idx = IdentityIndex(1, 8);
+  chain::HtIndex idx = IdentityIndex(1, 8);
   SelectionInput input;
   input.target = 5;
   input.universe = {1, 2, 3, 4, 5, 6, 7, 8};
@@ -90,7 +90,7 @@ TEST(BfsTest, ResultPassesExactNonEliminationCheck) {
 }
 
 TEST(BfsTest, RespectsDiversityRequirement) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   // Tokens 1-4 from h1; 5-8 distinct.
   for (TokenId t = 1; t <= 4; ++t) idx.Set(t, 100);
   for (TokenId t = 5; t <= 8; ++t) idx.Set(t, static_cast<chain::TxId>(t));
@@ -108,7 +108,7 @@ TEST(BfsTest, RespectsDiversityRequirement) {
 }
 
 TEST(BfsTest, UnsatisfiableWhenUniverseTooHomogeneous) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 4; ++t) idx.Set(t, 100);
   SelectionInput input;
   input.target = 1;
@@ -122,7 +122,7 @@ TEST(BfsTest, UnsatisfiableWhenUniverseTooHomogeneous) {
 }
 
 TEST(BfsTest, UniverseCapRejectsHugeInstances) {
-  analysis::HtIndex idx = IdentityIndex(1, 30);
+  chain::HtIndex idx = IdentityIndex(1, 30);
   SelectionInput input;
   input.target = 1;
   for (TokenId t = 1; t <= 30; ++t) input.universe.push_back(t);
@@ -138,7 +138,7 @@ TEST(BfsTest, UniverseCapRejectsHugeInstances) {
 TEST(BfsTest, BudgetExpiryReturnsTimeout) {
   // A large universe with an unsatisfiable requirement forces the search
   // to exhaust the time budget.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 18; ++t) idx.Set(t, 100);  // single HT
   SelectionInput input;
   input.target = 1;
@@ -158,7 +158,7 @@ TEST(BfsTest, BudgetExpiryReturnsTimeout) {
 TEST(BfsTest, MatchesPracticalSelectorsOnEasyInstance) {
   // On an instance with no history the optimal size is determined by the
   // diversity requirement alone; BFS gives a certified minimum.
-  analysis::HtIndex idx = IdentityIndex(1, 10);
+  chain::HtIndex idx = IdentityIndex(1, 10);
   SelectionInput input;
   input.target = 2;
   for (TokenId t = 1; t <= 10; ++t) input.universe.push_back(t);

@@ -20,8 +20,8 @@ RsView View(chain::RsId id, std::vector<TokenId> members,
   return v;
 }
 
-analysis::HtIndex IdentityIndex(std::vector<TokenId> tokens) {
-  analysis::HtIndex idx;
+chain::HtIndex IdentityIndex(std::vector<TokenId> tokens) {
+  chain::HtIndex idx;
   for (TokenId t : tokens) idx.Set(t, static_cast<chain::TxId>(t));
   return idx;
 }
@@ -63,7 +63,7 @@ TEST(CandidateSubsetCountTest, CountsItselfPlusCoveredRs) {
 }
 
 TEST(CheckCandidateTest, DiversityViolationDetected) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   // Two tokens, same HT.
   idx.Set(1, 100);
   idx.Set(2, 100);
@@ -79,7 +79,7 @@ TEST(CheckCandidateTest, DiversityViolationDetected) {
 }
 
 TEST(CheckCandidateTest, EligibleWhenDiverse) {
-  analysis::HtIndex idx = IdentityIndex({1, 2, 3, 4});
+  chain::HtIndex idx = IdentityIndex({1, 2, 3, 4});
   auto mu = ModuleUniverse::Build({1, 2, 3, 4}, {});
   ASSERT_TRUE(mu.ok());
   EligibilityPolicy policy;
@@ -93,7 +93,7 @@ TEST(CheckCandidateTest, EligibleWhenDiverse) {
 }
 
 TEST(CheckCandidateTest, StrictModeIsStricter) {
-  analysis::HtIndex idx = IdentityIndex({1, 2, 3});
+  chain::HtIndex idx = IdentityIndex({1, 2, 3});
   auto mu = ModuleUniverse::Build({1, 2, 3}, {});
   ASSERT_TRUE(mu.ok());
   std::vector<size_t> all = {mu->ModuleOfToken(1), mu->ModuleOfToken(2),
@@ -112,7 +112,7 @@ TEST(CheckCandidateTest, StrictModeIsStricter) {
 TEST(CheckCandidateTest, ExplicitDtrsCheckCatchesViolations) {
   // Candidate formed by one super RS with high subset count: the DTRS
   // psi-sets are active and fail a strict requirement.
-  analysis::HtIndex idx = IdentityIndex({1, 2, 3});
+  chain::HtIndex idx = IdentityIndex({1, 2, 3});
   std::vector<RsView> history = {View(0, {1, 2, 3}), View(1, {1, 2, 3}),
                                  View(2, {1, 2, 3})};
   auto mu = ModuleUniverse::Build({1, 2, 3}, history);
@@ -136,7 +136,7 @@ TEST(CheckCandidateTest, ImmutabilityCheckProtectsCoveredRs) {
   // History RS r0 = {1,2} (both same HT!) declared (1.0, 1). Covering it
   // with a new super RS raises v; r0's psi set for its single HT is empty
   // -> immutability violation is detected when the check is on.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   idx.Set(1, 100);
   idx.Set(2, 100);
   idx.Set(3, 300);

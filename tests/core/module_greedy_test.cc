@@ -19,7 +19,7 @@ RsView View(chain::RsId id, std::vector<TokenId> members) {
 }
 
 struct Fixture {
-  analysis::HtIndex index;
+  chain::HtIndex index;
   SelectionInput input;
 
   Fixture() {
@@ -86,7 +86,7 @@ TEST(ChooseUnchooseTest, RoundTripRestoresState) {
 
 TEST(ChooseUnchooseTest, SharedHtSurvivesRemoval) {
   // Two modules sharing an HT: removing one must keep the HT covered.
-  analysis::HtIndex index;
+  chain::HtIndex index;
   index.Set(1, 100);
   index.Set(2, 100);
   index.Set(3, 300);

@@ -10,15 +10,15 @@ namespace {
 using chain::DiversityRequirement;
 using chain::TokenId;
 
-analysis::HtIndex TwoHtIndex() {
+chain::HtIndex TwoHtIndex() {
   // Tokens 1-4 from HT 100, tokens 5-6 from HT 200: only 2 distinct HTs.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 4; ++t) idx.Set(t, 100);
   for (TokenId t = 5; t <= 6; ++t) idx.Set(t, 200);
   return idx;
 }
 
-SelectionInput TwoHtInput(const analysis::HtIndex* idx,
+SelectionInput TwoHtInput(const chain::HtIndex* idx,
                           DiversityRequirement req) {
   SelectionInput input;
   input.target = 1;
@@ -30,7 +30,7 @@ SelectionInput TwoHtInput(const analysis::HtIndex* idx,
 }
 
 TEST(RelaxingTest, NoRelaxationWhenFeasible) {
-  analysis::HtIndex idx = TwoHtIndex();
+  chain::HtIndex idx = TwoHtIndex();
   // (3.0, 2): feasible directly.
   SelectionInput input = TwoHtInput(&idx, {3.0, 2});
   ProgressiveSelector inner;
@@ -43,7 +43,7 @@ TEST(RelaxingTest, NoRelaxationWhenFeasible) {
 }
 
 TEST(RelaxingTest, RelaxesEllWhenUniverseTooNarrow) {
-  analysis::HtIndex idx = TwoHtIndex();
+  chain::HtIndex idx = TwoHtIndex();
   // ell = 4 can never be met (only 2 HTs exist); the schedule must step
   // ell down (and c up) until feasible.
   SelectionInput input = TwoHtInput(&idx, {3.0, 4});
@@ -60,7 +60,7 @@ TEST(RelaxingTest, RelaxesEllWhenUniverseTooNarrow) {
 }
 
 TEST(RelaxingTest, RelaxesCWhenTooTight) {
-  analysis::HtIndex idx = TwoHtIndex();
+  chain::HtIndex idx = TwoHtIndex();
   // (0.01, 2): ell is attainable but c makes it unsatisfiable: relax c.
   SelectionInput input = TwoHtInput(&idx, {0.01, 2});
   ProgressiveSelector inner;
@@ -75,7 +75,7 @@ TEST(RelaxingTest, UnsatisfiableAtFloorIsReported) {
   // One single HT: even (c_max, 1) cannot produce q1 < c*q1 with a lone
   // HT... actually (c>1, 1) gives q1 < c*q1 which holds. So use an empty
   // mixin structure trick: requirement floor ell_min=2 with 1 HT.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 3; ++t) idx.Set(t, 100);
   SelectionInput input;
   input.target = 1;

@@ -29,7 +29,7 @@ RsView View(chain::RsId id, std::vector<TokenId> members) {
 /// h5:{12}. Target t11, recursive (1,4)-diversity.
 struct Example3 {
   SelectionInput input;
-  analysis::HtIndex index;
+  chain::HtIndex index;
 
   Example3() {
     index.Set(1, 1);
@@ -145,7 +145,7 @@ TEST(SelectorsTest, GameNeverLargerThanProgressiveOnExample3) {
 
 TEST(SelectorsTest, UnsatisfiableUniverseReported) {
   // Universe with a single HT can never reach 4 distinct HTs.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 5; ++t) idx.Set(t, 1);
   SelectionInput input;
   input.target = 1;
@@ -168,7 +168,7 @@ TEST(SelectorsTest, UnsatisfiableUniverseReported) {
 }
 
 TEST(SelectorsTest, TargetOutsideUniverseIsInvalid) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   idx.Set(1, 1);
   SelectionInput input;
   input.target = 99;
@@ -191,7 +191,7 @@ TEST(SelectorsTest, MissingIndexIsInvalid) {
 
 TEST(SmallestTest, PrefersSmallModules) {
   // Modules: fresh tokens (size 1) with distinct HTs vs a big super RS.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   for (TokenId t = 1; t <= 10; ++t) {
     idx.Set(t, static_cast<TxId>(t));  // all distinct HTs
   }
@@ -223,7 +223,7 @@ TEST(RandomTest, IsSeedDeterministic) {
 }
 
 TEST(MoneroSelectorTest, ProducesFixedSizeRing) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   SelectionInput input;
   for (TokenId t = 0; t < 100; ++t) {
     idx.Set(t, static_cast<TxId>(t / 2));
@@ -245,7 +245,7 @@ TEST(GameTheoreticTest, FallsBackToFeasibleProfileOnNonMonotoneInstance) {
   // requirement (one dominant HT) but a careful subset satisfies it:
   // the raw accretion dynamics plateau infeasibly and the Progressive
   // restart must rescue the game.
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   // 12 tokens of HT 0 (dominant), plus 8 singleton HTs.
   for (TokenId t = 0; t < 12; ++t) idx.Set(t, 0);
   for (TokenId t = 12; t < 20; ++t) idx.Set(t, static_cast<TxId>(t));
@@ -273,7 +273,7 @@ TEST(GameTheoreticTest, FallsBackToFeasibleProfileOnNonMonotoneInstance) {
 }
 
 TEST(MoneroSelectorTest, SmallUniverseUnsatisfiable) {
-  analysis::HtIndex idx;
+  chain::HtIndex idx;
   SelectionInput input;
   for (TokenId t = 0; t < 5; ++t) {
     idx.Set(t, 0);

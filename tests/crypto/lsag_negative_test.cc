@@ -1,0 +1,184 @@
+// LSAG negative-path coverage: tampered signatures, key images that do not
+// belong to the ring, and double-spend (repeated key image) edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/field.h"
+#include "crypto/lsag.h"
+#include "crypto/secp256k1.h"
+
+namespace tokenmagic::crypto {
+namespace {
+
+struct RingFixture {
+  std::vector<Keypair> keys;
+  std::vector<Point> ring;
+
+  explicit RingFixture(size_t n, uint64_t seed = 4242) {
+    common::Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(Keypair::Generate(&rng));
+      ring.push_back(keys.back().pub);
+    }
+  }
+};
+
+LsagSignature MustSign(const RingFixture& fx, size_t signer,
+                       std::string_view msg, uint64_t seed) {
+  common::Rng rng(seed);
+  auto sig = Lsag::Sign(fx.ring, signer, fx.keys[signer], msg, &rng);
+  EXPECT_TRUE(sig.ok());
+  return *sig;
+}
+
+// --- tampered-signature rejection ---------------------------------------
+
+TEST(LsagNegativeTest, EveryTamperedResponseIsRejected) {
+  RingFixture fx(5);
+  LsagSignature sig = MustSign(fx, 2, "msg", 1);
+  for (size_t i = 0; i < sig.responses.size(); ++i) {
+    LsagSignature bad = sig;
+    bad.responses[i] = ScalarAdd(bad.responses[i], U256::One());
+    EXPECT_FALSE(Lsag::Verify(bad, "msg")) << "response " << i;
+  }
+}
+
+TEST(LsagNegativeTest, ReplacedRingMemberIsRejected) {
+  RingFixture fx(4);
+  RingFixture other(4, /*seed=*/777);
+  LsagSignature sig = MustSign(fx, 0, "msg", 2);
+  for (size_t i = 0; i < sig.ring.size(); ++i) {
+    LsagSignature bad = sig;
+    bad.ring[i] = other.ring[i];
+    EXPECT_FALSE(Lsag::Verify(bad, "msg")) << "ring slot " << i;
+  }
+}
+
+TEST(LsagNegativeTest, ReorderedRingIsRejected) {
+  RingFixture fx(4);
+  LsagSignature sig = MustSign(fx, 1, "msg", 3);
+  LsagSignature bad = sig;
+  std::swap(bad.ring[0], bad.ring[2]);
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+TEST(LsagNegativeTest, TruncatedResponsesAreRejected) {
+  RingFixture fx(4);
+  LsagSignature sig = MustSign(fx, 1, "msg", 4);
+  LsagSignature bad = sig;
+  bad.responses.pop_back();
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+TEST(LsagNegativeTest, OutOfRangeResponseScalarIsRejected) {
+  RingFixture fx(3);
+  LsagSignature sig = MustSign(fx, 0, "msg", 5);
+  LsagSignature bad = sig;
+  // Any s_i >= n is malformed even when it is congruent mod n to a valid
+  // response; accepting it would make signatures malleable. n itself is the
+  // smallest out-of-range scalar (congruent to the often-valid 0).
+  bad.responses[1] = GroupOrder();
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+// --- wrong-ring-member key images ---------------------------------------
+
+TEST(LsagNegativeTest, KeyImageOfAnotherRingMemberIsRejected) {
+  RingFixture fx(4);
+  LsagSignature sig = MustSign(fx, 0, "msg", 6);
+  // Forge the key image a verifier would accept for ring member 1: the
+  // challenge chain was built for member 0's image, so this must not close.
+  LsagSignature bad = sig;
+  Point hp1 = Secp256k1::HashToPoint(fx.ring[1].Encode().data(), 33,
+                                     "tokenmagic/lsag-hp");
+  bad.key_image = Secp256k1::MulCT(fx.keys[1].secret, hp1);
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+TEST(LsagNegativeTest, KeyImageOnWrongBasePointIsRejected) {
+  RingFixture fx(3);
+  LsagSignature sig = MustSign(fx, 0, "msg", 7);
+  LsagSignature bad = sig;
+  // x*G instead of x*Hp(P): a classic implementation bug that would let an
+  // attacker link spends to public keys. Must fail verification.
+  bad.key_image = Secp256k1::MulBaseCT(fx.keys[0].secret);
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+TEST(LsagNegativeTest, IdentityKeyImageIsRejected) {
+  RingFixture fx(3);
+  LsagSignature sig = MustSign(fx, 0, "msg", 8);
+  LsagSignature bad = sig;
+  bad.key_image = Point::Infinity();
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+TEST(LsagNegativeTest, OffCurveKeyImageIsRejected) {
+  RingFixture fx(3);
+  LsagSignature sig = MustSign(fx, 0, "msg", 9);
+  LsagSignature bad = sig;
+  bad.key_image.infinity = false;
+  bad.key_image.x = U256(5);
+  bad.key_image.y = U256(7);  // (5, 7) is not on y^2 = x^3 + 7 mod p
+  EXPECT_FALSE(Lsag::Verify(bad, "msg"));
+}
+
+// --- double-spend (repeated key image) edge cases ------------------------
+
+TEST(LsagNegativeTest, SameKeyDifferentRingsStillLinked) {
+  // The signer hides in two disjoint decoy sets; the key image must still
+  // collide — that is the whole double-spend defence.
+  common::Rng rng(10);
+  Keypair spender = Keypair::Generate(&rng);
+
+  RingFixture decoys_a(3, 11);
+  RingFixture decoys_b(3, 12);
+  std::vector<Point> ring_a = decoys_a.ring;
+  std::vector<Point> ring_b = decoys_b.ring;
+  ring_a.push_back(spender.pub);
+  ring_b.insert(ring_b.begin(), spender.pub);
+
+  common::Rng sig_rng(13);
+  auto sig_a = Lsag::Sign(ring_a, ring_a.size() - 1, spender, "tx-1",
+                          &sig_rng);
+  auto sig_b = Lsag::Sign(ring_b, 0, spender, "tx-2", &sig_rng);
+  ASSERT_TRUE(sig_a.ok());
+  ASSERT_TRUE(sig_b.ok());
+  EXPECT_TRUE(Lsag::Verify(*sig_a, "tx-1"));
+  EXPECT_TRUE(Lsag::Verify(*sig_b, "tx-2"));
+  EXPECT_TRUE(Lsag::Linked(*sig_a, *sig_b));
+
+  KeyImageRegistry registry;
+  ASSERT_TRUE(registry.Register(sig_a->key_image).ok());
+  common::Status second = registry.Register(sig_b->key_image);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), common::StatusCode::kAlreadyExists);
+}
+
+TEST(LsagNegativeTest, RegistryRejectsRepeatedImageIdempotently) {
+  RingFixture fx(3);
+  LsagSignature sig = MustSign(fx, 1, "msg", 14);
+  KeyImageRegistry registry;
+  ASSERT_TRUE(registry.Register(sig.key_image).ok());
+  // Every replay attempt must keep failing and must not disturb the size.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_FALSE(registry.Register(sig.key_image).ok());
+    EXPECT_EQ(registry.size(), 1u);
+  }
+  EXPECT_TRUE(registry.Contains(sig.key_image));
+}
+
+TEST(LsagNegativeTest, DistinctSignersNeverCollideInRegistry) {
+  RingFixture fx(6);
+  KeyImageRegistry registry;
+  for (size_t j = 0; j < fx.ring.size(); ++j) {
+    LsagSignature sig = MustSign(fx, j, "msg", 20 + j);
+    EXPECT_TRUE(registry.Register(sig.key_image).ok()) << "signer " << j;
+  }
+  EXPECT_EQ(registry.size(), fx.ring.size());
+}
+
+}  // namespace
+}  // namespace tokenmagic::crypto

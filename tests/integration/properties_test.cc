@@ -25,7 +25,7 @@ using chain::TxId;
 struct RandomInstance {
   std::vector<TokenId> universe;
   std::vector<RsView> history;
-  analysis::HtIndex index;
+  chain::HtIndex index;
 
   explicit RandomInstance(uint64_t seed) {
     common::Rng rng(seed);
@@ -130,7 +130,7 @@ TEST_P(TheoremSweep, Theorem61PsiSetsAreDtrsTokenSets) {
   // Construct: two identical super RSs s (so v = 2) over 3 tokens, and
   // one disjoint RS. Check DTRSs of the later copy.
   std::vector<TokenId> tokens = {0, 1, 2, 3, 4};
-  analysis::HtIndex index;
+  chain::HtIndex index;
   size_t num_hts = 2 + rng.NextBounded(2);
   for (TokenId t : tokens) {
     index.Set(t, static_cast<TxId>(rng.NextBounded(num_hts)));

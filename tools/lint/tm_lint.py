@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""TokenMagic source linter.
+
+Run from anywhere:  python3 tools/lint/tm_lint.py [--root REPO_ROOT]
+
+Registered as the `lint` ctest target; a non-zero exit fails the build.
+
+Checks
+------
+1. Layering: src/ modules form the DAG
+
+       common <- crypto <- chain <- data <- analysis <- core <- node <- sim
+
+   (left of the arrow is lower). A module may #include only itself and
+   strictly lower modules; any upward or sideways include is an error.
+
+2. Banned patterns (all of src/):
+     * libc randomness: rand(), std::rand, srand, random() -- all entropy
+       must flow through common::Rng (deterministic, seedable) or the
+       crypto hash-derived scalars.
+     * wall-clock seeding: time(nullptr)/time(NULL)/std::time -- results
+       must be reproducible from explicit seeds.
+
+3. Float hygiene: `float`/`double` are banned in the exact-arithmetic
+   analysis files (diversity, dtrs, matching, related_set, chain_reaction,
+   incremental) where the paper requires exact rational/integer verdicts.
+   Audited exceptions carry a `tm-lint: float-ok(<reason>)` annotation on
+   the same line or within the two preceding lines.
+
+4. [[nodiscard]]: every function declared in a src/ header returning
+   common::Status or common::Result<T> must be marked [[nodiscard]] so an
+   ignored error is a compile-time warning (an error under -Werror).
+
+5. Constant-time hygiene (crypto): regions bracketed by
+   `tm-lint: ct-begin` / `tm-lint: ct-end` in lsag.cc and secp256k1.cc must
+   not call the variable-time Secp256k1::Mul/MulBase, must not branch on
+   scalar bits (.Bit( is banned inside regions), and any control-flow
+   statement inside a region needs an explicit `tm-lint: ct-ok(<reason>)`
+   annotation that is itself forbidden from referencing secret material.
+   lsag.cc must contain at least one such region, and the Keypair
+   destructor must wipe the secret (SecureWipe in keys.h).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+MODULE_RANK = {
+    "common": 0,
+    "crypto": 1,
+    "chain": 2,
+    "data": 3,
+    "analysis": 4,
+    "core": 5,
+    "node": 6,
+    "sim": 7,
+}
+
+# Files where the paper's guarantees hinge on exact integer/rational math.
+FLOAT_BANNED_FILES = {
+    "analysis/diversity.h", "analysis/diversity.cc",
+    "analysis/dtrs.h", "analysis/dtrs.cc",
+    "analysis/matching.h", "analysis/matching.cc",
+    "analysis/related_set.h", "analysis/related_set.cc",
+    "analysis/chain_reaction.h", "analysis/chain_reaction.cc",
+    "analysis/incremental.h", "analysis/incremental.cc",
+    "chain/ht_index.h", "chain/ht_index.cc",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+RAND_RE = re.compile(r'\b(?:std::)?(?:s?rand|random)\s*\(')
+TIME_RE = re.compile(r'\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)')
+FLOAT_RE = re.compile(r'\b(?:float|double)\b')
+FLOAT_OK_RE = re.compile(r'tm-lint:\s*float-ok\(')
+CT_OK_RE = re.compile(r'tm-lint:\s*ct-ok\(')
+CONTROL_FLOW_RE = re.compile(r'\b(?:if|for|while|switch)\s*\(')
+NODISCARD_RE = re.compile(r'\[\[nodiscard\]\]')
+# Friend declarations are deliberately excluded: [[nodiscard]] on a friend
+# declaration that is not a definition is ignored (and -Werror=attributes
+# rejects it); the namespace-scope declaration carries the attribute instead.
+STATUS_DECL_RE = re.compile(
+    r'^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)*'
+    r'(?:::)?(?:tokenmagic::)?(?:common::)?'
+    r'(?:Status|Result<[^;=]*>)\s+'
+    r'[A-Za-z_]\w*\s*\(')
+SECRET_TOKEN_RE = re.compile(r'secret|priv(?:ate)?_?key', re.IGNORECASE)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.src = root / "src"
+        self.errors: list[str] = []
+
+    def error(self, path: pathlib.Path, line_no: int, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.errors.append(f"{rel}:{line_no}: {message}")
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def strip_comments(lines: list[str]) -> list[str]:
+        """Per-line copy with comment text blanked (string-literal naive)."""
+        out = []
+        in_block = False
+        for line in lines:
+            result = []
+            i = 0
+            while i < len(line):
+                if in_block:
+                    end = line.find("*/", i)
+                    if end == -1:
+                        i = len(line)
+                    else:
+                        in_block = False
+                        i = end + 2
+                    continue
+                if line.startswith("//", i):
+                    break
+                if line.startswith("/*", i):
+                    in_block = True
+                    i += 2
+                    continue
+                result.append(line[i])
+                i += 1
+            out.append("".join(result))
+        return out
+
+    def iter_source_files(self):
+        for path in sorted(self.src.rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                yield path
+
+    # -- checks -----------------------------------------------------------
+
+    def check_layering(self, path: pathlib.Path, code: list[str]) -> None:
+        rel = path.relative_to(self.src)
+        module = rel.parts[0]
+        if module not in MODULE_RANK:
+            self.error(path, 1, f"unknown module '{module}' (update the DAG "
+                                "in tools/lint/tm_lint.py and docs)")
+            return
+        rank = MODULE_RANK[module]
+        for i, line in enumerate(code, start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if target not in MODULE_RANK:
+                continue  # third-party or relative include
+            if MODULE_RANK[target] > rank or (
+                    MODULE_RANK[target] == rank and target != module):
+                self.error(path, i,
+                           f"layering violation: '{module}' (rank {rank}) "
+                           f"may not include '{m.group(1)}' "
+                           f"(module '{target}', rank {MODULE_RANK[target]})")
+
+    def check_banned_patterns(self, path: pathlib.Path,
+                              code: list[str]) -> None:
+        for i, line in enumerate(code, start=1):
+            if RAND_RE.search(line):
+                self.error(path, i,
+                           "banned randomness: use common::Rng (explicit "
+                           "seed) instead of libc rand()/srand()/random()")
+            if TIME_RE.search(line):
+                self.error(path, i,
+                           "banned wall-clock seeding: time(nullptr) makes "
+                           "runs irreproducible; thread an explicit seed")
+
+    def check_float_ban(self, path: pathlib.Path, code: list[str],
+                        raw: list[str]) -> None:
+        rel = str(path.relative_to(self.src)).replace("\\", "/")
+        if rel not in FLOAT_BANNED_FILES:
+            return
+        for i, line in enumerate(code, start=1):
+            if not FLOAT_RE.search(line):
+                continue
+            window = raw[max(0, i - 3):i]  # this line + two above
+            if any(FLOAT_OK_RE.search(w) for w in window):
+                continue
+            self.error(path, i,
+                       "float/double in exact-arithmetic analysis code; "
+                       "use integer/rational math or annotate an audited "
+                       "use with 'tm-lint: float-ok(<reason>)'")
+
+    def check_nodiscard(self, path: pathlib.Path, code: list[str]) -> None:
+        if path.suffix != ".h":
+            return
+        for i, line in enumerate(code, start=1):
+            if not STATUS_DECL_RE.match(line):
+                continue
+            if NODISCARD_RE.search(line):
+                continue
+            prev = code[i - 2] if i >= 2 else ""
+            if NODISCARD_RE.search(prev):
+                continue
+            self.error(path, i,
+                       "Status/Result-returning function must be "
+                       "[[nodiscard]] (silently dropped errors corrupt "
+                       "results)")
+
+    def check_constant_time(self) -> None:
+        lsag = self.src / "crypto" / "lsag.cc"
+        secp = self.src / "crypto" / "secp256k1.cc"
+        keys = self.src / "crypto" / "keys.h"
+
+        regions = 0
+        for path in (lsag, secp):
+            if not path.exists():
+                self.error(path, 1, "constant-time check: file missing")
+                continue
+            raw = path.read_text().splitlines()
+            in_region = False
+            begin_line = 0
+            for i, line in enumerate(raw, start=1):
+                if "tm-lint: ct-begin" in line:
+                    if in_region:
+                        self.error(path, i, "nested ct-begin")
+                    in_region = True
+                    begin_line = i
+                    regions += 1
+                    continue
+                if "tm-lint: ct-end" in line:
+                    if not in_region:
+                        self.error(path, i, "ct-end without ct-begin")
+                    in_region = False
+                    continue
+                if not in_region:
+                    continue
+                if re.search(r'Secp256k1::Mul(?:Base)?\(', line):
+                    self.error(path, i,
+                               "variable-time Secp256k1::Mul/MulBase inside "
+                               "a constant-time region; use MulCT/MulBaseCT")
+                if ".Bit(" in line:
+                    self.error(path, i,
+                               "scalar bit accessor inside a constant-time "
+                               "region; extract bits with masked limb "
+                               "arithmetic instead")
+                has_ternary = re.search(r'\?.*:', line) and "::" not in line
+                if CONTROL_FLOW_RE.search(line) or has_ternary:
+                    if not CT_OK_RE.search(line):
+                        self.error(path, i,
+                                   "control flow inside a constant-time "
+                                   "region needs 'tm-lint: ct-ok(<reason>)'")
+                    elif SECRET_TOKEN_RE.search(
+                            CONTROL_FLOW_RE.sub("", line)):
+                        self.error(path, i,
+                                   "control flow referencing secret "
+                                   "material may not be ct-ok'd away")
+            if in_region:
+                self.error(path, begin_line, "unterminated ct-begin region")
+
+        if regions == 0:
+            self.error(lsag, 1,
+                       "LSAG signing must mark its secret-scalar operations "
+                       "with tm-lint: ct-begin/ct-end regions")
+
+        if keys.exists() and "SecureWipe" not in keys.read_text():
+            self.error(keys, 1,
+                       "Keypair must zeroize its secret scalar on "
+                       "destruction via SecureWipe")
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> int:
+        for path in self.iter_source_files():
+            raw = path.read_text().splitlines()
+            code = self.strip_comments(raw)
+            self.check_layering(path, code)
+            self.check_banned_patterns(path, code)
+            self.check_float_ban(path, code, raw)
+            self.check_nodiscard(path, code)
+        self.check_constant_time()
+
+        if self.errors:
+            for err in self.errors:
+                print(err, file=sys.stderr)
+            print(f"tm_lint: {len(self.errors)} error(s)", file=sys.stderr)
+            return 1
+        print("tm_lint: OK")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2])
+    args = parser.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
