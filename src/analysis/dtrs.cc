@@ -6,7 +6,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
-#include "common/stopwatch.h"
+#include "common/deadline.h"
 
 namespace tokenmagic::analysis {
 

@@ -15,7 +15,7 @@
 
 #include "chain/types.h"
 #include "common/status.h"
-#include "common/stopwatch.h"
+#include "common/deadline.h"
 
 namespace tokenmagic::analysis {
 

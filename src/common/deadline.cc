@@ -1,0 +1,68 @@
+#include "common/deadline.h"
+
+#include <chrono>
+
+namespace tokenmagic::common {
+
+int64_t SteadyClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const SteadyClock* SteadyClock::Instance() {
+  static const SteadyClock instance;
+  return &instance;
+}
+
+Deadline::Deadline(double budget_seconds, uint64_t iteration_budget,
+                   const Clock* clock, Deadline* parent)
+    : budget_seconds_(budget_seconds),
+      iteration_budget_(iteration_budget),
+      clock_(clock != nullptr ? clock : SteadyClock::Instance()),
+      parent_(parent),
+      start_nanos_(clock_->NowNanos()) {}
+
+Deadline Deadline::AlreadyExpired(const Clock* clock) {
+  Deadline d(0.0, 0, clock);
+  d.forced_expired_ = true;
+  return d;
+}
+
+bool Deadline::Expired() const {
+  if (forced_expired_) return true;
+  if (parent_ != nullptr && parent_->Expired()) return true;
+  if (iteration_budget_ > 0 && iterations_used_ >= iteration_budget_) {
+    return true;
+  }
+  return budget_seconds_ > 0.0 && ElapsedSeconds() > budget_seconds_;
+}
+
+void Deadline::Tick(uint64_t steps) {
+  iterations_used_ += steps;
+  if (parent_ != nullptr) parent_->Tick(steps);
+}
+
+double Deadline::ElapsedSeconds() const {
+  return static_cast<double>(clock_->NowNanos() - start_nanos_) / 1e9;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (budget_seconds_ <= 0.0) return 1e18;
+  return budget_seconds_ - ElapsedSeconds();
+}
+
+Deadline Deadline::Stage(double budget_seconds, uint64_t iteration_budget) {
+  if (budget_seconds_ > 0.0) {
+    double remaining = RemainingSeconds();
+    if (remaining < 0.0) remaining = 0.0;
+    if (budget_seconds <= 0.0 || budget_seconds > remaining) {
+      budget_seconds = remaining;
+    }
+  }
+  Deadline stage(budget_seconds, iteration_budget, clock_, this);
+  if (Expired()) stage.forced_expired_ = true;
+  return stage;
+}
+
+}  // namespace tokenmagic::common

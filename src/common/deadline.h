@@ -1,0 +1,111 @@
+// Injected monotonic clocks and budgeted deadlines.
+//
+// Every budget-bounded algorithm in the library (the exact BFS selector,
+// DTRS enumeration, SDR matching, the resilient fallback ladder) measures
+// time through a Clock handed in from the outside instead of reading
+// std::chrono directly. Production code uses the process-wide SteadyClock;
+// tests and fault-injection harnesses substitute a ManualClock so timeout
+// paths are exercised deterministically, without real sleeping.
+//
+// A Deadline combines two budgets:
+//   * a wall-clock budget in seconds (0 = unlimited), measured against the
+//     injected monotonic clock, and
+//   * an iteration budget (0 = unlimited), consumed explicitly via Tick()
+//     by the algorithm's inner loop.
+// Either budget expiring makes the deadline expired. Deadlines chain: a
+// stage deadline carved out of an overall deadline also expires when its
+// parent does, so a fallback ladder can never overspend the caller's total
+// budget.
+#pragma once
+
+#include <cstdint>
+
+namespace tokenmagic::common {
+
+/// Monotonic time source. NowNanos() must never decrease.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// The real monotonic clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowNanos() const override;
+
+  /// Process-wide instance used when no clock is injected.
+  static const SteadyClock* Instance();
+};
+
+/// A hand-advanced clock for deterministic timeout tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override { return now_nanos_; }
+
+  void AdvanceNanos(int64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceSeconds(double seconds) {
+    now_nanos_ += static_cast<int64_t>(seconds * 1e9);
+  }
+
+ private:
+  int64_t now_nanos_;
+};
+
+/// A soft deadline: wall-clock budget + iteration budget over an injected
+/// clock, optionally chained under a parent deadline.
+class Deadline {
+ public:
+  /// budget_seconds <= 0 and iteration_budget == 0 both mean "unlimited".
+  /// `clock` defaults to the process SteadyClock; `parent` (if set) must
+  /// outlive this deadline and its expiry propagates here.
+  explicit Deadline(double budget_seconds = 0.0,
+                    uint64_t iteration_budget = 0,
+                    const Clock* clock = nullptr,
+                    Deadline* parent = nullptr);
+
+  /// A deadline with no budgets: never expires.
+  [[nodiscard]] static Deadline Unlimited() { return Deadline(); }
+
+  /// A zero-budget deadline: Expired() is true from the start. Selectors
+  /// receiving one must return Timeout before doing any work.
+  [[nodiscard]] static Deadline AlreadyExpired(const Clock* clock = nullptr);
+
+  /// True when any budget (own wall clock, own iterations, or the parent
+  /// chain) is exhausted.
+  bool Expired() const;
+
+  /// Consumes `steps` iterations from this deadline and every ancestor.
+  void Tick(uint64_t steps = 1);
+
+  /// Wall-clock seconds elapsed since construction (injected clock).
+  double ElapsedSeconds() const;
+
+  /// Remaining wall-clock budget; negative when overspent. Meaningless
+  /// (returns a large value) when the wall budget is unlimited.
+  double RemainingSeconds() const;
+
+  double budget_seconds() const { return budget_seconds_; }
+  uint64_t iteration_budget() const { return iteration_budget_; }
+  uint64_t iterations_used() const { return iterations_used_; }
+  const Clock* clock() const { return clock_; }
+
+  /// Carves a stage deadline out of this one: the child gets its own
+  /// budgets (clamped to this deadline's remaining wall budget) and
+  /// expires whenever this deadline does.
+  [[nodiscard]] Deadline Stage(double budget_seconds,
+                               uint64_t iteration_budget);
+
+ private:
+  double budget_seconds_;
+  uint64_t iteration_budget_;
+  const Clock* clock_;
+  Deadline* parent_;
+  int64_t start_nanos_;
+  uint64_t iterations_used_ = 0;
+  bool forced_expired_ = false;
+};
+
+}  // namespace tokenmagic::common

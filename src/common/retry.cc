@@ -1,0 +1,32 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tokenmagic::common {
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  double backoff = base_backoff_seconds;
+  for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_seconds);
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& op, const Sleeper& sleep,
+                    const std::function<bool(const Status&)>& retryable) {
+  TM_CHECK(policy.max_attempts >= 1);
+  Status last = Status::Internal("RunWithRetry: no attempt executed");
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (attempt > 1 && sleep) sleep(policy.BackoffSeconds(attempt));
+    last = op();
+    if (last.ok()) return last;
+    bool retry = retryable ? retryable(last)
+                           : last.code() == StatusCode::kIoError;
+    if (!retry) return last;
+  }
+  return last;
+}
+
+}  // namespace tokenmagic::common

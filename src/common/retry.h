@@ -1,0 +1,47 @@
+// Bounded, deterministic retry with exponential backoff.
+//
+// RetryPolicy describes how many attempts an operation gets and how long
+// to back off between them. Backoff durations are a pure function of the
+// attempt index — no wall-clock reads, no randomness — so retry schedules
+// are reproducible in tests and simulations. The actual waiting is
+// delegated to an injected Sleeper; the default sleeper does nothing
+// (correct for the in-process file I/O this library performs, where a
+// failed write will not heal by waiting), and tests inject a recorder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace tokenmagic::common {
+
+/// How to wait between attempts. Receives the backoff in seconds.
+using Sleeper = std::function<void(double seconds)>;
+
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1).
+  int max_attempts = 3;
+  /// Backoff before the second attempt.
+  double base_backoff_seconds = 0.01;
+  /// Multiplier applied per further attempt.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  double max_backoff_seconds = 1.0;
+
+  /// Deterministic backoff before attempt `attempt` (1-based; attempt 1
+  /// has no backoff): base * multiplier^(attempt-2), capped.
+  double BackoffSeconds(int attempt) const;
+};
+
+/// Runs `op` up to policy.max_attempts times. Retries only when `op`
+/// fails with a status for which `retryable` returns true (default:
+/// kIoError). Between attempts, calls `sleep` with the deterministic
+/// backoff (no-op when empty). Returns the first success or the last
+/// failure.
+[[nodiscard]] Status RunWithRetry(
+    const RetryPolicy& policy, const std::function<Status()>& op,
+    const Sleeper& sleep = {},
+    const std::function<bool(const Status&)>& retryable = {});
+
+}  // namespace tokenmagic::common

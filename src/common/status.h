@@ -80,6 +80,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnsatisfiable() const { return code_ == StatusCode::kUnsatisfiable; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsVerificationFailed() const {
     return code_ == StatusCode::kVerificationFailed;
   }

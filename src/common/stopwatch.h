@@ -24,24 +24,4 @@ class StopWatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// A soft deadline used to bound exponential-time exact algorithms.
-class Deadline {
- public:
-  /// An already-expired deadline is never constructible; budget <= 0 means
-  /// "no limit".
-  explicit Deadline(double budget_seconds = 0.0)
-      : budget_seconds_(budget_seconds) {}
-
-  /// True when a positive budget was given and it has elapsed.
-  bool Expired() const {
-    return budget_seconds_ > 0.0 && watch_.ElapsedSeconds() > budget_seconds_;
-  }
-
-  double budget_seconds() const { return budget_seconds_; }
-
- private:
-  double budget_seconds_;
-  StopWatch watch_;
-};
-
 }  // namespace tokenmagic::common

@@ -22,7 +22,14 @@ common::Result<SelectionResult> AddUntilEligible(
                           input.requirement, input.policy)
         .eligible;
   };
+  if (DeadlineExpired(input)) {
+    return common::Status::Timeout("selection deadline already expired");
+  }
   while (!eligible()) {
+    TickDeadline(input);
+    if (DeadlineExpired(input)) {
+      return common::Status::Timeout("module-add budget exhausted");
+    }
     if (state->remaining.empty()) {
       return common::Status::Unsatisfiable(
           "no module assembly satisfies the diversity constraint");
@@ -72,6 +79,9 @@ common::Result<SelectionResult> MoneroSelector::Select(
     const SelectionInput& input, common::Rng* rng) const {
   TM_CHECK(rng != nullptr);
   using common::Status;
+  if (DeadlineExpired(input)) {
+    return Status::Timeout("selection deadline already expired");
+  }
   if (std::find(input.universe.begin(), input.universe.end(), input.target) ==
       input.universe.end()) {
     return Status::InvalidArgument("target token not in the mixin universe");
@@ -105,6 +115,10 @@ common::Result<SelectionResult> MoneroSelector::Select(
   sample_from(recent, std::min(recent_quota, recent.size()));
   // Fill the rest from the whole pool, skipping duplicates.
   while (members.size() < ring_size_) {
+    TickDeadline(input);
+    if (DeadlineExpired(input)) {
+      return Status::Timeout("ring-fill budget exhausted");
+    }
     chain::TokenId t = pool[rng->NextBounded(pool.size())];
     if (std::find(members.begin(), members.end(), t) == members.end()) {
       members.push_back(t);

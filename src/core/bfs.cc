@@ -7,7 +7,7 @@
 #include "analysis/matching.h"
 #include "analysis/related_set.h"
 #include "common/macros.h"
-#include "common/stopwatch.h"
+#include "common/deadline.h"
 #include "common/strings.h"
 
 namespace tokenmagic::core {
@@ -92,7 +92,14 @@ common::Result<SelectionResult> BfsSelector::Select(
         "universe size %zu exceeds the BFS cap %zu", input.universe.size(),
         options_.max_universe));
   }
-  common::Deadline deadline(options_.budget_seconds);
+  if (DeadlineExpired(input)) {
+    return Status::Timeout("BFS deadline already expired");
+  }
+  common::Deadline deadline(options_.budget_seconds, 0,
+                            input.deadline != nullptr
+                                ? input.deadline->clock()
+                                : nullptr,
+                            input.deadline);
 
   // σ = T \ t_τ (line 1), in a deterministic order.
   std::vector<chain::TokenId> sigma;
@@ -128,6 +135,7 @@ common::Result<SelectionResult> BfsSelector::Select(
     bool more = i <= sigma.size();
     if (i == 0) more = true;
     while (more) {
+      deadline.Tick();  // consumes the caller's iteration budget too
       if (deadline.Expired()) {
         return Status::Timeout("BFS budget exhausted");
       }

@@ -12,6 +12,9 @@ namespace tokenmagic::core {
 common::Result<SelectionResult> GameTheoreticSelector::Select(
     const SelectionInput& input, common::Rng* rng) const {
   (void)rng;  // best-response dynamics are deterministic
+  if (DeadlineExpired(input)) {
+    return common::Status::Timeout("Game deadline already expired");
+  }
   TM_ASSIGN_OR_RETURN(ModuleSelectionState state, InitModuleState(input));
   const chain::HtIndex& index = *input.index;
   chain::DiversityRequirement effective =
@@ -20,8 +23,9 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
   SelectionResult result;
 
   // Initialization (lines 2-4): the same HT-covering greedy as Algorithm 4.
-  TM_ASSIGN_OR_RETURN(size_t init_steps,
-                      GreedyCoverHts(&state, index, effective.ell));
+  TM_ASSIGN_OR_RETURN(
+      size_t init_steps,
+      GreedyCoverHts(&state, index, effective.ell, input.deadline));
   result.iterations += init_steps;
 
   const bool initially_eligible =
@@ -44,7 +48,7 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
   // pathological inputs.
   const size_t player_count = state.mu.module_count();
   const size_t max_passes = 2 * player_count + 8;
-  auto run_dynamics = [&]() {
+  auto run_dynamics = [&]() -> common::Status {
   bool changed = true;
   size_t passes = 0;
   while (changed && passes < max_passes) {
@@ -52,6 +56,11 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
     ++passes;
     for (size_t player = 0; player < player_count; ++player) {
       if (player == state.target_module) continue;  // a_τ is pinned to φ
+      // Budget check while the profile is consistent (no flip in flight).
+      TickDeadline(input);
+      if (DeadlineExpired(input)) {
+        return common::Status::Timeout("best-response budget exhausted");
+      }
       bool currently_chosen =
           std::find(state.chosen.begin(), state.chosen.end(), player) !=
           state.chosen.end();
@@ -101,9 +110,10 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
       }
     }
   }
+  return common::Status::OK();
   };  // run_dynamics
 
-  run_dynamics();
+  TM_RETURN_NOT_OK(run_dynamics());
 
   auto eligible_now = [&]() {
     return CheckCandidate(state.mu, state.chosen, input.history, index,
@@ -125,6 +135,7 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
     ProgressiveSelector progressive;
     auto seed = progressive.Select(input, rng);
     if (!seed.ok()) {
+      if (seed.status().IsTimeout()) return seed.status();
       return common::Status::Unsatisfiable(
           "no module assembly satisfies the diversity constraint");
     }
@@ -147,7 +158,7 @@ common::Result<SelectionResult> GameTheoreticSelector::Select(
         ChooseModule(&state, index, module_index);
       }
     }
-    run_dynamics();
+    TM_RETURN_NOT_OK(run_dynamics());
     if (!eligible_now()) {
       return common::Status::Unsatisfiable(
           "no module assembly satisfies the diversity constraint");

@@ -81,9 +81,16 @@ void UnchooseModule(ModuleSelectionState* state,
 
 common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
                                       const chain::HtIndex& index,
-                                      int ell) {
+                                      int ell,
+                                      common::Deadline* deadline) {
   size_t steps = 0;
   while (state->covered_hts.size() < static_cast<size_t>(ell)) {
+    if (deadline != nullptr) {
+      deadline->Tick();
+      if (deadline->Expired()) {
+        return common::Status::Timeout("HT-cover greedy budget exhausted");
+      }
+    }
     size_t deficit = static_cast<size_t>(ell) - state->covered_hts.size();
     double best_alpha = std::numeric_limits<double>::infinity();
     size_t best_module = static_cast<size_t>(-1);

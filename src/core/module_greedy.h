@@ -46,10 +46,12 @@ void UnchooseModule(ModuleSelectionState* state,
 /// Phase 1 of Algorithms 4 and 5: greedily add the module minimizing
 ///   α_i = |x_i| / min(ℓ - |H|, |H_i \ H|)
 /// until at least `ell` distinct HTs are covered. Returns the number of
-/// greedy steps, or Unsatisfiable when the universe cannot reach ℓ HTs.
+/// greedy steps, Unsatisfiable when the universe cannot reach ℓ HTs, or
+/// Timeout when `deadline` (optional) expires.
 [[nodiscard]] common::Result<size_t> GreedyCoverHts(ModuleSelectionState* state,
                                       const chain::HtIndex& index,
-                                      int ell);
+                                      int ell,
+                                      common::Deadline* deadline = nullptr);
 
 /// Distinct HTs of one module.
 std::unordered_set<chain::TxId> ModuleHts(const Module& module,

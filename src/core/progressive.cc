@@ -29,6 +29,9 @@ double SlackOf(const ModuleUniverse& mu, const std::vector<size_t>& chosen,
 common::Result<SelectionResult> ProgressiveSelector::Select(
     const SelectionInput& input, common::Rng* rng) const {
   (void)rng;  // the Progressive Algorithm is deterministic
+  if (DeadlineExpired(input)) {
+    return common::Status::Timeout("Progressive deadline already expired");
+  }
   TM_ASSIGN_OR_RETURN(ModuleSelectionState state, InitModuleState(input));
   const chain::HtIndex& index = *input.index;
   chain::DiversityRequirement effective =
@@ -37,8 +40,9 @@ common::Result<SelectionResult> ProgressiveSelector::Select(
   SelectionResult result;
 
   // Phase 1: reach ℓ distinct HTs (lines 2-4 of Algorithm 4).
-  TM_ASSIGN_OR_RETURN(size_t phase1_steps,
-                      GreedyCoverHts(&state, index, effective.ell));
+  TM_ASSIGN_OR_RETURN(
+      size_t phase1_steps,
+      GreedyCoverHts(&state, index, effective.ell, input.deadline));
   result.iterations += phase1_steps;
 
   // Phase 2: close the diversity gap (lines 5-7).
@@ -48,6 +52,10 @@ common::Result<SelectionResult> ProgressiveSelector::Select(
         .eligible;
   };
   while (!eligible()) {
+    TickDeadline(input);
+    if (DeadlineExpired(input)) {
+      return common::Status::Timeout("Progressive budget exhausted");
+    }
     double delta = SlackOf(state.mu, state.chosen, index, effective);
     double best_beta = -std::numeric_limits<double>::infinity();
     size_t best_module = static_cast<size_t>(-1);

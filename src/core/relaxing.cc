@@ -36,6 +36,10 @@ common::Result<RelaxedSelection> RelaxingSelector::Select(
   std::vector<chain::DiversityRequirement> schedule =
       Schedule(input.requirement);
   for (size_t step = 0; step < schedule.size(); ++step) {
+    if (DeadlineExpired(input)) {
+      return common::Status::Timeout(
+          "relaxation schedule abandoned: deadline expired");
+    }
     SelectionInput attempt = input;
     attempt.requirement = schedule[step];
     auto result = inner_->Select(attempt, rng);

@@ -8,6 +8,7 @@
 
 #include "chain/ht_index.h"
 #include "chain/types.h"
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/eligibility.h"
@@ -25,7 +26,22 @@ struct SelectionInput {
   chain::DiversityRequirement requirement;
   const chain::HtIndex* index = nullptr;
   EligibilityPolicy policy;
+  /// Optional caller-owned budget. Every selector observes it: expiry is
+  /// reported as Status::Timeout, and an already-expired (zero-budget)
+  /// deadline returns Timeout before any work. nullptr = unlimited.
+  common::Deadline* deadline = nullptr;
 };
+
+/// True when the instance carries an expired deadline. Selectors check at
+/// entry and at every iteration boundary.
+inline bool DeadlineExpired(const SelectionInput& input) {
+  return input.deadline != nullptr && input.deadline->Expired();
+}
+
+/// Consumes iteration budget from the instance deadline, if any.
+inline void TickDeadline(const SelectionInput& input, uint64_t steps = 1) {
+  if (input.deadline != nullptr) input.deadline->Tick(steps);
+}
 
 /// A selected ring signature (member set including the target).
 struct SelectionResult {

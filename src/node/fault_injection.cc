@@ -1,0 +1,130 @@
+#include "node/fault_injection.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace tokenmagic::node {
+
+namespace {
+
+/// Byte offsets at which each line of `bytes` starts.
+std::vector<size_t> LineStarts(const std::string& bytes) {
+  std::vector<size_t> starts;
+  if (bytes.empty()) return starts;
+  starts.push_back(0);
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// [start, end) byte range of the line beginning at `start`, excluding the
+/// trailing newline.
+size_t LineEnd(const std::string& bytes, size_t start) {
+  size_t end = bytes.find('\n', start);
+  return end == std::string::npos ? bytes.size() : end;
+}
+
+}  // namespace
+
+std::string FaultInjector::CorruptBytes(std::string bytes, size_t flips,
+                                        bool preserve_header) {
+  if (bytes.empty()) return bytes;
+  size_t first = 0;
+  if (preserve_header) {
+    first = LineEnd(bytes, 0) + 1;
+    if (first >= bytes.size()) return bytes;  // header-only buffer
+  }
+  for (size_t i = 0; i < flips; ++i) {
+    size_t pos = first + rng_.NextBounded(bytes.size() - first);
+    // XOR with a nonzero byte guarantees the byte actually changes; avoid
+    // producing '\n' so corruption never silently splits a record into two
+    // well-formed shorter ones.
+    char flipped = static_cast<char>(
+        bytes[pos] ^ static_cast<char>(1 + rng_.NextBounded(255)));
+    if (flipped == '\n') flipped = static_cast<char>(flipped ^ 0x40);
+    bytes[pos] = flipped;
+  }
+  return bytes;
+}
+
+std::string FaultInjector::TruncateBytes(std::string bytes) {
+  if (bytes.size() < 2) return bytes;
+  size_t cut = 1 + rng_.NextBounded(bytes.size() - 1);
+  bytes.resize(cut);
+  return bytes;
+}
+
+std::string FaultInjector::DuplicateLine(std::string bytes) {
+  std::vector<size_t> starts = LineStarts(bytes);
+  if (starts.empty()) return bytes;
+  size_t start = starts[rng_.NextBounded(starts.size())];
+  size_t end = LineEnd(bytes, start);
+  std::string line = bytes.substr(start, end - start) + "\n";
+  bytes.insert(start, line);
+  return bytes;
+}
+
+std::string FaultInjector::SwapLines(std::string bytes) {
+  std::vector<size_t> starts = LineStarts(bytes);
+  if (starts.size() < 2) return bytes;
+  size_t a = rng_.NextBounded(starts.size());
+  size_t b = rng_.NextBounded(starts.size() - 1);
+  if (b >= a) ++b;
+  if (a > b) std::swap(a, b);
+  size_t a_end = LineEnd(bytes, starts[a]);
+  size_t b_end = LineEnd(bytes, starts[b]);
+  std::string line_a = bytes.substr(starts[a], a_end - starts[a]);
+  std::string line_b = bytes.substr(starts[b], b_end - starts[b]);
+  // Replace back-to-front so earlier offsets stay valid.
+  bytes.replace(starts[b], b_end - starts[b], line_a);
+  bytes.replace(starts[a], a_end - starts[a], line_b);
+  return bytes;
+}
+
+void FaultInjector::FailNextWrites(int n, double cut_fraction) {
+  TM_CHECK(cut_fraction >= 0.0 && cut_fraction <= 1.0);
+  write_faults_armed_ = n;
+  write_cut_fraction_ = cut_fraction;
+}
+
+void FaultInjector::FailNextRenames(int n) { rename_faults_armed_ = n; }
+
+bool FaultInjector::ConsumeWriteFault(double* cut_fraction) {
+  if (write_faults_armed_ <= 0) return false;
+  --write_faults_armed_;
+  if (cut_fraction != nullptr) *cut_fraction = write_cut_fraction_;
+  return true;
+}
+
+bool FaultInjector::ConsumeRenameFault() {
+  if (rename_faults_armed_ <= 0) return false;
+  --rename_faults_armed_;
+  return true;
+}
+
+std::vector<size_t> FaultInjector::ScrambleOrder(size_t n, size_t duplicates) {
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng_.Shuffle(&order);
+  for (size_t i = 0; i < duplicates && n > 0; ++i) {
+    size_t victim = order[rng_.NextBounded(order.size())];
+    order.insert(order.begin() + rng_.NextBounded(order.size() + 1), victim);
+  }
+  return order;
+}
+
+void FaultInjector::FlipNextVerdicts(int n) { verdict_flips_armed_ = n; }
+
+common::Status FaultInjector::FilterVerdict(common::Status verdict) {
+  if (!verdict.ok() || verdict_flips_armed_ <= 0) return verdict;
+  --verdict_flips_armed_;
+  ++verdicts_flipped_;
+  return common::Status::Internal(common::StrFormat(
+      "fault injection: verdict flipped to failure (flip #%zu)",
+      verdicts_flipped_));
+}
+
+}  // namespace tokenmagic::node

@@ -1,0 +1,98 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector owns a seedable Rng so every fault schedule is
+// reproducible from a 64-bit seed — a failing run can be replayed
+// exactly. It provides four fault families, matching the failure modes a
+// deployed node actually faces:
+//
+//  * snapshot byte faults: corrupt, truncate, duplicate, or reorder the
+//    serialized snapshot — restore-time validation must reject every
+//    mutation that changes meaning (node/snapshot.cc checksums/trailer);
+//  * file I/O faults: armed counters that make the next save crash
+//    mid-stream (partial temp file, no rename) or fail the final rename,
+//    exercising the atomic temp-file + rename protocol;
+//  * submission faults: deterministic duplicated/reordered orderings for
+//    a batch of SubmitTransaction calls;
+//  * verdict faults: flip the next accepting verifier verdicts to
+//    failures. Only the accept -> reject direction is injectable:
+//    flipping reject -> accept would make the harness itself commit an
+//    invalid ring, breaching the exact invariant this suite checks (the
+//    verifier stays authoritative on acceptance, so an injected fault can
+//    lose liveness but never consistency).
+//
+// Production builds never construct one; Node and the snapshot I/O accept
+// an optional injector and behave identically when it is absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace tokenmagic::node {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // -- snapshot byte faults (pure transforms of a copy) -----------------
+
+  /// Flips `flips` bytes at deterministic positions (never in the first
+  /// line when `preserve_header`, so header checks don't shadow the
+  /// checksum/parse validation being tested).
+  std::string CorruptBytes(std::string bytes, size_t flips,
+                           bool preserve_header = true);
+
+  /// Cuts the buffer at a deterministic offset in (0, size).
+  std::string TruncateBytes(std::string bytes);
+
+  /// Duplicates one deterministic line in place.
+  std::string DuplicateLine(std::string bytes);
+
+  /// Swaps two deterministic distinct lines.
+  std::string SwapLines(std::string bytes);
+
+  // -- file I/O faults ---------------------------------------------------
+
+  /// Arms the next `n` snapshot writes to crash mid-stream: only
+  /// `cut_fraction` of the bytes reach the temp file and the write
+  /// reports IoError without renaming.
+  void FailNextWrites(int n, double cut_fraction = 0.5);
+
+  /// Arms the next `n` snapshot renames (the commit point) to fail.
+  void FailNextRenames(int n);
+
+  /// Consumed by the snapshot writer. True = this write must crash;
+  /// `*cut_fraction` receives how much of the payload to emit first.
+  bool ConsumeWriteFault(double* cut_fraction);
+  bool ConsumeRenameFault();
+
+  // -- submission faults -------------------------------------------------
+
+  /// A deterministic adversarial submission order for `n` transactions:
+  /// a random permutation of 0..n-1 with `duplicates` extra repeated
+  /// indices spliced in at random positions.
+  std::vector<size_t> ScrambleOrder(size_t n, size_t duplicates);
+
+  // -- verdict faults ----------------------------------------------------
+
+  /// Arms the next `n` accepting verdicts to be flipped into failures.
+  void FlipNextVerdicts(int n);
+
+  /// Filters a verifier verdict (see file comment: accept -> reject only).
+  [[nodiscard]] common::Status FilterVerdict(common::Status verdict);
+
+  size_t verdicts_flipped() const { return verdicts_flipped_; }
+
+ private:
+  common::Rng rng_;
+  int write_faults_armed_ = 0;
+  double write_cut_fraction_ = 0.5;
+  int rename_faults_armed_ = 0;
+  int verdict_flips_armed_ = 0;
+  size_t verdicts_flipped_ = 0;
+};
+
+}  // namespace tokenmagic::node

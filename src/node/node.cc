@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "node/fault_injection.h"
 
 namespace tokenmagic::node {
 
@@ -42,7 +43,11 @@ common::Status Node::SubmitTransaction(SignedTransaction tx,
     return common::Status::InvalidArgument(
         "output key count does not match output_count");
   }
-  TM_RETURN_NOT_OK(MakeVerifier().Verify(tx));
+  common::Status verdict = MakeVerifier().Verify(tx);
+  if (config_.faults != nullptr) {
+    verdict = config_.faults->FilterVerdict(std::move(verdict));
+  }
+  TM_RETURN_NOT_OK(verdict);
   // Also reject key images already sitting in the mempool.
   for (const PendingTx& pending : mempool_) {
     for (const TxInput& mine : pending.tx.inputs) {
@@ -62,15 +67,26 @@ MinedBlock Node::MineBlock() {
   MinedBlock mined;
   bc_.BeginBlock(clock_++);
   size_t accepted = 0;
+  size_t index = 0;
   std::deque<PendingTx> pool;
   pool.swap(mempool_);
-  while (!pool.empty()) {
+  for (; !pool.empty(); ++index) {
     PendingTx pending = std::move(pool.front());
     pool.pop_front();
     // Re-verify against the evolving state (an earlier transaction in
     // this very block may have consumed a key image or broken the
-    // configuration).
-    if (!MakeVerifier().Verify(pending.tx).ok()) continue;
+    // configuration). Rejections are recorded, never silently dropped:
+    // a wallet that saw its submission accepted needs to learn why the
+    // spend nonetheless missed the block.
+    common::Status verdict = MakeVerifier().Verify(pending.tx);
+    if (config_.faults != nullptr) {
+      verdict = config_.faults->FilterVerdict(std::move(verdict));
+    }
+    if (!verdict.ok()) {
+      mined.rejected.push_back(
+          MinedBlock::RejectedTx{index, std::move(verdict)});
+      continue;
+    }
 
     for (const TxInput& input : pending.tx.inputs) {
       TM_CHECK(spent_images_.Register(input.signature.key_image).ok());

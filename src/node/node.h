@@ -9,6 +9,7 @@
 
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
+#include "common/status.h"
 #include "chain/ledger.h"
 #include "core/batch.h"
 #include "crypto/lsag.h"
@@ -17,9 +18,15 @@
 
 namespace tokenmagic::node {
 
+class FaultInjector;
+
 struct NodeConfig {
   size_t lambda = 64;  ///< batch threshold (Section 4)
   VerifierPolicy verifier;
+  /// Optional fault injector (tests only; node/fault_injection.h). When
+  /// set, verifier verdicts pass through FilterVerdict at submit and
+  /// mine time. Not owned; must outlive the node.
+  FaultInjector* faults = nullptr;
 };
 
 /// Outcome of mining one block.
@@ -28,6 +35,15 @@ struct MinedBlock {
   size_t transactions = 0;
   /// Fresh tokens minted, in order, per transaction.
   std::vector<std::vector<chain::TokenId>> outputs;
+  /// Transactions that passed submit-time checks but failed mine-time
+  /// re-verification (state moved underneath them), with the position in
+  /// this block's mining order and the exact failed check. Rejections
+  /// are audit data, not errors: mining the rest of the block proceeds.
+  struct RejectedTx {
+    size_t index = 0;
+    common::Status status;
+  };
+  std::vector<RejectedTx> rejected;
 };
 
 class Node {

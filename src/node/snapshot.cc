@@ -1,9 +1,15 @@
 #include "node/snapshot.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "common/macros.h"
 #include "common/strings.h"
+#include "crypto/sha256.h"
+#include "node/fault_injection.h"
 
 namespace tokenmagic::node {
 
@@ -11,7 +17,32 @@ namespace {
 
 using common::Status;
 
-constexpr char kHeader[] = "tokenmagic-snapshot v1";
+constexpr char kHeader[] = "tokenmagic-snapshot v2";
+
+// Sections appear in this order; each closes with a `sum` line over its
+// record lines so corruption is attributed to a section in the error.
+enum Section : int { kChain = 0, kRsLedger = 1, kKeys = 2, kImages = 3 };
+constexpr size_t kSectionCount = 4;
+constexpr const char* kSectionNames[kSectionCount] = {"chain", "rs", "keys",
+                                                      "images"};
+constexpr const char* kSectionComments[kSectionCount] = {
+    "# blocks / transactions", "# ring-signature ledger", "# output keys",
+    "# spent key images"};
+
+int SectionOf(std::string_view kind) {
+  if (kind == "block" || kind == "tx") return kChain;
+  if (kind == "rs") return kRsLedger;
+  if (kind == "key") return kKeys;
+  if (kind == "image") return kImages;
+  return -1;
+}
+
+int SectionNamed(std::string_view name) {
+  for (size_t s = 0; s < kSectionCount; ++s) {
+    if (name == kSectionNames[s]) return static_cast<int>(s);
+  }
+  return -1;
+}
 
 std::string EncodePoint(const crypto::Point& p) {
   auto enc = p.Encode();
@@ -35,41 +66,63 @@ common::Result<crypto::Point> DecodePoint(std::string_view hex) {
 }  // namespace
 
 std::string SnapshotToString(const Node& node) {
+  std::array<std::string, kSectionCount> sections;
+  const chain::Blockchain& bc = node.blockchain();
+  {
+    std::ostringstream os;
+    for (chain::BlockHeight h = 0; h < bc.block_count(); ++h) {
+      const chain::Block& block = bc.block(h);
+      os << "block," << block.height << "," << block.time << "\n";
+      for (chain::TxId tx_id : block.transactions) {
+        os << "tx," << block.height << ","
+           << bc.transaction(tx_id).outputs.size() << "\n";
+      }
+    }
+    sections[kChain] = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (const chain::RsView& view : node.ledger().Views()) {
+      os << "rs," << view.proposed_at << "," << view.requirement.c << ","
+         << view.requirement.ell << ",";
+      for (size_t i = 0; i < view.members.size(); ++i) {
+        if (i > 0) os << ";";
+        os << view.members[i];
+      }
+      os << "\n";
+    }
+    sections[kRsLedger] = os.str();
+  }
+  {
+    std::ostringstream os;
+    for (chain::TokenId t : bc.AllTokens()) {
+      if (node.keys().Contains(t)) {
+        os << "key," << t << "," << EncodePoint(node.keys().KeyOf(t)) << "\n";
+      }
+    }
+    sections[kKeys] = os.str();
+  }
+  {
+    // Spent key images are re-serialized from the hex list Node captured
+    // at registration time (the registry itself stores opaque encodings).
+    std::ostringstream os;
+    for (const std::string& hex : node.SpentImageHexList()) {
+      os << "image," << hex << "\n";
+    }
+    sections[kImages] = os.str();
+  }
+
   std::ostringstream os;
   os << kHeader << "\n";
-  os << "# blocks / transactions\n";
-  const chain::Blockchain& bc = node.blockchain();
-  for (chain::BlockHeight h = 0; h < bc.block_count(); ++h) {
-    const chain::Block& block = bc.block(h);
-    os << "block," << block.height << "," << block.time << "\n";
-    for (chain::TxId tx_id : block.transactions) {
-      os << "tx," << block.height << ","
-         << bc.transaction(tx_id).outputs.size() << "\n";
-    }
+  size_t records = 0;
+  for (size_t s = 0; s < kSectionCount; ++s) {
+    os << kSectionComments[s] << "\n" << sections[s];
+    records += static_cast<size_t>(
+        std::count(sections[s].begin(), sections[s].end(), '\n'));
+    os << "sum," << kSectionNames[s] << ","
+       << crypto::Sha256Hex(sections[s]) << "\n";
   }
-  os << "# ring-signature ledger\n";
-  for (const chain::RsView& view : node.ledger().Views()) {
-    os << "rs," << view.proposed_at << "," << view.requirement.c << ","
-       << view.requirement.ell << ",";
-    for (size_t i = 0; i < view.members.size(); ++i) {
-      if (i > 0) os << ";";
-      os << view.members[i];
-    }
-    os << "\n";
-  }
-  os << "# output keys\n";
-  for (chain::TokenId t : bc.AllTokens()) {
-    if (node.keys().Contains(t)) {
-      os << "key," << t << "," << EncodePoint(node.keys().KeyOf(t)) << "\n";
-    }
-  }
-  // Spent key images are re-serialized from the registry indirectly: the
-  // registry only stores opaque encodings, so Node keeps them accessible
-  // via the image list captured below.
-  os << "# spent key images\n";
-  for (const std::string& hex : node.SpentImageHexList()) {
-    os << "image," << hex << "\n";
-  }
+  os << "end," << records << "\n";
   return os.str();
 }
 
@@ -78,8 +131,19 @@ common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
   auto node = std::make_unique<Node>(config);
   std::vector<std::string> lines = common::Split(snapshot, '\n');
   if (lines.empty() || common::Trim(lines[0]) != kHeader) {
-    return Status::IoError("missing or unsupported snapshot header");
+    return Status::IoError(
+        "missing or unsupported snapshot header (expected '" +
+        std::string(kHeader) + "')");
   }
+
+  // Integrity state. Each section hashes its record lines (with trailing
+  // newline) exactly as the writer did; a `sum` line finalizes the
+  // section, after which further records for it are rejected.
+  std::array<crypto::Sha256, kSectionCount> hashers;
+  std::array<bool, kSectionCount> sum_seen{};
+  int last_section = -1;
+  size_t record_count = 0;
+  bool end_seen = false;
 
   chain::BlockHeight open_block = chain::kInvalidTx;
   bool block_open = false;
@@ -93,8 +157,73 @@ common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
   for (size_t n = 1; n < lines.size(); ++n) {
     std::string_view line = common::Trim(lines[n]);
     if (line.empty() || line[0] == '#') continue;
+    if (end_seen) {
+      return Status::IoError("snapshot has data after the end trailer");
+    }
     std::vector<std::string> fields = common::Split(line, ',');
     const std::string& kind = fields[0];
+
+    if (kind == "end") {
+      if (fields.size() != 2) return Status::IoError("bad end trailer");
+      int64_t declared = 0;
+      if (!common::ParseInt64(fields[1], &declared) || declared < 0) {
+        return Status::IoError("bad end trailer count");
+      }
+      for (size_t s = 0; s < kSectionCount; ++s) {
+        if (!sum_seen[s]) {
+          return Status::IoError(common::StrFormat(
+              "snapshot missing checksum for section '%s'",
+              kSectionNames[s]));
+        }
+      }
+      if (static_cast<size_t>(declared) != record_count) {
+        return Status::IoError(common::StrFormat(
+            "record count mismatch: trailer declares %lld, snapshot has %zu",
+            static_cast<long long>(declared), record_count));
+      }
+      end_seen = true;
+      continue;
+    }
+
+    if (kind == "sum") {
+      if (fields.size() != 3) return Status::IoError("bad checksum record");
+      int s = SectionNamed(fields[1]);
+      if (s < 0) {
+        return Status::IoError("checksum for unknown section: " + fields[1]);
+      }
+      if (sum_seen[s]) {
+        return Status::IoError(common::StrFormat(
+            "duplicate checksum for section '%s'", kSectionNames[s]));
+      }
+      if (s < last_section) {
+        return Status::IoError("out-of-order section checksum");
+      }
+      last_section = s;
+      auto digest = hashers[s].Finalize();
+      if (common::HexEncode(digest.data(), digest.size()) != fields[2]) {
+        return Status::IoError(common::StrFormat(
+            "checksum mismatch in section '%s': snapshot is corrupt",
+            kSectionNames[s]));
+      }
+      sum_seen[s] = true;
+      continue;
+    }
+
+    int section = SectionOf(kind);
+    if (section < 0) {
+      return Status::IoError("unknown snapshot record: " + kind);
+    }
+    if (sum_seen[section]) {
+      return Status::IoError(common::StrFormat(
+          "record after the checksum of section '%s'",
+          kSectionNames[section]));
+    }
+    if (section < last_section) {
+      return Status::IoError("out-of-order snapshot record: " + kind);
+    }
+    last_section = section;
+    hashers[section].Update(std::string(line) + "\n");
+    ++record_count;
 
     if (kind == "block") {
       if (fields.size() != 3) return Status::IoError("bad block record");
@@ -155,35 +284,76 @@ common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
       }
       TM_ASSIGN_OR_RETURN(crypto::Point point, DecodePoint(fields[2]));
       node->keys_.Register(static_cast<chain::TokenId>(token), point);
-    } else if (kind == "image") {
+    } else {  // image
       close_block();
       if (fields.size() != 2) return Status::IoError("bad image record");
       TM_ASSIGN_OR_RETURN(crypto::Point image, DecodePoint(fields[1]));
       TM_RETURN_NOT_OK(node->spent_images_.Register(image));
       node->spent_image_hex_.push_back(std::string(fields[1]));
-    } else {
-      return Status::IoError("unknown snapshot record: " + kind);
     }
+  }
+  if (!end_seen) {
+    return Status::IoError("snapshot truncated: missing end trailer");
   }
   close_block();
   node->RebuildIndices();
   return node;
 }
 
-common::Status SaveSnapshot(const Node& node, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path);
-  out << SnapshotToString(node);
-  return Status::OK();
+common::Status SaveSnapshot(const Node& node, const std::string& path,
+                            const SaveOptions& options) {
+  const std::string payload = SnapshotToString(node);
+  const std::string tmp = path + ".tmp";
+  auto write_once = [&]() -> Status {
+    double cut = 1.0;
+    const bool crash = options.faults != nullptr &&
+                       options.faults->ConsumeWriteFault(&cut);
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::IoError("cannot open " + tmp);
+      if (crash) {
+        // Simulated crash: part of the payload reaches the temp file and
+        // the rename never happens, so `path` keeps the previous state.
+        const auto partial =
+            static_cast<size_t>(static_cast<double>(payload.size()) * cut);
+        out.write(payload.data(), static_cast<std::streamsize>(partial));
+        out.flush();
+        return Status::IoError(common::StrFormat(
+            "fault injection: write crashed after %zu of %zu bytes", partial,
+            payload.size()));
+      }
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      out.flush();
+      if (!out) return Status::IoError("short write to " + tmp);
+    }
+    if (options.faults != nullptr && options.faults->ConsumeRenameFault()) {
+      return Status::IoError("fault injection: rename to " + path +
+                             " failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::IoError("cannot rename " + tmp + " to " + path);
+    }
+    return Status::OK();
+  };
+  return common::RunWithRetry(options.retry, write_once);
 }
 
-common::Result<std::unique_ptr<Node>> LoadSnapshot(const std::string& path,
-                                                   NodeConfig config) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return NodeFromSnapshot(buffer.str(), config);
+common::Result<std::unique_ptr<Node>> LoadSnapshot(
+    const std::string& path, NodeConfig config,
+    const common::RetryPolicy& retry) {
+  std::string contents;
+  auto read_once = [&]() -> Status {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+    return Status::OK();
+  };
+  // Only the file read retries; a parse/integrity failure is permanent
+  // for a given byte string, so NodeFromSnapshot runs once.
+  TM_RETURN_NOT_OK(common::RunWithRetry(retry, read_once));
+  return NodeFromSnapshot(contents, config);
 }
 
 }  // namespace tokenmagic::node

@@ -4,34 +4,59 @@
 // versioned so snapshots survive library upgrades with a clear error
 // instead of silent misparses.
 //
-// Layout (one record per line, fields comma-separated, '#' comments):
-//   tokenmagic-snapshot v1
+// Layout v2 (one record per line, fields comma-separated, '#' comments):
+//   tokenmagic-snapshot v2
 //   block,<height>,<time>
 //   tx,<block_height>,<output_count>
+//   sum,chain,<sha256 hex of the section's record lines>
 //   rs,<proposed_at>,<c>,<ell>,<member;member;...>
+//   sum,rs,<...>
 //   key,<token_id>,<hex 33-byte point>
+//   sum,keys,<...>
 //   image,<hex 33-byte point>
+//   sum,images,<...>
+//   end,<record_count>
+//
+// Crash consistency: every section carries a SHA-256 over its record
+// lines and the file ends with an `end` trailer, so a truncated,
+// corrupted, duplicated, or reordered snapshot is rejected at restore
+// time instead of silently misparsed. SaveSnapshot writes the whole
+// payload to `<path>.tmp` and renames it over `path` only once complete:
+// a crash mid-write leaves the previous snapshot untouched.
 #pragma once
 
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "node/node.h"
 
 namespace tokenmagic::node {
+
+class FaultInjector;
 
 /// Serializes `node`'s public state. Wallet secrets are never included.
 std::string SnapshotToString(const Node& node);
 
 /// Restores a node from a snapshot produced by SnapshotToString. The
 /// returned node has an empty mempool and verifies new transactions
-/// against the restored state.
+/// against the restored state. Any integrity violation — bad header,
+/// checksum mismatch, missing trailer, malformed or out-of-order record —
+/// returns an IoError; restore never commits partial state to the caller.
 [[nodiscard]] common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
     const std::string& snapshot, NodeConfig config = {});
 
-/// File convenience wrappers.
-[[nodiscard]] common::Status SaveSnapshot(const Node& node, const std::string& path);
-[[nodiscard]] common::Result<std::unique_ptr<Node>> LoadSnapshot(const std::string& path,
-                                                   NodeConfig config = {});
+/// File convenience wrappers. Saves are atomic (temp file + rename) and
+/// both directions retry transient IoErrors under `retry`. `faults`
+/// (tests only) injects mid-stream write crashes and rename failures.
+struct SaveOptions {
+  common::RetryPolicy retry;
+  FaultInjector* faults = nullptr;
+};
+[[nodiscard]] common::Status SaveSnapshot(const Node& node, const std::string& path,
+                                          const SaveOptions& options = {});
+[[nodiscard]] common::Result<std::unique_ptr<Node>> LoadSnapshot(
+    const std::string& path, NodeConfig config = {},
+    const common::RetryPolicy& retry = {});
 
 }  // namespace tokenmagic::node

@@ -77,6 +77,7 @@ SimulationResult RunSimulation(const SimulationConfig& config,
     size_t ledger_before = the_node.ledger().size();
     auto mined = the_node.MineBlock();
     report.accepted = the_node.ledger().size() - ledger_before;
+    report.rejected_at_mine = mined.rejected.size();
     for (const auto& outputs : mined.outputs) {
       for (chain::TokenId t : outputs) {
         for (auto& wallet : wallets) {

@@ -44,6 +44,9 @@ struct RoundReport {
   size_t rings_on_ledger = 0;
   size_t attempted = 0;
   size_t accepted = 0;
+  /// Transactions that passed submission but were rejected by mine-time
+  /// re-verification this round (MinedBlock::rejected).
+  size_t rejected_at_mine = 0;
   analysis::AnonymityStats stats;
   /// Rings whose spend-HT is determined by the homogeneity probe after
   /// folding in eliminations.

@@ -1,0 +1,101 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace tokenmagic::common {
+namespace {
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d = Deadline::Unlimited();
+  EXPECT_FALSE(d.Expired());
+  d.Tick(1'000'000);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, AlreadyExpiredIsExpiredFromTheStart) {
+  Deadline d = Deadline::AlreadyExpired();
+  EXPECT_TRUE(d.Expired());
+  // Stays expired regardless of budgets consumed.
+  d.Tick();
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, WallBudgetExpiresAgainstInjectedClock) {
+  ManualClock clock;
+  Deadline d(1.0, 0, &clock);
+  EXPECT_FALSE(d.Expired());
+  clock.AdvanceSeconds(0.5);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_DOUBLE_EQ(d.ElapsedSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(d.RemainingSeconds(), 0.5);
+  clock.AdvanceSeconds(0.6);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LT(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, IterationBudgetExpiresOnTick) {
+  Deadline d(0.0, 3);
+  EXPECT_FALSE(d.Expired());
+  d.Tick(2);
+  EXPECT_FALSE(d.Expired());
+  d.Tick();
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.iterations_used(), 3u);
+}
+
+TEST(DeadlineTest, ParentExpiryPropagatesToChild) {
+  ManualClock clock;
+  Deadline parent(1.0, 0, &clock);
+  Deadline child(10.0, 0, &clock, &parent);
+  EXPECT_FALSE(child.Expired());
+  clock.AdvanceSeconds(2.0);  // parent over budget, child's own is not
+  EXPECT_TRUE(parent.Expired());
+  EXPECT_TRUE(child.Expired());
+}
+
+TEST(DeadlineTest, ChildTicksChargeTheParent) {
+  Deadline parent(0.0, 5);
+  Deadline child(0.0, 100, nullptr, &parent);
+  child.Tick(5);
+  EXPECT_TRUE(parent.Expired());
+  EXPECT_TRUE(child.Expired());  // via the parent, not its own budget
+  EXPECT_EQ(parent.iterations_used(), 5u);
+}
+
+TEST(DeadlineTest, StageClampsToRemainingWallBudget) {
+  ManualClock clock;
+  Deadline overall(1.0, 0, &clock);
+  clock.AdvanceSeconds(0.8);
+  Deadline stage = overall.Stage(10.0, 0);
+  // The stage asked for 10s but only 0.2s remain overall.
+  EXPECT_LE(stage.budget_seconds(), 0.2 + 1e-9);
+  clock.AdvanceSeconds(0.3);
+  EXPECT_TRUE(stage.Expired());
+}
+
+TEST(DeadlineTest, StageInheritsClockAndChainsParent) {
+  ManualClock clock;
+  Deadline overall(0.0, 10, &clock);
+  Deadline stage = overall.Stage(0.0, 4);
+  EXPECT_EQ(stage.clock(), &clock);
+  stage.Tick(4);
+  EXPECT_TRUE(stage.Expired());
+  EXPECT_FALSE(overall.Expired());
+  EXPECT_EQ(overall.iterations_used(), 4u);
+  // A second stage keeps charging the same overall budget.
+  Deadline stage2 = overall.Stage(0.0, 100);
+  stage2.Tick(6);
+  EXPECT_TRUE(overall.Expired());
+  EXPECT_TRUE(stage2.Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetsMeanUnlimited) {
+  ManualClock clock;
+  Deadline d(0.0, 0, &clock);
+  clock.AdvanceSeconds(1e9);
+  d.Tick(1'000'000);
+  EXPECT_FALSE(d.Expired());
+}
+
+}  // namespace
+}  // namespace tokenmagic::common

@@ -1,0 +1,92 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tokenmagic::common {
+namespace {
+
+TEST(RetryPolicyTest, BackoffIsDeterministicExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.05;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1), 0.0);  // first attempt: none
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2), 0.01);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3), 0.02);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(4), 0.04);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5), 0.05);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(6), 0.05);
+  // Same policy, same schedule: no hidden state.
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3), 0.02);
+}
+
+TEST(RunWithRetryTest, FirstSuccessShortCircuits) {
+  int calls = 0;
+  auto status = RunWithRetry(RetryPolicy{}, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunWithRetryTest, RetriesIoErrorUntilSuccess) {
+  int calls = 0;
+  std::vector<double> slept;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  auto status = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::IoError("disk hiccup") : Status::OK();
+      },
+      [&](double seconds) { slept.push_back(seconds); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], policy.BackoffSeconds(2));
+  EXPECT_DOUBLE_EQ(slept[1], policy.BackoffSeconds(3));
+}
+
+TEST(RunWithRetryTest, ExhaustedAttemptsReturnLastError) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  auto status = RunWithRetry(policy, [&] {
+    ++calls;
+    return Status::IoError("always failing");
+  });
+  EXPECT_TRUE(status.IsIoError());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunWithRetryTest, NonRetryableErrorFailsImmediately) {
+  int calls = 0;
+  auto status = RunWithRetry(RetryPolicy{}, [&] {
+    ++calls;
+    return Status::InvalidArgument("caller bug");
+  });
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunWithRetryTest, CustomRetryablePredicate) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  auto status = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        ++calls;
+        return Status::Timeout("slow");
+      },
+      {}, [](const Status& s) { return s.IsTimeout(); });
+  EXPECT_TRUE(status.IsTimeout());
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace
+}  // namespace tokenmagic::common

@@ -39,6 +39,14 @@ Checks
    annotation that is itself forbidden from referencing secret material.
    lsag.cc must contain at least one such region, and the Keypair
    destructor must wipe the secret (SecureWipe in keys.h).
+
+6. Clock hygiene: raw std::chrono clock reads
+   (system_clock/steady_clock/high_resolution_clock::now) are banned
+   outside src/common/. Budgeted algorithms must measure time through an
+   injected common::Clock (common/deadline.h) so timeout paths are
+   deterministically testable; audited exceptions carry a
+   `tm-lint: clock-ok(<reason>)` annotation on the same line or within
+   the two preceding lines.
 """
 
 from __future__ import annotations
@@ -87,6 +95,10 @@ STATUS_DECL_RE = re.compile(
     r'(?:Status|Result<[^;=]*>)\s+'
     r'[A-Za-z_]\w*\s*\(')
 SECRET_TOKEN_RE = re.compile(r'secret|priv(?:ate)?_?key', re.IGNORECASE)
+CLOCK_RE = re.compile(
+    r'\b(?:std::chrono::)?'
+    r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
+CLOCK_OK_RE = re.compile(r'tm-lint:\s*clock-ok\(')
 
 
 class Linter:
@@ -202,6 +214,23 @@ class Linter:
                        "[[nodiscard]] (silently dropped errors corrupt "
                        "results)")
 
+    def check_clock_hygiene(self, path: pathlib.Path, code: list[str],
+                            raw: list[str]) -> None:
+        rel = path.relative_to(self.src)
+        if rel.parts[0] == "common":
+            return  # SteadyClock/StopWatch implementations live here
+        for i, line in enumerate(code, start=1):
+            if not CLOCK_RE.search(line):
+                continue
+            window = raw[max(0, i - 3):i]  # this line + two above
+            if any(CLOCK_OK_RE.search(w) for w in window):
+                continue
+            self.error(path, i,
+                       "raw std::chrono clock read; inject a common::Clock "
+                       "(common/deadline.h) so deadlines are testable, or "
+                       "annotate an audited use with "
+                       "'tm-lint: clock-ok(<reason>)'")
+
     def check_constant_time(self) -> None:
         lsag = self.src / "crypto" / "lsag.cc"
         secp = self.src / "crypto" / "secp256k1.cc"
@@ -273,6 +302,7 @@ class Linter:
             self.check_banned_patterns(path, code)
             self.check_float_ban(path, code, raw)
             self.check_nodiscard(path, code)
+            self.check_clock_hygiene(path, code, raw)
         self.check_constant_time()
 
         if self.errors:

@@ -5,7 +5,8 @@
 //   tmcli gen-monero    --out DIR [--seed N]
 //   tmcli stats         --data DIR
 //   tmcli select        --data DIR --target ID [--c X] [--ell N]
-//                       [--algo TM_P|TM_G|TM_S|TM_R|TM_B] [--seed N]
+//                       [--algo TM_P|TM_G|TM_S|TM_R|TM_B|TM_X]
+//                       [--budget SECONDS] [--seed N]
 //   tmcli attack        --data DIR
 //   tmcli report        --data DIR            (per-ring anonymity table)
 //   tmcli simulate      [--wallets N] ...     (multi-user network sim)
@@ -29,6 +30,7 @@
 #include "core/bfs.h"
 #include "core/game_theoretic.h"
 #include "core/progressive.h"
+#include "core/resilient.h"
 #include "data/csv.h"
 #include "data/monero_like.h"
 #include "data/synthetic.h"
@@ -82,7 +84,8 @@ int Usage() {
       "  tmcli gen-monero    --out DIR [--seed N]\n"
       "  tmcli stats         --data DIR\n"
       "  tmcli select        --data DIR --target ID [--c X] [--ell N]\n"
-      "                      [--algo TM_P|TM_G|TM_S|TM_R|TM_B] [--seed N]\n"
+      "                      [--algo TM_P|TM_G|TM_S|TM_R|TM_B|TM_X]\n"
+      "                      [--budget SECONDS] [--seed N]\n"
       "  tmcli attack        --data DIR\n"
       "  tmcli report        --data DIR\n"
       "  tmcli simulate      [--wallets N] [--tokens N] [--rounds N]\n"
@@ -168,6 +171,27 @@ int Select(const Args& args) {
 
   std::string algo = args.Get("algo", "TM_P");
   common::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 1)));
+
+  if (algo == "TM_X") {
+    core::ResilientOptions options;
+    options.total_budget_seconds = args.GetDouble("budget", 2.0);
+    core::ResilientSelector resilient(options);
+    common::StopWatch watch;
+    auto selection = resilient.SelectWithReport(input, &rng);
+    double elapsed_ms = watch.ElapsedMillis();
+    if (!selection.ok()) {
+      std::fprintf(stderr, "TM_X failed: %s\n",
+                   selection.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("TM_X selected %zu members in %.3f ms:\n",
+                selection->result.members.size(), elapsed_ms);
+    for (chain::TokenId t : selection->result.members) {
+      std::printf("%llu ", static_cast<unsigned long long>(t));
+    }
+    std::printf("\n%s\n", selection->report.ToString().c_str());
+    return 0;
+  }
 
   core::ProgressiveSelector progressive;
   core::GameTheoreticSelector game;
