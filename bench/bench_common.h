@@ -17,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/context.h"
 #include "common/rng.h"
 #include "core/baselines.h"
 #include "core/game_theoretic.h"
@@ -51,11 +52,17 @@ inline void RunSelectionLoop(benchmark::State& state,
   common::Rng rng(0xbe5c ^ state.range(0));
   auto unspent = dataset.UnspentTokens();
 
+  // One interned snapshot per benchmark run, shared by every iteration —
+  // the same sharing discipline the node applies per block.
+  analysis::AnalysisContext context = analysis::AnalysisContext::Build(
+      dataset.history, &dataset.index, dataset.universe);
+
   core::SelectionInput input;
   input.universe = dataset.universe;
   input.history = dataset.history;
   input.requirement = requirement;
   input.index = &dataset.index;
+  input.context = &context;
 
   double size_sum = 0.0;
   int64_t solved = 0;

@@ -56,7 +56,12 @@ AttackOutcome RunScenario(const core::MixinSelector& selector,
     } else {
       auto instance = tm.InstanceFor(target, req);
       if (!instance.ok()) continue;
-      instance->history = shadow_ledger.Views();
+      // Swap in the shadow history: the vector must outlive the Select
+      // call (SelectionInput::history is a span), and the framework's
+      // context describes the real ledger, not the shadow one.
+      std::vector<chain::RsView> shadow_views = shadow_ledger.Views();
+      instance->history = shadow_views;
+      instance->context = nullptr;
       auto result = selector.Select(*instance, &rng);
       if (!result.ok()) continue;
       (void)shadow_ledger.Propose(result->members, target, req);

@@ -24,8 +24,9 @@ bool ForcedFromSideInfo(const RsFamily& family, const SideInformation& si,
   forced->assign(family.rs_count(), SdrEnumerator::kUnassigned);
   for (const chain::TokenRsPair& pair : si.revealed) {
     size_t r = family.RsIndexOf(pair.rs);
-    if (!family.HasToken(pair.token)) return false;
-    size_t t = family.TokenIndexOf(pair.token);
+    std::optional<size_t> token = family.TryTokenIndexOf(pair.token);
+    if (!token.has_value()) return false;
+    size_t t = *token;
     const auto& mem = family.members(r);
     if (!std::binary_search(mem.begin(), mem.end(), t)) return false;
     if ((*forced)[r] != SdrEnumerator::kUnassigned && (*forced)[r] != t) {
@@ -40,9 +41,9 @@ bool ForcedFromSideInfo(const RsFamily& family, const SideInformation& si,
 /// lists: a forced RS keeps only its forced token; that token is removed
 /// from every other RS.
 std::vector<chain::RsView> ApplyForced(
-    const std::vector<chain::RsView>& history, const RsFamily& family,
+    std::span<const chain::RsView> history, const RsFamily& family,
     const std::vector<size_t>& forced) {
-  std::vector<chain::RsView> out = history;
+  std::vector<chain::RsView> out(history.begin(), history.end());
   std::unordered_set<chain::TokenId> taken;
   std::unordered_map<chain::RsId, chain::TokenId> pinned;
   for (size_t r = 0; r < forced.size(); ++r) {
@@ -66,7 +67,7 @@ std::vector<chain::RsView> ApplyForced(
 }  // namespace
 
 AnalysisResult ChainReactionAnalyzer::Analyze(
-    const std::vector<chain::RsView>& history,
+    std::span<const chain::RsView> history,
     const SideInformation& side_info) {
   AnalysisResult result;
   if (history.empty()) return result;
@@ -87,11 +88,10 @@ AnalysisResult ChainReactionAnalyzer::Analyze(
     const chain::RsView& original = history[r];
     for (chain::TokenId token : original.members) {
       bool ok = false;
-      if (family.HasToken(token)) {
-        size_t t = family.TokenIndexOf(token);
+      if (std::optional<size_t> t = family.TryTokenIndexOf(token)) {
         const auto& mem = family.members(r);
-        if (std::binary_search(mem.begin(), mem.end(), t)) {
-          ok = HopcroftKarp::IsPossibleSpend(family, r, t);
+        if (std::binary_search(mem.begin(), mem.end(), *t)) {
+          ok = HopcroftKarp::IsPossibleSpend(family, r, *t);
         }
       }
       if (ok) {
@@ -118,7 +118,7 @@ AnalysisResult ChainReactionAnalyzer::Analyze(
 }
 
 AnalysisResult ChainReactionAnalyzer::Cascade(
-    const std::vector<chain::RsView>& history,
+    std::span<const chain::RsView> history,
     const SideInformation& side_info) {
   AnalysisResult result;
   // Working copies of member sets with known-spent tokens removed.
@@ -268,9 +268,266 @@ AnalysisResult ChainReactionAnalyzer::Cascade(
 }
 
 size_t ChainReactionAnalyzer::CountInferableSpent(
-    const std::vector<chain::RsView>& history) {
+    std::span<const chain::RsView> history) {
   AnalysisResult result = Cascade(history);
   return result.spent_tokens.size();
+}
+
+namespace {
+
+/// Dense cascade state over an AnalysisContext. Mirrors the span-based
+/// fixpoint exactly (the equivalence suite asserts identical results), but
+/// replaces the per-iteration hash maps with flat columns:
+///
+///  * rules 2 and 3 read only the immutable history incidence, so their
+///    tight families are computed once instead of every iteration;
+///  * a tight owner set is never materialized — it is either ns(u) (the
+///    RSs containing anchor token u, membership = one binary search in the
+///    CSR) or a union-find component (membership = root comparison);
+///  * rule 1's shrinking member lists become a removed-bit per CSR slot.
+class DenseCascade {
+ public:
+  using Local = AnalysisContext::Local;
+  static constexpr Local kNone = AnalysisContext::kNoLocal;
+
+  explicit DenseCascade(const AnalysisContext& ctx)
+      : ctx_(ctx),
+        m_(static_cast<Local>(ctx.rs_count())),
+        n_(static_cast<Local>(ctx.token_count())),
+        pinned_(m_),
+        alive_(m_),
+        rev_count_(n_, 0),
+        rev_rs_(n_, kNone),
+        spent_(n_, false),
+        owner_kind_(n_, kOwnerNone),
+        owner_key_(n_, kNone),
+        owner_size_(n_, 0),
+        stamp_(n_, 0),
+        comp_of_(m_, 0) {
+    slot_offsets_.reserve(m_ + 1);
+    slot_offsets_.push_back(0);
+    for (Local i = 0; i < m_; ++i) {
+      alive_[i] = static_cast<uint32_t>(ctx.Members(i).size());
+      slot_offsets_.push_back(slot_offsets_.back() + alive_[i]);
+    }
+    removed_.assign(slot_offsets_.back(), false);
+  }
+
+  AnalysisResult Run(const SideInformation& side_info) {
+    SeedSideInfo(side_info);
+    bool changed = Rule1Pass();
+    changed = StaticTightFamilies() || changed;
+    while (changed) changed = Rule1Pass();
+    return Emit();
+  }
+
+ private:
+  static constexpr uint8_t kOwnerNone = 0;
+  /// Owner set is ns(owner_key_) — the RSs containing that anchor token.
+  static constexpr uint8_t kOwnerNeighbor = 1;
+  /// Owner set is the union-find component rooted at owner_key_.
+  static constexpr uint8_t kOwnerComponent = 2;
+
+  void SeedSideInfo(const SideInformation& side_info) {
+    for (const chain::TokenRsPair& pair : side_info.revealed) {
+      Local rs = ctx_.LocalOfRs(pair.rs);
+      if (rs == kNone) continue;  // unknown RS: pair carries no information
+      Local token = ctx_.LocalOfToken(pair.token);
+      if (!pinned_[rs].has_value()) {
+        pinned_[rs] = pair.token;
+        AddReveal(rs, token);
+      }
+      MarkSpent(token, pair.token);
+    }
+  }
+
+  /// Records that `rs` revealed token local `token` (kNone when the token
+  /// is not interned, i.e. side info about a token outside the history).
+  void AddReveal(Local rs, Local token) {
+    if (token == kNone) return;
+    if (rev_count_[token] < 2) ++rev_count_[token];
+    if (rev_rs_[token] == kNone) rev_rs_[token] = rs;
+  }
+
+  void MarkSpent(Local token, chain::TokenId external) {
+    if (token != kNone) {
+      spent_[token] = true;
+    } else {
+      extra_spent_.push_back(external);
+    }
+  }
+
+  /// True when some RS other than `rs` revealed `token` as its spend.
+  bool RevealedElsewhere(Local token, Local rs) const {
+    return rev_count_[token] >= 2 ||
+           (rev_count_[token] == 1 && rev_rs_[token] != rs);
+  }
+
+  /// True when `token` has a tight owner set that excludes `rs`.
+  bool OwnedElsewhere(Local token, Local rs) const {
+    switch (owner_kind_[token]) {
+      case kOwnerNeighbor:
+        return !ctx_.RsContains(rs, owner_key_[token]);
+      case kOwnerComponent:
+        return comp_of_[rs] != owner_key_[token];
+      default:
+        return false;
+    }
+  }
+
+  /// Rule 1 (zero-mixin / singleton): after deleting tokens known to be
+  /// spent elsewhere, an RS with a single remaining member spends it.
+  bool Rule1Pass() {
+    bool changed = false;
+    for (Local i = 0; i < m_; ++i) {
+      if (pinned_[i].has_value()) continue;
+      std::span<const Local> members = ctx_.Members(i);
+      for (uint32_t k = 0; k < members.size(); ++k) {
+        uint32_t slot = slot_offsets_[i] + k;
+        if (removed_[slot]) continue;
+        Local t = members[k];
+        if (RevealedElsewhere(t, i) || OwnedElsewhere(t, i)) {
+          removed_[slot] = true;
+          --alive_[i];
+        }
+      }
+      if (alive_[i] == 1) {
+        for (uint32_t k = 0; k < members.size(); ++k) {
+          if (removed_[slot_offsets_[i] + k]) continue;
+          Local t = members[k];
+          pinned_[i] = ctx_.token_id(t);
+          AddReveal(i, t);
+          spent_[t] = true;
+          break;
+        }
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Offers a tight owner candidate for `token`; the smallest set wins
+  /// (matching the span path's keep-tightest replacement rule).
+  bool OfferOwner(Local token, uint8_t kind, Local key, uint32_t size) {
+    if (owner_kind_[token] != kOwnerNone && owner_size_[token] <= size) {
+      return false;
+    }
+    owner_kind_[token] = kind;
+    owner_key_[token] = key;
+    owner_size_[token] = size;
+    return true;
+  }
+
+  /// Rules 2 and 3 read only the immutable incidence, so one evaluation
+  /// fixes every tight family the span path discovers over all iterations.
+  bool StaticTightFamilies() {
+    bool changed = false;
+    std::vector<Local> union_tokens;
+
+    auto mark_family = [&](std::span<const Local> rs_list, uint8_t kind,
+                           Local key) {
+      ++mark_;
+      union_tokens.clear();
+      for (Local i : rs_list) {
+        for (Local t : ctx_.Members(i)) {
+          if (stamp_[t] != mark_) {
+            stamp_[t] = mark_;
+            union_tokens.push_back(t);
+          }
+        }
+      }
+      if (union_tokens.size() != rs_list.size()) return;
+      for (Local t : union_tokens) {
+        if (!spent_[t]) {
+          spent_[t] = true;
+          changed = true;
+        }
+        if (OfferOwner(t, kind, key, static_cast<uint32_t>(rs_list.size()))) {
+          changed = true;
+        }
+      }
+    };
+
+    // Rule 2 (per-token neighbor sets): ns(u) tight when its member union
+    // has exactly |ns(u)| tokens.
+    for (Local u = 0; u < n_; ++u) {
+      std::span<const Local> rs_list = ctx_.RsOfToken(u);
+      if (!rs_list.empty()) mark_family(rs_list, kOwnerNeighbor, u);
+    }
+
+    // Rule 3 (per connected component of the token-sharing graph).
+    std::vector<Local> parent(m_);
+    for (Local i = 0; i < m_; ++i) parent[i] = i;
+    auto find = [&](Local x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (Local u = 0; u < n_; ++u) {
+      std::span<const Local> rs_list = ctx_.RsOfToken(u);
+      for (size_t i = 1; i < rs_list.size(); ++i) {
+        parent[find(rs_list[i])] = find(rs_list[0]);
+      }
+    }
+    std::vector<std::vector<Local>> components(m_);
+    for (Local i = 0; i < m_; ++i) {
+      comp_of_[i] = find(i);
+      components[comp_of_[i]].push_back(i);
+    }
+    for (Local root = 0; root < m_; ++root) {
+      if (!components[root].empty()) {
+        mark_family(components[root], kOwnerComponent, root);
+      }
+    }
+    return changed;
+  }
+
+  AnalysisResult Emit() const {
+    AnalysisResult result;
+    for (Local t = 0; t < n_; ++t) {
+      if (spent_[t]) result.spent_tokens.insert(ctx_.token_id(t));
+    }
+    result.spent_tokens.insert(extra_spent_.begin(), extra_spent_.end());
+    for (Local i = 0; i < m_; ++i) {
+      if (!pinned_[i].has_value()) continue;
+      result.revealed_spends.emplace(ctx_.rs_id(i), *pinned_[i]);
+      result.possible_spends[ctx_.rs_id(i)] = {*pinned_[i]};
+    }
+    return result;
+  }
+
+  const AnalysisContext& ctx_;
+  const Local m_;
+  const Local n_;
+  std::vector<std::optional<chain::TokenId>> pinned_;
+  std::vector<uint32_t> alive_;
+  std::vector<uint32_t> slot_offsets_;  // CSR member-slot base per RS
+  std::vector<bool> removed_;           // per member slot
+  std::vector<uint8_t> rev_count_;      // reveals per token, saturated at 2
+  std::vector<Local> rev_rs_;           // first revealer per token
+  std::vector<bool> spent_;
+  std::vector<chain::TokenId> extra_spent_;  // side-info tokens not interned
+  std::vector<uint8_t> owner_kind_;
+  std::vector<Local> owner_key_;
+  std::vector<uint32_t> owner_size_;
+  std::vector<uint32_t> stamp_;
+  uint32_t mark_ = 0;
+  std::vector<Local> comp_of_;
+};
+
+}  // namespace
+
+AnalysisResult ChainReactionAnalyzer::Cascade(
+    const AnalysisContext& context, const SideInformation& side_info) {
+  DenseCascade cascade(context);
+  return cascade.Run(side_info);
+}
+
+size_t ChainReactionAnalyzer::CountInferableSpent(
+    const AnalysisContext& context) {
+  return Cascade(context).spent_tokens.size();
 }
 
 }  // namespace tokenmagic::analysis

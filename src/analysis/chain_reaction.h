@@ -20,10 +20,12 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/context.h"
 #include "analysis/matching.h"
 #include "chain/types.h"
 
@@ -56,20 +58,28 @@ class ChainReactionAnalyzer {
  public:
   /// Exact matching-based analysis of `history` under `side_info`.
   /// Every member token of every RS is tested for possible-spend-ness.
-  static AnalysisResult Analyze(const std::vector<chain::RsView>& history,
+  static AnalysisResult Analyze(std::span<const chain::RsView> history,
                                 const SideInformation& side_info = {});
 
   /// Polynomial cascade only (Theorem 4.1 neighbor-set rule + zero-mixin
   /// propagation). Sound but not complete: it finds a subset of what
   /// Analyze finds. Returns the set of provably spent tokens and any RSs
   /// whose spend it pinned down.
-  static AnalysisResult Cascade(const std::vector<chain::RsView>& history,
+  static AnalysisResult Cascade(std::span<const chain::RsView> history,
+                                const SideInformation& side_info = {});
+
+  /// Context-based cascade: same result as the span overload (asserted by
+  /// the equivalence suite), computed over the snapshot's CSR incidence
+  /// with dense frontiers instead of per-iteration hash maps.
+  static AnalysisResult Cascade(const AnalysisContext& context,
                                 const SideInformation& side_info = {});
 
   /// Number of tokens in `universe` that the cascade can prove spent —
   /// the μ_i quantity of the TokenMagic liquidity rule (Section 4).
-  static size_t CountInferableSpent(
-      const std::vector<chain::RsView>& history);
+  static size_t CountInferableSpent(std::span<const chain::RsView> history);
+
+  /// Context-based μ_i count.
+  static size_t CountInferableSpent(const AnalysisContext& context);
 };
 
 }  // namespace tokenmagic::analysis

@@ -1,0 +1,113 @@
+#include "analysis/context.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tokenmagic::analysis {
+
+AnalysisContext AnalysisContext::Build(
+    std::span<const chain::RsView> history, const chain::HtIndex* index,
+    std::span<const chain::TokenId> universe) {
+  AnalysisContext ctx;
+
+  // Token column: every token seen in the history or the universe, sorted
+  // so Local == rank and member lists stay ascending in local space.
+  size_t token_guess = universe.size();
+  for (const chain::RsView& view : history) token_guess += view.size();
+  ctx.token_ids_.reserve(token_guess);
+  ctx.token_ids_.assign(universe.begin(), universe.end());
+  for (const chain::RsView& view : history) {
+    ctx.token_ids_.insert(ctx.token_ids_.end(), view.members.begin(),
+                          view.members.end());
+  }
+  std::sort(ctx.token_ids_.begin(), ctx.token_ids_.end());
+  ctx.token_ids_.erase(
+      std::unique(ctx.token_ids_.begin(), ctx.token_ids_.end()),
+      ctx.token_ids_.end());
+  TM_CHECK(ctx.token_ids_.size() < kNoLocal);
+
+  // RS columns in history order.
+  const size_t m = history.size();
+  TM_CHECK(m < kNoLocal);
+  ctx.rs_ids_.reserve(m);
+  ctx.proposed_at_.reserve(m);
+  ctx.requirement_.reserve(m);
+  ctx.rs_local_.reserve(m);
+  ctx.member_offsets_.reserve(m + 1);
+  ctx.member_offsets_.push_back(0);
+  size_t member_total = 0;
+  for (const chain::RsView& view : history) member_total += view.size();
+  ctx.member_tokens_.reserve(member_total);
+  for (Local r = 0; r < m; ++r) {
+    const chain::RsView& view = history[r];
+    ctx.rs_ids_.push_back(view.id);
+    ctx.proposed_at_.push_back(view.proposed_at);
+    ctx.requirement_.push_back(view.requirement);
+    ctx.rs_local_.emplace(view.id, r);
+    for (chain::TokenId t : view.members) {
+      Local local = ctx.LocalOfToken(t);
+      TM_CHECK(local != kNoLocal);
+      ctx.member_tokens_.push_back(local);
+    }
+    ctx.member_offsets_.push_back(
+        static_cast<uint32_t>(ctx.member_tokens_.size()));
+  }
+
+  // Token -> RS inverted index (CSR, two passes; per token ascending
+  // because RSs are scanned in local order).
+  const size_t n = ctx.token_ids_.size();
+  ctx.token_rs_offsets_.assign(n + 1, 0);
+  for (Local t : ctx.member_tokens_) ++ctx.token_rs_offsets_[t + 1];
+  for (size_t i = 0; i < n; ++i) {
+    ctx.token_rs_offsets_[i + 1] += ctx.token_rs_offsets_[i];
+  }
+  ctx.token_rs_.resize(ctx.member_tokens_.size());
+  {
+    std::vector<uint32_t> cursor(ctx.token_rs_offsets_.begin(),
+                                 ctx.token_rs_offsets_.end() - 1);
+    for (Local r = 0; r < m; ++r) {
+      for (Local t : ctx.Members(r)) ctx.token_rs_[cursor[t]++] = r;
+    }
+  }
+
+  // Flat token -> HT column, HTs interned in first-appearance order.
+  ctx.token_ht_.assign(n, kNoLocal);
+  if (index != nullptr) {
+    std::unordered_map<chain::TxId, Local> ht_local;
+    for (size_t i = 0; i < n; ++i) {
+      auto ht = index->TryHtOf(ctx.token_ids_[i]);
+      if (!ht.has_value()) continue;
+      auto [it, inserted] =
+          ht_local.emplace(*ht, static_cast<Local>(ctx.ht_ids_.size()));
+      if (inserted) ctx.ht_ids_.push_back(*ht);
+      ctx.token_ht_[i] = it->second;
+    }
+  }
+  return ctx;
+}
+
+AnalysisContext::Local AnalysisContext::LocalOfToken(
+    chain::TokenId id) const {
+  auto it = std::lower_bound(token_ids_.begin(), token_ids_.end(), id);
+  if (it == token_ids_.end() || *it != id) return kNoLocal;
+  return static_cast<Local>(it - token_ids_.begin());
+}
+
+bool AnalysisContext::RsContains(Local rs, Local token) const {
+  std::span<const Local> list = RsOfToken(token);
+  return std::binary_search(list.begin(), list.end(), rs);
+}
+
+chain::RsView AnalysisContext::ViewOf(Local rs) const {
+  chain::RsView view;
+  view.id = rs_ids_[rs];
+  view.proposed_at = proposed_at_[rs];
+  view.requirement = requirement_[rs];
+  std::span<const Local> members = Members(rs);
+  view.members.reserve(members.size());
+  for (Local t : members) view.members.push_back(token_ids_[t]);
+  return view;
+}
+
+}  // namespace tokenmagic::analysis

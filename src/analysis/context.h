@@ -1,0 +1,134 @@
+// Interned columnar snapshot of one RS history (the shared analysis core).
+//
+// Every DA-MS algorithm in the paper is a traversal of the token <-> RS
+// incidence structure, but the legacy entry points re-materialize that
+// structure per call: ComputeRelatedSet rebuilds the token -> RS inverted
+// index, the cascade re-hashes neighbor maps every fixpoint iteration, and
+// homogeneity/diversity probes pay one HtIndex hash lookup per member per
+// probe. AnalysisContext interns the structure once:
+//
+//  * dense uint32 ids for tokens (sorted external order), RSs (history
+//    order) and HTs (first-appearance order over the token column);
+//  * CSR arrays for RS -> member tokens and the token -> RS inverted index;
+//  * a flat token -> HT column replacing per-probe HtIndex hashing.
+//
+// A context is an immutable value: once built it never changes, so a block
+// worth of selections (every target, every ladder stage, every analysis
+// probe) shares one snapshot, and future concurrent selectors can share it
+// without locks. Interning is per-snapshot, not global — see DESIGN.md
+// decision 8. Legacy vector-based entry points remain as thin adapters
+// that intern on the fly; hot paths build the context once and pass it
+// down (core/batch + node::Node build exactly one per block).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/ht_index.h"
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+class AnalysisContext {
+ public:
+  /// Dense per-snapshot id (token, RS, or HT depending on column).
+  using Local = uint32_t;
+  /// "Not interned" sentinel for every Local-valued lookup.
+  static constexpr Local kNoLocal = 0xFFFFFFFFu;
+
+  AnalysisContext() = default;
+
+  /// Interns `history` (and, optionally, extra `universe` tokens that may
+  /// appear in prospective rings but in no history RS). When `index` is
+  /// provided the token -> HT column is filled from it; tokens the index
+  /// does not know keep an unknown HT.
+  static AnalysisContext Build(std::span<const chain::RsView> history,
+                               const chain::HtIndex* index = nullptr,
+                               std::span<const chain::TokenId> universe = {});
+
+  size_t rs_count() const { return rs_ids_.size(); }
+  size_t token_count() const { return token_ids_.size(); }
+  size_t ht_count() const { return ht_ids_.size(); }
+
+  // -- RS column --------------------------------------------------------
+
+  chain::RsId rs_id(Local rs) const { return rs_ids_[rs]; }
+  chain::Timestamp proposed_at(Local rs) const { return proposed_at_[rs]; }
+  const chain::DiversityRequirement& requirement(Local rs) const {
+    return requirement_[rs];
+  }
+
+  /// Member tokens of RS `rs` as locals, in ascending external-id order
+  /// (== ascending local order, since locals are rank-in-sorted-order).
+  std::span<const Local> Members(Local rs) const {
+    return {member_tokens_.data() + member_offsets_[rs],
+            member_offsets_[rs + 1] - member_offsets_[rs]};
+  }
+
+  /// Local of an external RsId, or kNoLocal.
+  Local LocalOfRs(chain::RsId id) const {
+    auto it = rs_local_.find(id);
+    return it == rs_local_.end() ? kNoLocal : it->second;
+  }
+
+  /// Reconstructs the adversary-visible view of RS `rs` (adapter paths).
+  chain::RsView ViewOf(Local rs) const;
+
+  // -- token column ------------------------------------------------------
+
+  chain::TokenId token_id(Local token) const { return token_ids_[token]; }
+
+  /// Local of an external TokenId (binary search over the sorted token
+  /// column), or kNoLocal when the token is not interned.
+  Local LocalOfToken(chain::TokenId id) const;
+
+  /// RSs containing token `token` as locals, ascending (== history order).
+  std::span<const Local> RsOfToken(Local token) const {
+    return {token_rs_.data() + token_rs_offsets_[token],
+            token_rs_offsets_[token + 1] - token_rs_offsets_[token]};
+  }
+
+  /// True when RS `rs` contains token local `token` (binary search over
+  /// the token's RS list, which is typically tiny).
+  bool RsContains(Local rs, Local token) const;
+
+  // -- flat token -> HT column ------------------------------------------
+
+  /// Dense HT id of a token, or kNoLocal when no HtIndex was supplied or
+  /// the index did not know the token.
+  Local HtLocalOf(Local token) const { return token_ht_[token]; }
+
+  /// External HT id of a token, or chain::kInvalidTx when unknown.
+  chain::TxId HtOf(Local token) const {
+    Local h = token_ht_[token];
+    return h == kNoLocal ? chain::kInvalidTx : ht_ids_[h];
+  }
+
+  chain::TxId ht_id(Local ht) const { return ht_ids_[ht]; }
+
+ private:
+  // Token column: external ids sorted ascending; Local == rank.
+  std::vector<chain::TokenId> token_ids_;
+
+  // RS columns, indexed by Local == history position.
+  std::vector<chain::RsId> rs_ids_;
+  std::vector<chain::Timestamp> proposed_at_;
+  std::vector<chain::DiversityRequirement> requirement_;
+  std::unordered_map<chain::RsId, Local> rs_local_;
+
+  // CSR: RS -> member token locals (per RS ascending).
+  std::vector<uint32_t> member_offsets_;  // size rs_count() + 1
+  std::vector<Local> member_tokens_;
+
+  // CSR: token -> containing RS locals (per token ascending).
+  std::vector<uint32_t> token_rs_offsets_;  // size token_count() + 1
+  std::vector<Local> token_rs_;
+
+  // Flat token -> dense HT column; ht_ids_ maps dense -> external.
+  std::vector<Local> token_ht_;
+  std::vector<chain::TxId> ht_ids_;
+};
+
+}  // namespace tokenmagic::analysis

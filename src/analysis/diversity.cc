@@ -67,7 +67,7 @@ int64_t DiversityTail(const std::vector<int64_t>& frequencies, int ell) {
 
 }  // namespace
 
-std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
+std::vector<int64_t> HtFrequencies(std::span<const chain::TokenId> tokens,
                                    const chain::HtIndex& index) {
   std::unordered_map<chain::TxId, int64_t> counts;
   for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
@@ -78,7 +78,38 @@ std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
   return out;
 }
 
-size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
+std::vector<int64_t> HtFrequencies(std::span<const chain::TokenId> tokens,
+                                   const AnalysisContext& context) {
+  using Local = AnalysisContext::Local;
+  // Run-length count over the sorted (tiny) HT-local list; the result is
+  // sorted descending, so it matches the hash-map path exactly.
+  std::vector<Local> hts;
+  hts.reserve(tokens.size());
+  for (chain::TokenId t : tokens) {
+    Local token = context.LocalOfToken(t);
+    TM_CHECK(token != AnalysisContext::kNoLocal);
+    Local ht = context.HtLocalOf(token);
+    TM_CHECK(ht != AnalysisContext::kNoLocal);
+    hts.push_back(ht);
+  }
+  std::sort(hts.begin(), hts.end());
+  std::vector<int64_t> out;
+  int64_t run = 0;
+  Local prev = AnalysisContext::kNoLocal;
+  for (Local ht : hts) {
+    if (ht != prev) {
+      if (run > 0) out.push_back(run);
+      prev = ht;
+      run = 0;
+    }
+    ++run;
+  }
+  if (run > 0) out.push_back(run);
+  std::sort(out.begin(), out.end(), std::greater<int64_t>());
+  return out;
+}
+
+size_t DistinctHtCount(std::span<const chain::TokenId> tokens,
                        const chain::HtIndex& index) {
   std::unordered_map<chain::TxId, int64_t> counts;
   for (chain::TokenId t : tokens) ++counts[index.HtOf(t)];
@@ -95,10 +126,16 @@ bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
                            DiversityTail(frequencies, req.ell)) < 0;
 }
 
-bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
+bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
                                  const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req) {
   return SatisfiesRecursiveDiversity(HtFrequencies(tokens, index), req);
+}
+
+bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
+                                 const AnalysisContext& context,
+                                 const chain::DiversityRequirement& req) {
+  return SatisfiesRecursiveDiversity(HtFrequencies(tokens, context), req);
 }
 
 // tm-lint: float-ok(greedy potential only; its magnitude may round but its

@@ -8,19 +8,26 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/ht_index.h"
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
 
 /// Descending HT frequency vector (q_1 >= ... >= q_θ) of a token set.
-std::vector<int64_t> HtFrequencies(const std::vector<chain::TokenId>& tokens,
+std::vector<int64_t> HtFrequencies(std::span<const chain::TokenId> tokens,
                                    const chain::HtIndex& index);
 
+/// Context-based frequencies: identical vector, using the snapshot's flat
+/// token -> HT column (every token must be interned with a known HT).
+std::vector<int64_t> HtFrequencies(std::span<const chain::TokenId> tokens,
+                                   const AnalysisContext& context);
+
 /// Number of distinct HTs among `tokens`.
-size_t DistinctHtCount(const std::vector<chain::TokenId>& tokens,
+size_t DistinctHtCount(std::span<const chain::TokenId> tokens,
                        const chain::HtIndex& index);
 
 /// Core predicate on a sorted-descending frequency vector.
@@ -29,8 +36,13 @@ bool SatisfiesRecursiveDiversity(const std::vector<int64_t>& frequencies,
                                  const chain::DiversityRequirement& req);
 
 /// Convenience: predicate on a token set.
-bool SatisfiesRecursiveDiversity(const std::vector<chain::TokenId>& tokens,
+bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
                                  const chain::HtIndex& index,
+                                 const chain::DiversityRequirement& req);
+
+/// Context-based convenience predicate.
+bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
+                                 const AnalysisContext& context,
                                  const chain::DiversityRequirement& req);
 
 /// Slack δ = q_1 - c * (q_ℓ + ... + q_θ): negative iff the requirement is

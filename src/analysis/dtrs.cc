@@ -42,7 +42,7 @@ bool IsSubsetOf(const DensePairSet& a, const DensePairSet& b) {
 }
 
 common::Result<std::vector<SdrAssignment>> MaterializeCombinations(
-    const std::vector<chain::RsView>& history, const RsFamily& family,
+    std::span<const chain::RsView> history, const RsFamily& family,
     const DtrsFinder::Options& options) {
   std::vector<SdrAssignment> all;
   SdrEnumerator::Options enum_options;
@@ -63,7 +63,7 @@ common::Result<std::vector<SdrAssignment>> MaterializeCombinations(
 }  // namespace
 
 common::Result<std::vector<Dtrs>> DtrsFinder::FindAll(
-    const std::vector<chain::RsView>& history, chain::RsId target,
+    std::span<const chain::RsView> history, chain::RsId target,
     const chain::HtIndex& index, const Options& options) {
   common::Deadline deadline(options.budget_seconds);
   RsFamily family(history);
@@ -183,7 +183,7 @@ common::Result<std::vector<Dtrs>> DtrsFinder::FindAll(
 }
 
 common::Result<bool> DtrsFinder::HtAlreadyDetermined(
-    const std::vector<chain::RsView>& history, chain::RsId target,
+    std::span<const chain::RsView> history, chain::RsId target,
     const chain::HtIndex& index, const Options& options) {
   RsFamily family(history);
   const size_t k = family.RsIndexOf(target);
@@ -212,7 +212,7 @@ common::Result<bool> DtrsFinder::HtAlreadyDetermined(
   return determined;
 }
 
-bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
+bool PracticalDtrsDiversityHolds(std::span<const chain::TokenId> members,
                                  size_t v_super, const chain::HtIndex& index,
                                  const chain::DiversityRequirement& req) {
   // Group members by HT.
@@ -239,9 +239,54 @@ bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
   return true;
 }
 
-size_t SideInfoThreshold(const std::vector<chain::TokenId>& members,
+bool PracticalDtrsDiversityHolds(std::span<const chain::TokenId> members,
+                                 size_t v_super,
+                                 const AnalysisContext& context,
+                                 const chain::DiversityRequirement& req) {
+  using Local = AnalysisContext::Local;
+  // Resolve each member's dense HT once, then scan per distinct HT.
+  std::vector<Local> member_hts;
+  member_hts.reserve(members.size());
+  for (chain::TokenId t : members) {
+    Local token = context.LocalOfToken(t);
+    TM_CHECK(token != AnalysisContext::kNoLocal);
+    Local ht = context.HtLocalOf(token);
+    TM_CHECK(ht != AnalysisContext::kNoLocal);
+    member_hts.push_back(ht);
+  }
+  std::vector<Local> distinct = member_hts;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  for (Local ht : distinct) {
+    size_t same_ht = 0;
+    for (Local h : member_hts) {
+      if (h == ht) ++same_ht;
+    }
+    if (v_super + same_ht < members.size() + 1) continue;
+    std::vector<chain::TokenId> psi;
+    psi.reserve(members.size() - same_ht);
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (member_hts[i] != ht) psi.push_back(members[i]);
+    }
+    if (psi.empty()) return false;
+    if (!SatisfiesRecursiveDiversity(psi, context, req)) return false;
+  }
+  return true;
+}
+
+size_t SideInfoThreshold(std::span<const chain::TokenId> members,
                          const chain::HtIndex& index) {
   std::vector<int64_t> freq = HtFrequencies(members, index);
+  if (freq.empty()) return 0;
+  int64_t q_max = freq.front();
+  return members.size() - static_cast<size_t>(q_max);
+}
+
+size_t SideInfoThreshold(std::span<const chain::TokenId> members,
+                         const AnalysisContext& context) {
+  std::vector<int64_t> freq = HtFrequencies(members, context);
   if (freq.empty()) return 0;
   int64_t q_max = freq.front();
   return members.size() - static_cast<size_t>(q_max);

@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "analysis/context.h"
 #include "analysis/diversity.h"
 #include "chain/ht_index.h"
 #include "analysis/matching.h"
@@ -53,10 +55,10 @@ class DtrsFinder {
   /// Exact enumeration of all minimal DTRSs of RS `target` (an id present
   /// in `history`). Fails with Timeout/ResourceExhausted when caps trip.
   [[nodiscard]] static common::Result<std::vector<Dtrs>> FindAll(
-      const std::vector<chain::RsView>& history, chain::RsId target,
+      std::span<const chain::RsView> history, chain::RsId target,
       const chain::HtIndex& index, const Options& options);
   [[nodiscard]] static common::Result<std::vector<Dtrs>> FindAll(
-      const std::vector<chain::RsView>& history, chain::RsId target,
+      std::span<const chain::RsView> history, chain::RsId target,
       const chain::HtIndex& index) {
     return FindAll(history, target, index, Options());
   }
@@ -65,10 +67,10 @@ class DtrsFinder {
   /// side information (every token-RS combination gives the same HT) —
   /// the degenerate "empty DTRS" case of a homogeneity-style leak.
   [[nodiscard]] static common::Result<bool> HtAlreadyDetermined(
-      const std::vector<chain::RsView>& history, chain::RsId target,
+      std::span<const chain::RsView> history, chain::RsId target,
       const chain::HtIndex& index, const Options& options);
   [[nodiscard]] static common::Result<bool> HtAlreadyDetermined(
-      const std::vector<chain::RsView>& history, chain::RsId target,
+      std::span<const chain::RsView> history, chain::RsId target,
       const chain::HtIndex& index) {
     return HtAlreadyDetermined(history, target, index, Options());
   }
@@ -77,14 +79,25 @@ class DtrsFinder {
 /// Theorem 6.1 practical check: every DTRS of an RS with members `members`
 /// and super-RS subset-count `v_super` satisfies `req`. Runs in
 /// O(|members| · |HTs|).
-bool PracticalDtrsDiversityHolds(const std::vector<chain::TokenId>& members,
+bool PracticalDtrsDiversityHolds(std::span<const chain::TokenId> members,
                                  size_t v_super, const chain::HtIndex& index,
+                                 const chain::DiversityRequirement& req);
+
+/// Context-based Theorem 6.1 check: identical verdict, grouping members by
+/// the snapshot's flat token -> HT column instead of hashing per member.
+bool PracticalDtrsDiversityHolds(std::span<const chain::TokenId> members,
+                                 size_t v_super,
+                                 const AnalysisContext& context,
                                  const chain::DiversityRequirement& req);
 
 /// Theorem 6.2 threshold: the minimum side-information cardinality needed
 /// to confirm the spend-HT of an RS: |members| - q_M where q_M is the
 /// highest HT frequency in the RS.
-size_t SideInfoThreshold(const std::vector<chain::TokenId>& members,
+size_t SideInfoThreshold(std::span<const chain::TokenId> members,
                          const chain::HtIndex& index);
+
+/// Context-based Theorem 6.2 threshold.
+size_t SideInfoThreshold(std::span<const chain::TokenId> members,
+                         const AnalysisContext& context);
 
 }  // namespace tokenmagic::analysis

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/macros.h"
+
 namespace tokenmagic::analysis {
 
 HomogeneityReport ProbeHomogeneity(
-    const std::vector<chain::TokenId>& members,
+    std::span<const chain::TokenId> members,
     const std::unordered_set<chain::TokenId>& eliminated,
     const chain::HtIndex& index) {
   HomogeneityReport report;
@@ -25,6 +27,45 @@ HomogeneityReport ProbeHomogeneity(
       static_cast<double>(report.top_ht_frequency) /
       static_cast<double>(report.surviving.size());
   report.ht_determined = counts.size() == 1;
+  return report;
+}
+
+HomogeneityReport ProbeHomogeneity(
+    std::span<const chain::TokenId> members,
+    const std::unordered_set<chain::TokenId>& eliminated,
+    const AnalysisContext& context) {
+  using Local = AnalysisContext::Local;
+  HomogeneityReport report;
+  std::vector<Local> survivor_hts;
+  for (chain::TokenId t : members) {
+    if (eliminated.count(t) != 0) continue;
+    report.surviving.push_back(t);
+    Local token = context.LocalOfToken(t);
+    TM_CHECK(token != AnalysisContext::kNoLocal);
+    Local ht = context.HtLocalOf(token);
+    TM_CHECK(ht != AnalysisContext::kNoLocal);
+    survivor_hts.push_back(ht);
+  }
+  if (report.surviving.empty()) return report;
+
+  // Distinct/top-frequency via run-length over the sorted (tiny) HT list
+  // instead of a per-probe hash map.
+  std::sort(survivor_hts.begin(), survivor_hts.end());
+  int64_t run = 0;
+  Local prev = AnalysisContext::kNoLocal;
+  for (Local ht : survivor_hts) {
+    if (ht != prev) {
+      ++report.distinct_hts;
+      prev = ht;
+      run = 0;
+    }
+    ++run;
+    report.top_ht_frequency = std::max(report.top_ht_frequency, run);
+  }
+  report.top_ht_confidence =
+      static_cast<double>(report.top_ht_frequency) /
+      static_cast<double>(report.surviving.size());
+  report.ht_determined = report.distinct_hts == 1;
   return report;
 }
 

@@ -6,9 +6,11 @@
 // adversary can put on the most likely HT measures the leak.
 #pragma once
 
+#include <span>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/ht_index.h"
 #include "chain/types.h"
 
@@ -33,8 +35,17 @@ struct HomogeneityReport {
 /// adversary knows are not the spend — e.g. from chain-reaction analysis
 /// or Definition-3 side information).
 HomogeneityReport ProbeHomogeneity(
-    const std::vector<chain::TokenId>& members,
+    std::span<const chain::TokenId> members,
     const std::unordered_set<chain::TokenId>& eliminated,
     const chain::HtIndex& index);
+
+/// Context-based probe: identical report, using the snapshot's flat
+/// token -> HT column instead of one HtIndex hash lookup per member.
+/// Every surviving member must be interned with a known HT (the same
+/// precondition HtIndex::HtOf enforces on the legacy path).
+HomogeneityReport ProbeHomogeneity(
+    std::span<const chain::TokenId> members,
+    const std::unordered_set<chain::TokenId>& eliminated,
+    const AnalysisContext& context);
 
 }  // namespace tokenmagic::analysis

@@ -11,6 +11,29 @@ size_t IncrementalCascade::Find(size_t x) const {
   return x;
 }
 
+IncrementalCascade::IncrementalCascade(const AnalysisContext& context) {
+  const size_t m = context.rs_count();
+  views_.reserve(m);
+  remaining_.reserve(m);
+  parent_.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    chain::RsView view =
+        context.ViewOf(static_cast<AnalysisContext::Local>(i));
+    remaining_.push_back(view.members);
+    parent_.push_back(i);
+    for (chain::TokenId t : view.members) neighbor_[t].push_back(i);
+    views_.push_back(std::move(view));
+  }
+  for (const auto& [token, rs_list] : neighbor_) {
+    for (size_t other : rs_list) {
+      size_t ra = Find(rs_list.front());
+      size_t rb = Find(other);
+      if (ra != rb) parent_[ra] = rb;
+    }
+  }
+  Propagate();
+}
+
 void IncrementalCascade::Add(const chain::RsView& view) {
   size_t index = views_.size();
   views_.push_back(view);

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
@@ -24,6 +25,15 @@ namespace tokenmagic::analysis {
 class IncrementalCascade {
  public:
   IncrementalCascade() = default;
+
+  /// Bulk-loads every RS of a snapshot and runs a single propagation to
+  /// the fixpoint; reproduces ChainReactionAnalyzer::Cascade over the
+  /// loaded history for one Propagate() instead of one per RS. Note
+  /// this is a (sound) subset of what sequential Add() calls infer:
+  /// per-insertion propagation also exploits sub-families that were
+  /// tight over a prefix but lose tightness once later RSs join their
+  /// component, and those facts persist in the incremental state.
+  explicit IncrementalCascade(const AnalysisContext& context);
 
   /// Adds an RS and re-propagates to the fixpoint.
   void Add(const chain::RsView& view);
@@ -50,6 +60,7 @@ class IncrementalCascade {
   /// indices must be revisited (empty = all).
   void Propagate();
 
+  // tm-lint: history-ok(incremental state owns its inserted views)
   std::vector<chain::RsView> views_;
   /// Per-RS remaining candidate spends (shrinks as spends are revealed).
   std::vector<std::vector<chain::TokenId>> remaining_;

@@ -10,7 +10,7 @@
 
 namespace tokenmagic::analysis {
 
-RsFamily::RsFamily(const std::vector<chain::RsView>& views) {
+RsFamily::RsFamily(std::span<const chain::RsView> views) {
   rs_ids_.reserve(views.size());
   members_.reserve(views.size());
   for (const chain::RsView& view : views) {

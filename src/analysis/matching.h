@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +26,7 @@ namespace tokenmagic::analysis {
 class RsFamily {
  public:
   /// Builds from views. Token universe = union of members.
-  explicit RsFamily(const std::vector<chain::RsView>& views);
+  explicit RsFamily(std::span<const chain::RsView> views);
 
   size_t rs_count() const { return members_.size(); }
   size_t token_count() const { return token_ids_.size(); }
@@ -42,6 +44,15 @@ class RsFamily {
   /// Dense index of an external id; TM_CHECKs that it exists.
   size_t RsIndexOf(chain::RsId id) const;
   size_t TokenIndexOf(chain::TokenId id) const;
+
+  /// Dense token index, or nullopt for an unknown token — one hash lookup
+  /// where HasToken()-then-TokenIndexOf() would pay two.
+  std::optional<size_t> TryTokenIndexOf(chain::TokenId id) const {
+    auto it = token_index_.find(id);
+    if (it == token_index_.end()) return std::nullopt;
+    return it->second;
+  }
+
   bool HasToken(chain::TokenId id) const {
     return token_index_.count(id) > 0;
   }

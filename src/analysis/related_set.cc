@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace tokenmagic::analysis {
 
@@ -22,8 +23,8 @@ std::vector<chain::RsId> RelatedSetResult::IdsAtLevel(size_t level) const {
 }
 
 RelatedSetResult ComputeRelatedSet(
-    const std::vector<chain::TokenId>& target_tokens,
-    const std::vector<chain::RsView>& history) {
+    std::span<const chain::TokenId> target_tokens,
+    std::span<const chain::RsView> history) {
   // Token -> indices of history RSs containing it.
   std::unordered_map<chain::TokenId, std::vector<size_t>> token_to_rs;
   for (size_t i = 0; i < history.size(); ++i) {
@@ -36,7 +37,7 @@ RelatedSetResult ComputeRelatedSet(
   std::unordered_set<size_t> visited;
   std::deque<std::pair<size_t, size_t>> frontier;  // (history index, level)
 
-  auto enqueue_for_tokens = [&](const std::vector<chain::TokenId>& tokens,
+  auto enqueue_for_tokens = [&](std::span<const chain::TokenId> tokens,
                                 size_t level) {
     for (chain::TokenId t : tokens) {
       auto it = token_to_rs.find(t);
@@ -55,6 +56,40 @@ RelatedSetResult ComputeRelatedSet(
     frontier.pop_front();
     result.related.push_back(RelatedRs{history[idx].id, level});
     enqueue_for_tokens(history[idx].members, level + 1);
+  }
+  return result;
+}
+
+RelatedSetResult ComputeRelatedSet(
+    std::span<const chain::TokenId> target_tokens,
+    const AnalysisContext& context) {
+  // Identical BFS to the legacy path (same visit order: per token the CSR
+  // RS list is ascending == history order, and RsView members are stored
+  // sorted so Members(rs) iterates the same sequence), but with the
+  // inverted index prebuilt and a bitset frontier instead of hashing.
+  using Local = AnalysisContext::Local;
+  RelatedSetResult result;
+  std::vector<bool> visited(context.rs_count(), false);
+  std::deque<std::pair<Local, size_t>> frontier;  // (rs local, level)
+
+  auto enqueue_for_token = [&](Local token, size_t level) {
+    for (Local rs : context.RsOfToken(token)) {
+      if (!visited[rs]) {
+        visited[rs] = true;
+        frontier.emplace_back(rs, level);
+      }
+    }
+  };
+
+  for (chain::TokenId t : target_tokens) {
+    Local local = context.LocalOfToken(t);
+    if (local != AnalysisContext::kNoLocal) enqueue_for_token(local, 0);
+  }
+  while (!frontier.empty()) {
+    auto [rs, level] = frontier.front();
+    frontier.pop_front();
+    result.related.push_back(RelatedRs{context.rs_id(rs), level});
+    for (Local t : context.Members(rs)) enqueue_for_token(t, level + 1);
   }
   return result;
 }

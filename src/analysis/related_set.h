@@ -4,11 +4,21 @@
 // closure, under token sharing, of the RSs proposed before π that intersect
 // r_k. Level 0 contains the RSs sharing a token with r_k directly; level i
 // contains RSs sharing a token with some level-(i-1) RS.
+//
+// Two implementations with identical output (the equivalence suite in
+// tests/analysis/context_test.cc asserts byte-identical BFS order):
+//  * the legacy span-based entry point, which rebuilds the token -> RS
+//    inverted index on every call, and
+//  * the AnalysisContext-based entry point, which reuses the snapshot's
+//    CSR inverted index and a bitset frontier — build the context once per
+//    block, then each query is O(|reached incidence|).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
@@ -31,9 +41,17 @@ struct RelatedSetResult {
 };
 
 /// Computes the related RS set of `target_tokens` over `history`
-/// (all RSs proposed so far, e.g. Ledger::Views()).
+/// (all RSs proposed so far, e.g. Ledger::Views()). Legacy path: interns
+/// the inverted index on the fly, O(|history incidence|) per call.
 RelatedSetResult ComputeRelatedSet(
-    const std::vector<chain::TokenId>& target_tokens,
-    const std::vector<chain::RsView>& history);
+    std::span<const chain::TokenId> target_tokens,
+    std::span<const chain::RsView> history);
+
+/// Context path: same result, using the snapshot's inverted index.
+/// Target tokens unknown to the context are ignored (they can have no
+/// neighbor RSs in the snapshot's history).
+RelatedSetResult ComputeRelatedSet(
+    std::span<const chain::TokenId> target_tokens,
+    const AnalysisContext& context);
 
 }  // namespace tokenmagic::analysis

@@ -24,9 +24,9 @@ void HtIndex::Set(TokenId token, TxId ht) {
 }
 
 TxId HtIndex::HtOf(TokenId token) const {
-  auto it = map_.find(token);
-  TM_CHECK(it != map_.end());
-  return it->second;
+  std::optional<TxId> ht = TryHtOf(token);
+  TM_CHECK(ht.has_value());
+  return *ht;
 }
 
 std::vector<TxId> HtIndex::HtsOf(

@@ -5,6 +5,7 @@
 // full Blockchain so synthetic datasets can be expressed directly.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,14 @@ class HtIndex {
 
   /// The HT of `token`; the token must be registered.
   TxId HtOf(TokenId token) const;
+
+  /// The HT of `token`, or nullopt for an unregistered token — one hash
+  /// lookup where Contains()-then-HtOf() would pay two.
+  std::optional<TxId> TryHtOf(TokenId token) const {
+    auto it = map_.find(token);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
 
   bool Contains(TokenId token) const {
     return map_.count(token) > 0;

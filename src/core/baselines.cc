@@ -92,7 +92,8 @@ common::Result<SelectionResult> MoneroSelector::Select(
 
   // Candidate pool without the target, split into a "recent" half (by
   // token id, a proxy for creation time) and the remainder.
-  std::vector<chain::TokenId> pool = input.universe;
+  std::vector<chain::TokenId> pool(input.universe.begin(),
+                                   input.universe.end());
   std::sort(pool.begin(), pool.end());
   pool.erase(std::remove(pool.begin(), pool.end(), input.target), pool.end());
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/context.h"
 #include "analysis/diversity.h"
 #include "analysis/dtrs.h"
 #include "analysis/matching.h"
@@ -22,16 +23,29 @@ using analysis::RsFamily;
 std::vector<chain::RsView> FamilyViews(
     const SelectionInput& input, const std::vector<chain::TokenId>& members,
     chain::RsId* candidate_id) {
+  // With a shared snapshot the related-set walk reuses the interned CSR
+  // index and each related id resolves to its history position in O(1)
+  // instead of a full history scan per id.
   analysis::RelatedSetResult related =
-      analysis::ComputeRelatedSet(members, input.history);
+      input.context != nullptr
+          ? analysis::ComputeRelatedSet(members, *input.context)
+          : analysis::ComputeRelatedSet(members, input.history);
   std::vector<chain::RsView> views;
   chain::RsId max_id = 0;
   for (const chain::RsView& view : input.history) {
     max_id = std::max(max_id, view.id);
   }
-  for (chain::RsId id : related.Ids()) {
-    for (const chain::RsView& view : input.history) {
-      if (view.id == id) views.push_back(view);
+  if (input.context != nullptr) {
+    for (chain::RsId id : related.Ids()) {
+      analysis::AnalysisContext::Local rs = input.context->LocalOfRs(id);
+      TM_CHECK(rs != analysis::AnalysisContext::kNoLocal);
+      views.push_back(input.history[rs]);
+    }
+  } else {
+    for (chain::RsId id : related.Ids()) {
+      for (const chain::RsView& view : input.history) {
+        if (view.id == id) views.push_back(view);
+      }
     }
   }
   chain::RsView candidate;

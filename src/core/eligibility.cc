@@ -39,7 +39,7 @@ size_t CandidateSubsetCount(const ModuleUniverse& mu,
 
 EligibilityVerdict CheckCandidate(
     const ModuleUniverse& mu, const std::vector<size_t>& chosen_modules,
-    const std::vector<chain::RsView>& history, const chain::HtIndex& index,
+    std::span<const chain::RsView> history, const chain::HtIndex& index,
     const chain::DiversityRequirement& requirement,
     const EligibilityPolicy& policy) {
   EligibilityVerdict verdict;

@@ -12,6 +12,7 @@
 // validated in the property tests.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "analysis/diversity.h"
@@ -49,7 +50,7 @@ struct EligibilityVerdict {
 /// `history` is the same RS list `mu` was built from (for immutability).
 EligibilityVerdict CheckCandidate(
     const ModuleUniverse& mu, const std::vector<size_t>& chosen_modules,
-    const std::vector<chain::RsView>& history, const chain::HtIndex& index,
+    std::span<const chain::RsView> history, const chain::HtIndex& index,
     const chain::DiversityRequirement& requirement,
     const EligibilityPolicy& policy);
 

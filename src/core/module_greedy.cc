@@ -19,8 +19,12 @@ common::Result<ModuleSelectionState> InitModuleState(
     return Status::InvalidArgument("target token not in the mixin universe");
   }
 
-  TM_ASSIGN_OR_RETURN(ModuleUniverse mu,
-                      ModuleUniverse::Build(input.universe, input.history));
+  TM_ASSIGN_OR_RETURN(
+      ModuleUniverse mu,
+      input.context != nullptr
+          ? ModuleUniverse::Build(input.universe, input.history,
+                                  *input.context)
+          : ModuleUniverse::Build(input.universe, input.history));
 
   ModuleSelectionState state{std::move(mu), 0, {}, {}, {}, 0};
   state.target_module = state.mu.ModuleOfToken(input.target);
@@ -34,7 +38,15 @@ common::Result<ModuleSelectionState> InitModuleState(
   state.chosen.push_back(state.target_module);
   state.token_size += target_module.size();
   for (chain::TokenId t : target_module.tokens) {
-    state.covered_hts.insert(input.index->HtOf(t));
+    // TryHtOf: validate-and-fetch in one hash lookup, so a universe token
+    // the index does not know is an InvalidArgument, not a crash.
+    std::optional<chain::TxId> ht = input.index->TryHtOf(t);
+    if (!ht.has_value()) {
+      return Status::InvalidArgument(common::StrFormat(
+          "universe token %llu has no HT in the index",
+          static_cast<unsigned long long>(t)));
+    }
+    state.covered_hts.insert(*ht);
   }
   return state;
 }

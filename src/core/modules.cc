@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/context.h"
 #include "common/macros.h"
 #include "common/strings.h"
 
@@ -36,8 +37,8 @@ bool SortedDisjoint(const std::vector<chain::TokenId>& a,
 }  // namespace
 
 common::Result<ModuleUniverse> ModuleUniverse::Build(
-    const std::vector<chain::TokenId>& universe,
-    const std::vector<chain::RsView>& history) {
+    std::span<const chain::TokenId> universe,
+    std::span<const chain::RsView> history) {
   using common::Status;
   ModuleUniverse mu;
 
@@ -128,6 +129,159 @@ common::Result<ModuleUniverse> ModuleUniverse::Build(
     if (covered.count(t) == 0 && mu.token_to_module_.count(t) == 0) {
       fresh.push_back(t);
     }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  for (chain::TokenId t : fresh) {
+    Module module;
+    module.index = mu.modules_.size();
+    module.is_fresh = true;
+    module.tokens = {t};
+    module.subset_count = 0;
+    mu.token_to_module_.emplace(t, module.index);
+    mu.modules_.push_back(std::move(module));
+    mu.subset_rs_.emplace_back();
+  }
+
+  return mu;
+}
+
+common::Result<ModuleUniverse> ModuleUniverse::Build(
+    std::span<const chain::TokenId> universe,
+    std::span<const chain::RsView> history,
+    const analysis::AnalysisContext& context) {
+  using common::Status;
+  using Local = analysis::AnalysisContext::Local;
+  constexpr Local kNoLocal = analysis::AnalysisContext::kNoLocal;
+  TM_CHECK(context.rs_count() == history.size());
+
+  ModuleUniverse mu;
+
+  // Universe membership as a dense bitmap over token locals. Every
+  // universe token must be interned (the Build precondition), while a
+  // history token outside the universe is interned but unmarked.
+  std::vector<char> in_universe(context.token_count(), 0);
+  size_t distinct_universe = 0;
+  for (chain::TokenId t : universe) {
+    Local local = context.LocalOfToken(t);
+    TM_CHECK(local != kNoLocal);
+    if (in_universe[local] == 0) {
+      in_universe[local] = 1;
+      ++distinct_universe;
+    }
+  }
+  mu.token_count_ = distinct_universe;
+
+  for (size_t i = 0; i < history.size(); ++i) {
+    for (Local t : context.Members(static_cast<Local>(i))) {
+      if (in_universe[t] == 0) {
+        return Status::InvalidArgument(common::StrFormat(
+            "rs %llu contains token %llu outside the universe",
+            static_cast<unsigned long long>(history[i].id),
+            static_cast<unsigned long long>(context.token_id(t))));
+      }
+    }
+  }
+
+  // First practical configuration via the inverted index: a partial
+  // overlap needs a shared token, and among the RSs sharing one token
+  // laminarity means a subset chain, so checking size-adjacent pairs per
+  // token is exact. Near-linear in the incidence instead of O(|history|²);
+  // on a violation, defer to the pairwise scan so the reported offending
+  // pair matches the legacy diagnostics.
+  {
+    std::vector<Local> chain_rs;
+    for (Local t = 0; t < static_cast<Local>(context.token_count()); ++t) {
+      std::span<const Local> rs_list = context.RsOfToken(t);
+      if (rs_list.size() < 2) continue;
+      chain_rs.assign(rs_list.begin(), rs_list.end());
+      std::stable_sort(chain_rs.begin(), chain_rs.end(),
+                       [&](Local a, Local b) {
+                         return context.Members(a).size() <
+                                context.Members(b).size();
+                       });
+      for (size_t k = 0; k + 1 < chain_rs.size(); ++k) {
+        std::span<const Local> small = context.Members(chain_rs[k]);
+        std::span<const Local> big = context.Members(chain_rs[k + 1]);
+        if (!std::includes(big.begin(), big.end(), small.begin(),
+                           small.end())) {
+          return Build(universe, history);
+        }
+      }
+    }
+  }
+
+  // Super RS scan, identical to the legacy path but over a dense covered
+  // bitmap instead of a hash set.
+  std::vector<size_t> order(history.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return history[a].proposed_at > history[b].proposed_at;
+  });
+
+  std::vector<char> covered(context.token_count(), 0);
+  std::vector<size_t> super_indices;  // indices into history
+  for (size_t idx : order) {
+    std::span<const Local> members =
+        context.Members(static_cast<Local>(idx));
+    bool any_covered = false;
+    for (Local t : members) {
+      if (covered[t] != 0) {
+        any_covered = true;
+        break;
+      }
+    }
+    if (!any_covered) {
+      super_indices.push_back(idx);
+      for (Local t : members) covered[t] = 1;
+    }
+  }
+  std::sort(super_indices.begin(), super_indices.end());
+
+  // Subset lists without the per-super history scan: supers partition the
+  // covered tokens, so an RS can only be a subset of the super covering
+  // its first member; one inclusion test per history RS settles it. An
+  // empty member set would be a subset of every super — the legacy scan
+  // semantics — so that degenerate shape goes through the legacy path.
+  std::vector<uint32_t> super_of_token(context.token_count(), kNoLocal);
+  for (size_t s = 0; s < super_indices.size(); ++s) {
+    for (Local t : context.Members(static_cast<Local>(super_indices[s]))) {
+      super_of_token[t] = static_cast<uint32_t>(s);
+    }
+  }
+  std::vector<std::vector<chain::RsId>> subsets(super_indices.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    std::span<const Local> members = context.Members(static_cast<Local>(i));
+    if (members.empty()) return Build(universe, history);
+    uint32_t s = super_of_token[members.front()];
+    if (s == kNoLocal) continue;  // token uncovered: subset of no super
+    std::span<const Local> super_members =
+        context.Members(static_cast<Local>(super_indices[s]));
+    if (std::includes(super_members.begin(), super_members.end(),
+                      members.begin(), members.end())) {
+      subsets[s].push_back(history[i].id);
+    }
+  }
+
+  for (size_t s = 0; s < super_indices.size(); ++s) {
+    const chain::RsView& view = history[super_indices[s]];
+    Module module;
+    module.index = mu.modules_.size();
+    module.is_fresh = false;
+    module.super_rs = view.id;
+    module.tokens = view.members;
+    module.subset_count = subsets[s].size();
+    for (chain::TokenId t : module.tokens) {
+      mu.token_to_module_.emplace(t, module.index);
+    }
+    mu.modules_.push_back(std::move(module));
+    mu.subset_rs_.push_back(std::move(subsets[s]));
+  }
+
+  // Fresh tokens: universe tokens covered by no super.
+  std::vector<chain::TokenId> fresh;
+  for (chain::TokenId t : universe) {
+    if (covered[context.LocalOfToken(t)] == 0) fresh.push_back(t);
   }
   std::sort(fresh.begin(), fresh.end());
   fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());

@@ -9,11 +9,16 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/types.h"
 #include "common/status.h"
+
+namespace tokenmagic::analysis {
+class AnalysisContext;
+}  // namespace tokenmagic::analysis
 
 namespace tokenmagic::core {
 
@@ -41,8 +46,21 @@ class ModuleUniverse {
   /// respect the first practical configuration; a violating history yields
   /// an InvalidArgument status.
   [[nodiscard]] static common::Result<ModuleUniverse> Build(
-      const std::vector<chain::TokenId>& universe,
-      const std::vector<chain::RsView>& history);
+      std::span<const chain::TokenId> universe,
+      std::span<const chain::RsView> history);
+
+  /// Context fast path: identical output, but the practical-configuration
+  /// check and the subset counting walk the snapshot's inverted index
+  /// instead of comparing all RS pairs — near-linear in the history
+  /// incidence rather than quadratic in |history|. `context` must have
+  /// been built from exactly this `history` span (and a universe covering
+  /// `universe`); on a configuration violation this falls back to the
+  /// pairwise scan so the reported offending pair matches the legacy
+  /// path.
+  [[nodiscard]] static common::Result<ModuleUniverse> Build(
+      std::span<const chain::TokenId> universe,
+      std::span<const chain::RsView> history,
+      const analysis::AnalysisContext& context);
 
   const std::vector<Module>& modules() const { return modules_; }
   size_t module_count() const { return modules_.size(); }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,18 +14,33 @@
 #include "common/status.h"
 #include "core/eligibility.h"
 
+namespace tokenmagic::analysis {
+class AnalysisContext;
+}  // namespace tokenmagic::analysis
+
 namespace tokenmagic::core {
 
 /// One DA-MS problem instance: pick mixins for `target` out of `universe`
 /// given the RS history over that universe.
+///
+/// The instance does not own the universe or the history: both are spans
+/// into caller-owned storage (the batch snapshot in TokenMagic/node, the
+/// dataset in benches) that must outlive every Select() call. Copying an
+/// instance — the resilient ladder does this per stage — is O(1).
 struct SelectionInput {
   chain::TokenId target = chain::kInvalidToken;
   /// The mixin universe T (must contain `target`).
-  std::vector<chain::TokenId> universe;
+  std::span<const chain::TokenId> universe;
   /// RSs over T in proposal order (the related RS set of the batch).
-  std::vector<chain::RsView> history;
+  std::span<const chain::RsView> history;
   chain::DiversityRequirement requirement;
   const chain::HtIndex* index = nullptr;
+  /// Optional interned snapshot of `history` (+ `universe` tokens), built
+  /// once per block/batch and shared by every target and ladder stage.
+  /// When set, it must have been built from exactly the same history span;
+  /// selectors then take the context fast paths (CSR related-set walks,
+  /// dense cascade) instead of re-interning per call.
+  const analysis::AnalysisContext* context = nullptr;
   EligibilityPolicy policy;
   /// Optional caller-owned budget. Every selector observes it: expiry is
   /// reported as Status::Timeout, and an already-expired (zero-budget)

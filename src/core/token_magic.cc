@@ -17,21 +17,31 @@ TokenMagic::TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config)
   TM_CHECK(bc != nullptr);
 }
 
-std::vector<chain::RsView> TokenMagic::BatchHistory(
+const TokenMagic::BatchSnapshot& TokenMagic::SnapshotFor(
     chain::TokenId token) const {
   const Batch& batch = batch_index_.BatchOfToken(token);
+  if (snapshot_.valid && snapshot_.batch == batch.index &&
+      snapshot_.ledger_size == ledger_.size()) {
+    return snapshot_;
+  }
   std::unordered_set<chain::TokenId> batch_tokens(batch.tokens.begin(),
                                                   batch.tokens.end());
-  std::vector<chain::RsView> history;
-  for (const chain::RsView& view : ledger_.Views()) {
+  snapshot_.history.clear();
+  for (size_t i = 0; i < ledger_.size(); ++i) {
+    const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
     // Batches are disjoint and RSs never span batches, so membership of
     // the first token decides.
     if (!view.members.empty() &&
         batch_tokens.count(view.members.front()) > 0) {
-      history.push_back(view);
+      snapshot_.history.push_back(view);
     }
   }
-  return history;
+  snapshot_.context = analysis::AnalysisContext::Build(
+      snapshot_.history, &ht_index_, batch.tokens);
+  snapshot_.batch = batch.index;
+  snapshot_.ledger_size = ledger_.size();
+  snapshot_.valid = true;
+  return snapshot_;
 }
 
 common::Result<SelectionInput> TokenMagic::InstanceFor(
@@ -42,10 +52,12 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
   if (ledger_.IsSpent(target)) {
     return common::Status::AlreadyExists("token already spent");
   }
+  const BatchSnapshot& snapshot = SnapshotFor(target);
   SelectionInput input;
   input.target = target;
   input.universe = batch_index_.MixinUniverse(target);
-  input.history = BatchHistory(target);
+  input.history = snapshot.history;
+  input.context = &snapshot.context;
   input.requirement = req;
   input.index = &ht_index_;
   input.policy = config_.policy;
@@ -55,7 +67,7 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
 bool TokenMagic::LiquidityAllows(
     chain::TokenId target,
     const std::vector<chain::TokenId>& members) const {
-  std::vector<chain::RsView> history = BatchHistory(target);
+  std::vector<chain::RsView> history = SnapshotFor(target).history;
   chain::RsView prospective;
   prospective.id = chain::kInvalidRs - 1;
   prospective.members = members;
@@ -63,8 +75,12 @@ bool TokenMagic::LiquidityAllows(
   history.push_back(std::move(prospective));
 
   size_t rs_count = history.size();  // i
+  // The prospective RS is not part of the cached snapshot, so intern the
+  // extended history ad hoc (no HT column needed: the cascade only reads
+  // incidence) and run the dense cascade over it.
+  analysis::AnalysisContext extended = analysis::AnalysisContext::Build(history);
   size_t inferable =
-      analysis::ChainReactionAnalyzer::CountInferableSpent(history);  // μ_i
+      analysis::ChainReactionAnalyzer::CountInferableSpent(extended);  // μ_i
   size_t universe = batch_index_.BatchOfToken(target).tokens.size();  // |T|
   // Require i − μ_i ≥ η · (|T| − i).
   double lhs = static_cast<double>(rs_count) - static_cast<double>(inferable);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
@@ -77,7 +78,10 @@ class TokenMagic {
       common::Deadline* deadline = nullptr);
 
   /// Builds the DA-MS instance for `target` without committing anything
-  /// (used by benchmarks to time the bare selector).
+  /// (used by benchmarks to time the bare selector). The instance borrows
+  /// the framework's per-batch snapshot: its universe/history spans and
+  /// context pointer stay valid until the next proposal or until an
+  /// instance for a token of a *different* batch is requested.
   [[nodiscard]] common::Result<SelectionInput> InstanceFor(
       chain::TokenId target, chain::DiversityRequirement req) const;
 
@@ -91,14 +95,31 @@ class TokenMagic {
                        const std::vector<chain::TokenId>& members) const;
 
  private:
-  /// Views of ledger RSs whose members lie in the batch of `token`.
-  std::vector<chain::RsView> BatchHistory(chain::TokenId token) const;
+  /// The per-batch analysis snapshot: the batch's ledger views plus their
+  /// interned AnalysisContext. Built once per (batch, ledger state) and
+  /// shared by every instance, ladder stage, and liquidity probe until the
+  /// next proposal invalidates it — SelectionInput spans point into it, so
+  /// it owns the storage those spans reference.
+  struct BatchSnapshot {
+    bool valid = false;
+    size_t batch = 0;
+    size_t ledger_size = 0;
+    // tm-lint: history-ok(the snapshot is the owning storage the
+    // SelectionInput spans point into)
+    std::vector<chain::RsView> history;
+    analysis::AnalysisContext context;
+  };
+
+  /// Returns the snapshot for `token`'s batch, rebuilding it only when the
+  /// cached one is for a different batch or a stale ledger state.
+  const BatchSnapshot& SnapshotFor(chain::TokenId token) const;
 
   const chain::Blockchain* bc_;
   TokenMagicConfig config_;
   BatchIndex batch_index_;
   chain::HtIndex ht_index_;
   chain::Ledger ledger_;
+  mutable BatchSnapshot snapshot_;
 };
 
 }  // namespace tokenmagic::core

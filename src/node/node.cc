@@ -11,6 +11,29 @@ Node::Node(NodeConfig config) : config_(config) { RebuildIndices(); }
 void Node::RebuildIndices() {
   ht_index_ = chain::HtIndex::FromBlockchain(bc_);
   batches_ = std::make_unique<core::BatchIndex>(bc_, config_.lambda);
+  analysis_snapshots_.clear();
+}
+
+const Node::BatchAnalysisSnapshot& Node::AnalysisSnapshotFor(
+    size_t batch_index) const {
+  auto it = analysis_snapshots_.find(batch_index);
+  if (it != analysis_snapshots_.end()) return it->second;
+  const core::Batch& batch = batches_->batch(batch_index);
+  BatchAnalysisSnapshot snapshot;
+  for (size_t i = 0; i < ledger_.size(); ++i) {
+    const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
+    // Batches are disjoint and RSs never span batches, so membership of
+    // the first token decides.
+    if (!view.members.empty() &&
+        batches_->BatchOfToken(view.members.front()).index == batch_index) {
+      snapshot.history.push_back(view);
+    }
+  }
+  snapshot.context = analysis::AnalysisContext::Build(snapshot.history,
+                                                      &ht_index_,
+                                                      batch.tokens);
+  return analysis_snapshots_.emplace(batch_index, std::move(snapshot))
+      .first->second;
 }
 
 std::vector<std::vector<chain::TokenId>> Node::Genesis(

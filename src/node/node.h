@@ -5,8 +5,10 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/context.h"
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "common/status.h"
@@ -87,6 +89,20 @@ class Node {
   /// A fresh verifier bound to the current state.
   Verifier MakeVerifier() const;
 
+  /// Interned per-batch analysis snapshot of the current chain state: the
+  /// batch's ledger views plus their AnalysisContext.
+  struct BatchAnalysisSnapshot {
+    std::vector<chain::RsView> history;
+    analysis::AnalysisContext context;
+  };
+
+  /// The snapshot of batch `batch_index`, built on first use after each
+  /// mined block and cached until the next block changes the ledger — so
+  /// every wallet selection and analysis probe of one block shares exactly
+  /// one AnalysisContext per batch. The reference (and the spans derived
+  /// from it) stays valid until the next Genesis/MineBlock call.
+  const BatchAnalysisSnapshot& AnalysisSnapshotFor(size_t batch_index) const;
+
  private:
   void RebuildIndices();
 
@@ -109,6 +125,12 @@ class Node {
   };
   std::deque<PendingTx> mempool_;
   chain::Timestamp clock_ = 0;
+  /// Lazily built per-batch snapshots; cleared whenever the chain state
+  /// changes (RebuildIndices). The ledger only changes inside Genesis /
+  /// MineBlock, both of which rebuild, so a cached snapshot can never be
+  /// stale.
+  mutable std::unordered_map<size_t, BatchAnalysisSnapshot>
+      analysis_snapshots_;
 };
 
 }  // namespace tokenmagic::node

@@ -131,7 +131,9 @@ common::Status Verifier::VerifyInput(const SignedTransaction& tx,
 
   // 4. First practical configuration against the batch history.
   if (policy_.enforce_configuration) {
-    for (const chain::RsView& existing : ledger_->Views()) {
+    for (size_t i = 0; i < ledger_->size(); ++i) {
+      const chain::RsView& existing =
+          ledger_->view(static_cast<chain::RsId>(i));
       if (existing.members.empty()) continue;
       if (batches_->BatchOfToken(existing.members.front()).index != batch) {
         continue;

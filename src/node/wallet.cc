@@ -102,15 +102,23 @@ common::Result<SignedTransaction> Wallet::BuildSpendMulti(
     input.requirement = requirement;
     input.index = &node_->ht_index();
     const core::Batch& batch = node_->batches().BatchOfToken(token);
-    for (const chain::RsView& view : node_->ledger().Views()) {
-      if (!view.members.empty() &&
-          node_->batches().BatchOfToken(view.members.front()).index ==
-              batch.index) {
-        input.history.push_back(view);
-      }
-    }
-    for (const chain::RsView& sibling : extra_history[batch.index]) {
-      input.history.push_back(sibling);
+    const Node::BatchAnalysisSnapshot& snapshot =
+        node_->AnalysisSnapshotFor(batch.index);
+    const std::vector<chain::RsView>& siblings = extra_history[batch.index];
+    // Single-input spends (the common case) borrow the node's shared
+    // per-batch snapshot and context. With sibling rings from earlier
+    // inputs of this transaction the history differs from the snapshot,
+    // so a local combined copy owns the span and no context is set.
+    std::vector<chain::RsView> combined;
+    if (siblings.empty()) {
+      input.history = snapshot.history;
+      input.context = &snapshot.context;
+    } else {
+      combined.reserve(snapshot.history.size() + siblings.size());
+      combined.insert(combined.end(), snapshot.history.begin(),
+                      snapshot.history.end());
+      combined.insert(combined.end(), siblings.begin(), siblings.end());
+      input.history = combined;
     }
     TM_ASSIGN_OR_RETURN(core::SelectionResult selection,
                         selector.Select(input, &rng_));

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "analysis/chain_reaction.h"
+#include "analysis/context.h"
 #include "analysis/homogeneity.h"
 #include "common/macros.h"
 #include "common/strings.h"
@@ -86,8 +87,11 @@ SimulationResult RunSimulation(const SimulationConfig& config,
       }
     }
 
-    // Adversary pass over the public state.
+    // Adversary pass over the public state: one interned snapshot of the
+    // whole ledger per round, shared by every probe.
     auto views = the_node.ledger().Views();
+    analysis::AnalysisContext context =
+        analysis::AnalysisContext::Build(views, &the_node.ht_index());
     auto analysis = analysis::ChainReactionAnalyzer::Analyze(views);
     report.rings_on_ledger = views.size();
     report.stats = analysis::SummarizeAnonymity(analysis);
@@ -95,8 +99,8 @@ SimulationResult RunSimulation(const SimulationConfig& config,
       std::unordered_set<chain::TokenId> eliminated(
           analysis.eliminated[view.id].begin(),
           analysis.eliminated[view.id].end());
-      auto probe = analysis::ProbeHomogeneity(view.members, eliminated,
-                                              the_node.ht_index());
+      auto probe =
+          analysis::ProbeHomogeneity(view.members, eliminated, context);
       if (probe.ht_determined) ++report.homogeneity_leaks;
     }
     result.rounds.push_back(std::move(report));

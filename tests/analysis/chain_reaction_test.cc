@@ -87,7 +87,8 @@ TEST(AnalyzeTest, EmptyHistory) {
 }
 
 TEST(AnalyzeTest, SingleRsFullyAmbiguous) {
-  auto result = ChainReactionAnalyzer::Analyze({View(0, {1, 2, 3})});
+  std::vector<RsView> history = {View(0, {1, 2, 3})};
+  auto result = ChainReactionAnalyzer::Analyze(history);
   EXPECT_TRUE(result.NoTokenEliminated());
   EXPECT_EQ(result.possible_spends.at(0), (std::vector<TokenId>{1, 2, 3}));
 }
@@ -145,7 +146,9 @@ TEST(CountInferableSpentTest, MatchesCascade) {
   std::vector<RsView> history = {View(0, {1, 2}), View(1, {1, 2}),
                                  View(2, {5, 6})};
   EXPECT_EQ(ChainReactionAnalyzer::CountInferableSpent(history), 2u);
-  EXPECT_EQ(ChainReactionAnalyzer::CountInferableSpent({}), 0u);
+  EXPECT_EQ(ChainReactionAnalyzer::CountInferableSpent(
+                std::span<const RsView>{}),
+            0u);
 }
 
 TEST(AnalysisResultTest, NoTokenEliminatedReflectsContent) {

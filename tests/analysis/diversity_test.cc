@@ -17,20 +17,20 @@ HtIndex MakeIndex(std::vector<std::pair<TokenId, TxId>> pairs) {
 TEST(HtFrequenciesTest, CountsAndSortsDescending) {
   HtIndex idx = MakeIndex({{0, 10}, {1, 10}, {2, 10}, {3, 20}, {4, 30},
                            {5, 30}});
-  auto freq = HtFrequencies({0, 1, 2, 3, 4, 5}, idx);
+  auto freq = HtFrequencies(std::vector<TokenId>{0, 1, 2, 3, 4, 5}, idx);
   EXPECT_EQ(freq, (std::vector<int64_t>{3, 2, 1}));
 }
 
 TEST(HtFrequenciesTest, EmptyTokenSet) {
   HtIndex idx = MakeIndex({});
-  EXPECT_TRUE(HtFrequencies({}, idx).empty());
+  EXPECT_TRUE(HtFrequencies(std::span<const TokenId>{}, idx).empty());
 }
 
 TEST(DistinctHtCountTest, Basics) {
   HtIndex idx = MakeIndex({{0, 1}, {1, 1}, {2, 2}});
-  EXPECT_EQ(DistinctHtCount({0, 1, 2}, idx), 2u);
-  EXPECT_EQ(DistinctHtCount({0, 1}, idx), 1u);
-  EXPECT_EQ(DistinctHtCount({}, idx), 0u);
+  EXPECT_EQ(DistinctHtCount(std::vector<TokenId>{0, 1, 2}, idx), 2u);
+  EXPECT_EQ(DistinctHtCount(std::vector<TokenId>{0, 1}, idx), 1u);
+  EXPECT_EQ(DistinctHtCount(std::span<const TokenId>{}, idx), 0u);
 }
 
 // Paper Section 2.5 worked example: r3 = {t1, t3, t4}; t1, t3 from h1,

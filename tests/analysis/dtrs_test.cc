@@ -142,7 +142,7 @@ TEST(PracticalDtrsTest, LowSubsetCountMeansNoDtrs) {
   // |r| = 4, all different HTs: a DTRS pinning HT h_j needs
   // v >= 4 - 1 + 1 = 4. With v = 1 no DTRS exists: trivially diverse.
   HtIndex idx = IdentityIndex({1, 2, 3, 4});
-  EXPECT_TRUE(PracticalDtrsDiversityHolds({1, 2, 3, 4}, 1, idx,
+  EXPECT_TRUE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3, 4}, 1, idx,
                                           {0.0001, 100}));
 }
 
@@ -151,18 +151,18 @@ TEST(PracticalDtrsTest, HighSubsetCountActivatesPsiChecks) {
   // 3 distinct HTs: satisfies (1, 2) (1 < 1*1... wait: q1=1 < c*(q2+q3)
   // = 1*2) but not (1, 3) (1 < 1*q3 = 1 fails).
   HtIndex idx = IdentityIndex({1, 2, 3, 4});
-  EXPECT_TRUE(PracticalDtrsDiversityHolds({1, 2, 3, 4}, 4, idx, {1.0, 2}));
-  EXPECT_FALSE(PracticalDtrsDiversityHolds({1, 2, 3, 4}, 4, idx, {1.0, 3}));
+  EXPECT_TRUE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3, 4}, 4, idx, {1.0, 2}));
+  EXPECT_FALSE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3, 4}, 4, idx, {1.0, 3}));
 }
 
 TEST(PracticalDtrsTest, HomogeneousRsFailsWhenDtrsExists) {
   HtIndex idx;
   for (TokenId t : {1, 2, 3}) idx.Set(t, 7);
   // Single-HT RS: ψ is empty; with v large enough this is a violation.
-  EXPECT_FALSE(PracticalDtrsDiversityHolds({1, 2, 3}, 3, idx, {1.0, 1}));
+  EXPECT_FALSE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3}, 3, idx, {1.0, 1}));
   // With v = 1 the DTRS cannot exist (3 - 3 + 1 = 1 <= 1... existence
   // condition: v >= |r| - |T̃| + 1 = 1, so it DOES exist => violation.
-  EXPECT_FALSE(PracticalDtrsDiversityHolds({1, 2, 3}, 1, idx, {1.0, 1}));
+  EXPECT_FALSE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3}, 1, idx, {1.0, 1}));
 }
 
 TEST(PracticalDtrsTest, MixedHtsPartialActivation) {
@@ -175,8 +175,8 @@ TEST(PracticalDtrsTest, MixedHtsPartialActivation) {
   // DTRS for HT b (T̃ = {3}): needs v >= 3-1+1 = 3.
   // With v = 2: only the HT-a DTRS exists, ψ = {3}: frequencies {1}.
   // (2, 1): 1 < 2*1 ok. (1, 1): 1 < 1 fails.
-  EXPECT_TRUE(PracticalDtrsDiversityHolds({1, 2, 3}, 2, idx, {2.0, 1}));
-  EXPECT_FALSE(PracticalDtrsDiversityHolds({1, 2, 3}, 2, idx, {1.0, 1}));
+  EXPECT_TRUE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3}, 2, idx, {2.0, 1}));
+  EXPECT_FALSE(PracticalDtrsDiversityHolds(std::vector<TokenId>{1, 2, 3}, 2, idx, {1.0, 1}));
 }
 
 TEST(SideInfoThresholdTest, Theorem62Formula) {
@@ -186,11 +186,11 @@ TEST(SideInfoThresholdTest, Theorem62Formula) {
   idx.Set(3, 200);
   idx.Set(4, 300);
   // q_M = 2, |r| = 4 => threshold 2.
-  EXPECT_EQ(SideInfoThreshold({1, 2, 3, 4}, idx), 2u);
+  EXPECT_EQ(SideInfoThreshold(std::vector<TokenId>{1, 2, 3, 4}, idx), 2u);
   // Homogeneous: threshold 0 (already knowable).
   HtIndex homo;
   for (TokenId t : {1, 2}) homo.Set(t, 7);
-  EXPECT_EQ(SideInfoThreshold({1, 2}, homo), 0u);
+  EXPECT_EQ(SideInfoThreshold(std::vector<TokenId>{1, 2}, homo), 0u);
 }
 
 TEST(DtrsTest, CapsAreReported) {

@@ -19,7 +19,7 @@ TEST(HomogeneityTest, PaperExample1FirstSolution) {
   HtIndex idx;
   idx.Set(1, 100);  // h1
   idx.Set(3, 100);  // h1
-  auto report = ProbeHomogeneity({1, 3}, {}, idx);
+  auto report = ProbeHomogeneity(std::vector<TokenId>{1, 3}, {}, idx);
   EXPECT_TRUE(report.ht_determined);
   EXPECT_EQ(report.distinct_hts, 1u);
   EXPECT_DOUBLE_EQ(report.top_ht_confidence, 1.0);
@@ -33,11 +33,11 @@ TEST(HomogeneityTest, PaperSection24EliminationThenHomogeneity) {
   idx.Set(3, 100);
   idx.Set(2, 200);
   idx.Set(4, 300);
-  auto no_elim = ProbeHomogeneity({1, 2, 3, 4}, {}, idx);
+  auto no_elim = ProbeHomogeneity(std::vector<TokenId>{1, 2, 3, 4}, {}, idx);
   EXPECT_FALSE(no_elim.ht_determined);
   EXPECT_DOUBLE_EQ(no_elim.top_ht_confidence, 0.5);
 
-  auto with_elim = ProbeHomogeneity({1, 2, 3, 4}, {2, 4}, idx);
+  auto with_elim = ProbeHomogeneity(std::vector<TokenId>{1, 2, 3, 4}, {2, 4}, idx);
   EXPECT_TRUE(with_elim.ht_determined);
   EXPECT_EQ(with_elim.surviving, (std::vector<TokenId>{1, 3}));
 }
@@ -45,7 +45,7 @@ TEST(HomogeneityTest, PaperSection24EliminationThenHomogeneity) {
 TEST(HomogeneityTest, EmptySurvivorsIsSafeDegenerate) {
   HtIndex idx;
   idx.Set(1, 100);
-  auto report = ProbeHomogeneity({1}, {1}, idx);
+  auto report = ProbeHomogeneity(std::vector<TokenId>{1}, {1}, idx);
   EXPECT_TRUE(report.surviving.empty());
   EXPECT_FALSE(report.ht_determined);
   EXPECT_EQ(report.top_ht_confidence, 0.0);
@@ -57,7 +57,7 @@ TEST(HomogeneityTest, ConfidenceTracksDominantHt) {
   idx.Set(2, 100);
   idx.Set(3, 100);
   idx.Set(4, 200);
-  auto report = ProbeHomogeneity({1, 2, 3, 4}, {}, idx);
+  auto report = ProbeHomogeneity(std::vector<TokenId>{1, 2, 3, 4}, {}, idx);
   EXPECT_FALSE(report.ht_determined);
   EXPECT_EQ(report.distinct_hts, 2u);
   EXPECT_EQ(report.top_ht_frequency, 3);

@@ -42,8 +42,10 @@ TEST(BfsTest, PaperExample1FindsGoodSolution) {
   idx.Set(4, 300);
   SelectionInput input;
   input.target = 3;
-  input.universe = {1, 2, 3, 4};
-  input.history = {View(1, {1, 2}), View(2, {1, 2})};
+  std::vector<TokenId> universe = {1, 2, 3, 4};
+  std::vector<RsView> history = {View(1, {1, 2}), View(2, {1, 2})};
+  input.universe = universe;
+  input.history = history;
   input.requirement = {2.0, 2};
   input.index = &idx;
   common::Rng rng(1);
@@ -59,7 +61,8 @@ TEST(BfsTest, ReturnsMinimumSizeSolution) {
   chain::HtIndex idx = IdentityIndex(1, 6);
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3, 4, 5, 6};
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6};
+  input.universe = universe;
   input.requirement = {2.0, 2};
   input.index = &idx;
   common::Rng rng(1);
@@ -73,8 +76,10 @@ TEST(BfsTest, ResultPassesExactNonEliminationCheck) {
   chain::HtIndex idx = IdentityIndex(1, 8);
   SelectionInput input;
   input.target = 5;
-  input.universe = {1, 2, 3, 4, 5, 6, 7, 8};
-  input.history = {View(0, {1, 2}), View(1, {2, 3})};
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<RsView> history = {View(0, {1, 2}), View(1, {2, 3})};
+  input.universe = universe;
+  input.history = history;
   input.requirement = {2.0, 2};
   input.index = &idx;
   common::Rng rng(1);
@@ -83,7 +88,7 @@ TEST(BfsTest, ResultPassesExactNonEliminationCheck) {
   ASSERT_TRUE(result.ok());
 
   // Re-run the adversary on history + the new RS: nothing eliminated.
-  std::vector<RsView> after = input.history;
+  std::vector<RsView> after = history;
   after.push_back(View(99, result->members, input.requirement));
   auto analysis = analysis::ChainReactionAnalyzer::Analyze(after);
   EXPECT_TRUE(analysis.NoTokenEliminated());
@@ -96,7 +101,8 @@ TEST(BfsTest, RespectsDiversityRequirement) {
   for (TokenId t = 5; t <= 8; ++t) idx.Set(t, static_cast<chain::TxId>(t));
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6, 7, 8};
+  input.universe = universe;
   input.requirement = {1.5, 2};
   input.index = &idx;
   common::Rng rng(1);
@@ -112,7 +118,8 @@ TEST(BfsTest, UnsatisfiableWhenUniverseTooHomogeneous) {
   for (TokenId t = 1; t <= 4; ++t) idx.Set(t, 100);
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3, 4};
+  std::vector<TokenId> universe = {1, 2, 3, 4};
+  input.universe = universe;
   input.requirement = {1.0, 2};
   input.index = &idx;
   common::Rng rng(1);
@@ -125,7 +132,9 @@ TEST(BfsTest, UniverseCapRejectsHugeInstances) {
   chain::HtIndex idx = IdentityIndex(1, 30);
   SelectionInput input;
   input.target = 1;
-  for (TokenId t = 1; t <= 30; ++t) input.universe.push_back(t);
+  std::vector<TokenId> universe;
+  for (TokenId t = 1; t <= 30; ++t) universe.push_back(t);
+  input.universe = universe;
   input.requirement = {2.0, 2};
   input.index = &idx;
   BfsSelector::Options options;
@@ -142,7 +151,9 @@ TEST(BfsTest, BudgetExpiryReturnsTimeout) {
   for (TokenId t = 1; t <= 18; ++t) idx.Set(t, 100);  // single HT
   SelectionInput input;
   input.target = 1;
-  for (TokenId t = 1; t <= 18; ++t) input.universe.push_back(t);
+  std::vector<TokenId> universe;
+  for (TokenId t = 1; t <= 18; ++t) universe.push_back(t);
+  input.universe = universe;
   input.requirement = {1.0, 2};
   input.index = &idx;
   BfsSelector::Options options;
@@ -161,7 +172,9 @@ TEST(BfsTest, MatchesPracticalSelectorsOnEasyInstance) {
   chain::HtIndex idx = IdentityIndex(1, 10);
   SelectionInput input;
   input.target = 2;
-  for (TokenId t = 1; t <= 10; ++t) input.universe.push_back(t);
+  std::vector<TokenId> universe;
+  for (TokenId t = 1; t <= 10; ++t) universe.push_back(t);
+  input.universe = universe;
   input.requirement = {1.5, 3};
   input.index = &idx;
   common::Rng rng(1);

@@ -38,8 +38,9 @@ TEST(EffectiveRequirementTest, StrictModeBumpsEll) {
 }
 
 TEST(MaterializeCandidateTest, UnionsAndSorts) {
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4, 5},
-                                  {View(0, {3, 4}), View(1, {1, 2})});
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5};
+  std::vector<RsView> history = {View(0, {3, 4}), View(1, {1, 2})};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   size_t m34 = mu->ModuleOfToken(3);
   size_t m12 = mu->ModuleOfToken(1);
@@ -52,7 +53,8 @@ TEST(CandidateSubsetCountTest, CountsItselfPlusCoveredRs) {
   std::vector<RsView> history = {View(0, {1, 2}, {1.0, 1}),
                                  View(1, {1, 2, 3}, {1.0, 1}),
                                  View(2, {4, 5}, {1.0, 1})};
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4, 5, 6}, history);
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   size_t m123 = mu->ModuleOfToken(1);  // super RS with v=2
   size_t m45 = mu->ModuleOfToken(4);   // super RS with v=1
@@ -67,7 +69,8 @@ TEST(CheckCandidateTest, DiversityViolationDetected) {
   // Two tokens, same HT.
   idx.Set(1, 100);
   idx.Set(2, 100);
-  auto mu = ModuleUniverse::Build({1, 2}, {});
+  std::vector<TokenId> universe = {1, 2};
+  auto mu = ModuleUniverse::Build(universe, {});
   ASSERT_TRUE(mu.ok());
   EligibilityPolicy policy;
   policy.strict_dtrs = false;
@@ -80,7 +83,8 @@ TEST(CheckCandidateTest, DiversityViolationDetected) {
 
 TEST(CheckCandidateTest, EligibleWhenDiverse) {
   chain::HtIndex idx = IdentityIndex({1, 2, 3, 4});
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4}, {});
+  std::vector<TokenId> universe = {1, 2, 3, 4};
+  auto mu = ModuleUniverse::Build(universe, {});
   ASSERT_TRUE(mu.ok());
   EligibilityPolicy policy;
   policy.strict_dtrs = false;
@@ -94,7 +98,8 @@ TEST(CheckCandidateTest, EligibleWhenDiverse) {
 
 TEST(CheckCandidateTest, StrictModeIsStricter) {
   chain::HtIndex idx = IdentityIndex({1, 2, 3});
-  auto mu = ModuleUniverse::Build({1, 2, 3}, {});
+  std::vector<TokenId> universe = {1, 2, 3};
+  auto mu = ModuleUniverse::Build(universe, {});
   ASSERT_TRUE(mu.ok());
   std::vector<size_t> all = {mu->ModuleOfToken(1), mu->ModuleOfToken(2),
                              mu->ModuleOfToken(3)};
@@ -115,7 +120,8 @@ TEST(CheckCandidateTest, ExplicitDtrsCheckCatchesViolations) {
   chain::HtIndex idx = IdentityIndex({1, 2, 3});
   std::vector<RsView> history = {View(0, {1, 2, 3}), View(1, {1, 2, 3}),
                                  View(2, {1, 2, 3})};
-  auto mu = ModuleUniverse::Build({1, 2, 3}, history);
+  std::vector<TokenId> universe = {1, 2, 3};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   std::vector<size_t> chosen = {mu->ModuleOfToken(1)};
   EligibilityPolicy policy;
@@ -142,7 +148,8 @@ TEST(CheckCandidateTest, ImmutabilityCheckProtectsCoveredRs) {
   idx.Set(3, 300);
   idx.Set(4, 400);
   std::vector<RsView> history = {View(0, {1, 2}, {1.0, 1})};
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4}, history);
+  std::vector<TokenId> universe = {1, 2, 3, 4};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   std::vector<size_t> chosen = {mu->ModuleOfToken(1), mu->ModuleOfToken(3),
                                 mu->ModuleOfToken(4)};

@@ -21,6 +21,8 @@ RsView View(chain::RsId id, std::vector<TokenId> members) {
 struct Fixture {
   chain::HtIndex index;
   SelectionInput input;
+  std::vector<TokenId> universe;
+  std::vector<RsView> history;
 
   Fixture() {
     // Two super RSs {1,2},{3,4} + fresh tokens 5,6; HTs: 1,2 share h1;
@@ -32,8 +34,10 @@ struct Fixture {
     index.Set(5, 500);
     index.Set(6, 600);
     input.target = 5;
-    input.universe = {1, 2, 3, 4, 5, 6};
-    input.history = {View(0, {1, 2}), View(1, {3, 4})};
+    universe = {1, 2, 3, 4, 5, 6};
+    history = {View(0, {1, 2}), View(1, {3, 4})};
+    input.universe = universe;
+    input.history = history;
     input.requirement = {2.0, 2};
     input.index = &index;
     input.policy.strict_dtrs = false;
@@ -92,8 +96,8 @@ TEST(ChooseUnchooseTest, SharedHtSurvivesRemoval) {
   index.Set(3, 300);
   SelectionInput input;
   input.target = 3;
-  input.universe = {1, 2, 3};
-  input.history = {};
+  std::vector<TokenId> universe = {1, 2, 3};
+  input.universe = universe;
   input.requirement = {2.0, 1};
   input.index = &index;
   auto state = InitModuleState(input);

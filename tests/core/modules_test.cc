@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/context.h"
+#include "common/rng.h"
+
 namespace tokenmagic::core {
 namespace {
 
@@ -45,7 +48,8 @@ TEST(ModuleUniverseTest, PaperSection61Example) {
 }
 
 TEST(ModuleUniverseTest, EmptyHistoryIsAllFresh) {
-  auto mu = ModuleUniverse::Build({1, 2, 3}, {});
+  std::vector<TokenId> universe = {1, 2, 3};
+  auto mu = ModuleUniverse::Build(universe, {});
   ASSERT_TRUE(mu.ok());
   EXPECT_EQ(mu->FreshModuleIndices().size(), 3u);
   EXPECT_TRUE(mu->SuperRsModuleIndices().empty());
@@ -53,14 +57,17 @@ TEST(ModuleUniverseTest, EmptyHistoryIsAllFresh) {
 
 TEST(ModuleUniverseTest, RejectsPartialOverlap) {
   // {1,2} and {2,3} violate the first practical configuration.
-  auto mu = ModuleUniverse::Build({1, 2, 3},
-                                  {View(0, {1, 2}), View(1, {2, 3})});
+  std::vector<TokenId> universe = {1, 2, 3};
+  std::vector<RsView> history = {View(0, {1, 2}), View(1, {2, 3})};
+  auto mu = ModuleUniverse::Build(universe, history);
   EXPECT_FALSE(mu.ok());
   EXPECT_TRUE(mu.status().IsInvalidArgument());
 }
 
 TEST(ModuleUniverseTest, RejectsTokensOutsideUniverse) {
-  auto mu = ModuleUniverse::Build({1, 2}, {View(0, {1, 2, 99})});
+  std::vector<TokenId> universe = {1, 2};
+  std::vector<RsView> history = {View(0, {1, 2, 99})};
+  auto mu = ModuleUniverse::Build(universe, history);
   EXPECT_FALSE(mu.ok());
   EXPECT_TRUE(mu.status().IsInvalidArgument());
 }
@@ -69,7 +76,8 @@ TEST(ModuleUniverseTest, NestedChainsCollapseToLatestSuper) {
   // r0 ⊂ r1 ⊂ r2: only r2 is a super RS, with subset count 3.
   std::vector<RsView> history = {View(0, {1}, 1), View(1, {1, 2}, 2),
                                  View(2, {1, 2, 3}, 3)};
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4}, history);
+  std::vector<TokenId> universe = {1, 2, 3, 4};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   auto supers = mu->SuperRsModuleIndices();
   ASSERT_EQ(supers.size(), 1u);
@@ -83,7 +91,8 @@ TEST(ModuleUniverseTest, EqualSetsLaterWins) {
   // Two identical RSs: the later one is the super RS (Def. 7 excludes an
   // RS that a later superset covers; ⊇ includes equality).
   std::vector<RsView> history = {View(0, {1, 2}, 1), View(1, {1, 2}, 2)};
-  auto mu = ModuleUniverse::Build({1, 2}, history);
+  std::vector<TokenId> universe = {1, 2};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   auto supers = mu->SuperRsModuleIndices();
   ASSERT_EQ(supers.size(), 1u);
@@ -93,7 +102,8 @@ TEST(ModuleUniverseTest, EqualSetsLaterWins) {
 
 TEST(ModuleUniverseTest, ModuleOfTokenCoversEveryToken) {
   std::vector<RsView> history = {View(0, {1, 2}), View(1, {3, 4, 5})};
-  auto mu = ModuleUniverse::Build({1, 2, 3, 4, 5, 6, 7}, history);
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5, 6, 7};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   for (TokenId t : {1, 2, 3, 4, 5, 6, 7}) {
     size_t index = mu->ModuleOfToken(t);
@@ -103,9 +113,108 @@ TEST(ModuleUniverseTest, ModuleOfTokenCoversEveryToken) {
   }
 }
 
+void ExpectSameUniverse(const ModuleUniverse& legacy,
+                        const ModuleUniverse& fast, int trial) {
+  ASSERT_EQ(legacy.module_count(), fast.module_count()) << "trial " << trial;
+  EXPECT_EQ(legacy.token_count(), fast.token_count()) << "trial " << trial;
+  for (size_t i = 0; i < legacy.module_count(); ++i) {
+    const Module& a = legacy.module(i);
+    const Module& b = fast.module(i);
+    EXPECT_EQ(a.index, b.index) << "trial " << trial << " module " << i;
+    EXPECT_EQ(a.is_fresh, b.is_fresh) << "trial " << trial << " module " << i;
+    EXPECT_EQ(a.super_rs, b.super_rs) << "trial " << trial << " module " << i;
+    EXPECT_EQ(a.tokens, b.tokens) << "trial " << trial << " module " << i;
+    EXPECT_EQ(a.subset_count, b.subset_count)
+        << "trial " << trial << " module " << i;
+    EXPECT_EQ(legacy.SubsetRsOf(i), fast.SubsetRsOf(i))
+        << "trial " << trial << " module " << i;
+  }
+  for (size_t i = 0; i < legacy.module_count(); ++i) {
+    for (TokenId t : legacy.module(i).tokens) {
+      EXPECT_EQ(legacy.ModuleOfToken(t), fast.ModuleOfToken(t))
+          << "trial " << trial << " token " << t;
+    }
+  }
+}
+
+// The context-aware Build replaces the O(|history|²) configuration check
+// and the per-super subset scans with inverted-index walks; the output
+// must be byte-identical to the legacy path on random laminar histories.
+TEST(ModuleUniverseTest, ContextBuildMatchesLegacyOnRandomHistories) {
+  common::Rng rng(20260806);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t num_tokens = 6 + rng.NextBounded(30);
+    std::vector<TokenId> universe;
+    chain::HtIndex index;
+    for (TokenId t = 0; t < static_cast<TokenId>(num_tokens); ++t) {
+      universe.push_back(t);
+      index.Set(t, 100 + rng.NextBounded(5));
+    }
+
+    // Laminar history: partition the tokens into groups, then grow a
+    // nested prefix chain inside each group so later RSs are supersets.
+    std::vector<RsView> history;
+    RsId next_id = 5;
+    TokenId cursor = 0;
+    while (cursor < static_cast<TokenId>(num_tokens)) {
+      size_t group = 1 + rng.NextBounded(5);
+      group = std::min<size_t>(group, num_tokens - cursor);
+      size_t chain_len = rng.NextBounded(4);
+      for (size_t c = 0; c < chain_len; ++c) {
+        size_t prefix = 1 + rng.NextBounded(group);
+        std::vector<TokenId> members;
+        for (size_t k = 0; k < prefix; ++k) {
+          members.push_back(cursor + static_cast<TokenId>(k));
+        }
+        history.push_back(View(next_id, members,
+                               static_cast<chain::Timestamp>(
+                                   1 + rng.NextBounded(6))));
+        next_id += 2;
+      }
+      cursor += static_cast<TokenId>(group);
+    }
+
+    auto legacy = ModuleUniverse::Build(universe, history);
+    ASSERT_TRUE(legacy.ok()) << "trial " << trial;
+    analysis::AnalysisContext context =
+        analysis::AnalysisContext::Build(history, &index, universe);
+    auto fast = ModuleUniverse::Build(universe, history, context);
+    ASSERT_TRUE(fast.ok()) << "trial " << trial;
+    ExpectSameUniverse(*legacy, *fast, trial);
+  }
+}
+
+TEST(ModuleUniverseTest, ContextBuildRejectsLikeLegacy) {
+  // Partial overlap: the fast path detects it via the inverted index and
+  // defers to the pairwise scan, so the diagnostics match exactly.
+  std::vector<TokenId> universe = {1, 2, 3};
+  std::vector<RsView> history = {View(0, {1, 2}), View(1, {2, 3})};
+  analysis::AnalysisContext context =
+      analysis::AnalysisContext::Build(history, nullptr, universe);
+  auto legacy = ModuleUniverse::Build(universe, history);
+  auto fast = ModuleUniverse::Build(universe, history, context);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_TRUE(fast.status().IsInvalidArgument());
+  EXPECT_EQ(legacy.status().message(), fast.status().message());
+
+  // Token outside the universe.
+  std::vector<TokenId> small_universe = {1, 2};
+  std::vector<RsView> outside = {View(0, {1, 2, 99})};
+  analysis::AnalysisContext outside_context =
+      analysis::AnalysisContext::Build(outside, nullptr, small_universe);
+  auto legacy_outside = ModuleUniverse::Build(small_universe, outside);
+  auto fast_outside =
+      ModuleUniverse::Build(small_universe, outside, outside_context);
+  ASSERT_FALSE(fast_outside.ok());
+  EXPECT_TRUE(fast_outside.status().IsInvalidArgument());
+  EXPECT_EQ(legacy_outside.status().message(),
+            fast_outside.status().message());
+}
+
 TEST(ModuleUniverseTest, ModuleIndicesAreDense) {
   std::vector<RsView> history = {View(0, {1, 2})};
-  auto mu = ModuleUniverse::Build({1, 2, 3}, history);
+  std::vector<TokenId> universe = {1, 2, 3};
+  auto mu = ModuleUniverse::Build(universe, history);
   ASSERT_TRUE(mu.ok());
   for (size_t i = 0; i < mu->module_count(); ++i) {
     EXPECT_EQ(mu->module(i).index, i);

@@ -22,7 +22,8 @@ SelectionInput TwoHtInput(const chain::HtIndex* idx,
                           DiversityRequirement req) {
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3, 4, 5, 6};
+  static const std::vector<TokenId> kUniverse = {1, 2, 3, 4, 5, 6};
+  input.universe = kUniverse;
   input.requirement = req;
   input.index = idx;
   input.policy.strict_dtrs = false;
@@ -79,7 +80,8 @@ TEST(RelaxingTest, UnsatisfiableAtFloorIsReported) {
   for (TokenId t = 1; t <= 3; ++t) idx.Set(t, 100);
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3};
+  std::vector<TokenId> universe = {1, 2, 3};
+  input.universe = universe;
   input.requirement = {0.5, 4};
   input.index = &idx;
   input.policy.strict_dtrs = false;
@@ -121,7 +123,8 @@ TEST(RelaxingTest, NonUnsatisfiableErrorsPassThrough) {
   RelaxingSelector relaxing(&inner);
   SelectionInput input;  // missing index -> InvalidArgument
   input.target = 1;
-  input.universe = {1};
+  std::vector<TokenId> universe = {1};
+  input.universe = universe;
   common::Rng rng(1);
   auto result = relaxing.Select(input, &rng);
   EXPECT_FALSE(result.ok());

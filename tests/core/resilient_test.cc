@@ -36,13 +36,15 @@ RsView View(chain::RsId id, std::vector<TokenId> members) {
 struct RandomInstance {
   SelectionInput input;
   chain::HtIndex index;
+  std::vector<TokenId> universe;
+  std::vector<RsView> history;
 
   explicit RandomInstance(common::Rng* rng) {
     const size_t num_tokens = 12 + rng->NextBounded(10);
     const size_t num_hts = 3 + rng->NextBounded(5);
     for (TokenId t = 1; t <= static_cast<TokenId>(num_tokens); ++t) {
       index.Set(t, 1 + rng->NextBounded(num_hts));
-      input.universe.push_back(t);
+      universe.push_back(t);
     }
     chain::RsId id = 1;
     TokenId t = 1;
@@ -53,8 +55,10 @@ struct RandomInstance {
            i < size && t <= static_cast<TokenId>(num_tokens); ++i) {
         members.push_back(t++);
       }
-      input.history.push_back(View(id++, std::move(members)));
+      history.push_back(View(id++, std::move(members)));
     }
+    input.universe = universe;
+    input.history = history;
     input.target = 1 + rng->NextBounded(num_tokens);
     input.requirement = {1.0 + rng->NextDouble(),
                          2 + static_cast<int>(rng->NextBounded(4))};
@@ -72,17 +76,21 @@ struct RandomInstance {
 struct HardInstance {
   SelectionInput input;
   chain::HtIndex index;
+  std::vector<TokenId> universe;
+  std::vector<RsView> history;
 
   HardInstance() {
     const size_t num_tokens = 24;
     for (TokenId t = 1; t <= static_cast<TokenId>(num_tokens); ++t) {
       index.Set(t, 1 + (t - 1) % 6);
-      input.universe.push_back(t);
+      universe.push_back(t);
     }
     chain::RsId id = 1;
     for (TokenId t = 1; t <= static_cast<TokenId>(num_tokens); t += 3) {
-      input.history.push_back(View(id++, {t, t + 1, t + 2}));
+      history.push_back(View(id++, {t, t + 1, t + 2}));
     }
+    input.universe = universe;
+    input.history = history;
     input.target = 1;
     input.requirement = {1.0, 10};
     input.index = &index;

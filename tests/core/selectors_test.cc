@@ -30,6 +30,8 @@ RsView View(chain::RsId id, std::vector<TokenId> members) {
 struct Example3 {
   SelectionInput input;
   chain::HtIndex index;
+  std::vector<TokenId> universe;
+  std::vector<RsView> history;
 
   Example3() {
     index.Set(1, 1);
@@ -49,9 +51,11 @@ struct Example3 {
     index.Set(12, 5);
 
     input.target = 11;
-    for (TokenId t = 1; t <= 15; ++t) input.universe.push_back(t);
-    input.history = {View(1, {1, 2, 3, 4, 5, 6}), View(2, {7, 8, 9, 10}),
-                     View(3, {11, 12}), View(4, {13, 14, 15})};
+    for (TokenId t = 1; t <= 15; ++t) universe.push_back(t);
+    history = {View(1, {1, 2, 3, 4, 5, 6}), View(2, {7, 8, 9, 10}),
+               View(3, {11, 12}), View(4, {13, 14, 15})};
+    input.universe = universe;
+    input.history = history;
     input.requirement = {1.0, 4};
     input.index = &index;
     // The worked example applies the raw requirement with no extra
@@ -149,7 +153,8 @@ TEST(SelectorsTest, UnsatisfiableUniverseReported) {
   for (TokenId t = 1; t <= 5; ++t) idx.Set(t, 1);
   SelectionInput input;
   input.target = 1;
-  input.universe = {1, 2, 3, 4, 5};
+  std::vector<TokenId> universe = {1, 2, 3, 4, 5};
+  input.universe = universe;
   input.requirement = {1.0, 4};
   input.index = &idx;
   input.policy.strict_dtrs = false;
@@ -172,7 +177,8 @@ TEST(SelectorsTest, TargetOutsideUniverseIsInvalid) {
   idx.Set(1, 1);
   SelectionInput input;
   input.target = 99;
-  input.universe = {1};
+  std::vector<TokenId> universe = {1};
+  input.universe = universe;
   input.requirement = {1.0, 1};
   input.index = &idx;
   common::Rng rng(1);
@@ -183,7 +189,8 @@ TEST(SelectorsTest, TargetOutsideUniverseIsInvalid) {
 TEST(SelectorsTest, MissingIndexIsInvalid) {
   SelectionInput input;
   input.target = 1;
-  input.universe = {1};
+  std::vector<TokenId> universe = {1};
+  input.universe = universe;
   common::Rng rng(1);
   ProgressiveSelector selector;
   EXPECT_TRUE(selector.Select(input, &rng).status().IsInvalidArgument());
@@ -197,8 +204,11 @@ TEST(SmallestTest, PrefersSmallModules) {
   }
   SelectionInput input;
   input.target = 1;
-  for (TokenId t = 1; t <= 10; ++t) input.universe.push_back(t);
-  input.history = {View(0, {5, 6, 7, 8, 9, 10})};  // one big super RS
+  std::vector<TokenId> universe;
+  for (TokenId t = 1; t <= 10; ++t) universe.push_back(t);
+  input.universe = universe;
+  std::vector<RsView> history = {View(0, {5, 6, 7, 8, 9, 10})};
+  input.history = history;  // one big super RS
   input.requirement = {2.0, 3};
   input.index = &idx;
   input.policy.strict_dtrs = false;
@@ -225,10 +235,12 @@ TEST(RandomTest, IsSeedDeterministic) {
 TEST(MoneroSelectorTest, ProducesFixedSizeRing) {
   chain::HtIndex idx;
   SelectionInput input;
+  std::vector<TokenId> universe;
   for (TokenId t = 0; t < 100; ++t) {
     idx.Set(t, static_cast<TxId>(t / 2));
-    input.universe.push_back(t);
+    universe.push_back(t);
   }
+  input.universe = universe;
   input.target = 50;
   input.index = &idx;
   common::Rng rng(3);
@@ -250,10 +262,13 @@ TEST(GameTheoreticTest, FallsBackToFeasibleProfileOnNonMonotoneInstance) {
   for (TokenId t = 0; t < 12; ++t) idx.Set(t, 0);
   for (TokenId t = 12; t < 20; ++t) idx.Set(t, static_cast<TxId>(t));
   SelectionInput input;
-  for (TokenId t = 0; t < 20; ++t) input.universe.push_back(t);
+  std::vector<TokenId> universe;
+  for (TokenId t = 0; t < 20; ++t) universe.push_back(t);
+  input.universe = universe;
   // One super RS holding most of the dominant-HT tokens so choosing it
   // wrecks diversity.
-  input.history = {View(0, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9})};
+  std::vector<RsView> history = {View(0, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9})};
+  input.history = history;
   input.target = 12;
   input.requirement = {1.0, 4};
   input.index = &idx;
@@ -275,10 +290,12 @@ TEST(GameTheoreticTest, FallsBackToFeasibleProfileOnNonMonotoneInstance) {
 TEST(MoneroSelectorTest, SmallUniverseUnsatisfiable) {
   chain::HtIndex idx;
   SelectionInput input;
+  std::vector<TokenId> universe;
   for (TokenId t = 0; t < 5; ++t) {
     idx.Set(t, 0);
-    input.universe.push_back(t);
+    universe.push_back(t);
   }
+  input.universe = universe;
   input.target = 0;
   input.index = &idx;
   common::Rng rng(3);

@@ -47,6 +47,14 @@ Checks
    deterministically testable; audited exceptions carry a
    `tm-lint: clock-ok(<reason>)` annotation on the same line or within
    the two preceding lines.
+
+7. History-span hygiene: `std::vector<chain::RsView>` is banned in the
+   src/core/ and src/analysis/ API surface (headers). Read paths take
+   `std::span<const chain::RsView>` (or an analysis::AnalysisContext) so
+   one interned batch snapshot is shared instead of copied per call;
+   legitimate owning storage (snapshot owners, incremental state) carries
+   a `tm-lint: history-ok(<reason>)` annotation on the same line or
+   within the two preceding lines.
 """
 
 from __future__ import annotations
@@ -75,6 +83,7 @@ FLOAT_BANNED_FILES = {
     "analysis/related_set.h", "analysis/related_set.cc",
     "analysis/chain_reaction.h", "analysis/chain_reaction.cc",
     "analysis/incremental.h", "analysis/incremental.cc",
+    "analysis/context.h", "analysis/context.cc",
     "chain/ht_index.h", "chain/ht_index.cc",
 }
 
@@ -99,6 +108,8 @@ CLOCK_RE = re.compile(
     r'\b(?:std::chrono::)?'
     r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
 CLOCK_OK_RE = re.compile(r'tm-lint:\s*clock-ok\(')
+HISTORY_VEC_RE = re.compile(r'std::vector<\s*(?:chain::)?RsView\s*>')
+HISTORY_OK_RE = re.compile(r'tm-lint:\s*history-ok\(')
 
 
 class Linter:
@@ -231,6 +242,24 @@ class Linter:
                        "annotate an audited use with "
                        "'tm-lint: clock-ok(<reason>)'")
 
+    def check_history_span(self, path: pathlib.Path, code: list[str],
+                           raw: list[str]) -> None:
+        rel = path.relative_to(self.src)
+        if rel.parts[0] not in ("core", "analysis") or path.suffix != ".h":
+            return
+        for i, line in enumerate(code, start=1):
+            if not HISTORY_VEC_RE.search(line):
+                continue
+            window = raw[max(0, i - 3):i]  # this line + two above
+            if any(HISTORY_OK_RE.search(w) for w in window):
+                continue
+            self.error(path, i,
+                       "by-value RsView history in the core/analysis API "
+                       "surface; take std::span<const chain::RsView> (or "
+                       "an AnalysisContext) so the batch snapshot is "
+                       "shared, or annotate owning storage with "
+                       "'tm-lint: history-ok(<reason>)'")
+
     def check_constant_time(self) -> None:
         lsag = self.src / "crypto" / "lsag.cc"
         secp = self.src / "crypto" / "secp256k1.cc"
@@ -303,6 +332,7 @@ class Linter:
             self.check_float_ban(path, code, raw)
             self.check_nodiscard(path, code)
             self.check_clock_hygiene(path, code, raw)
+            self.check_history_span(path, code, raw)
         self.check_constant_time()
 
         if self.errors:
