@@ -9,14 +9,32 @@
 #                            e.g. -DTOKENMAGIC_SANITIZE=address,undefined
 #   TOKENMAGIC_WERROR        treat warnings as errors
 #   TOKENMAGIC_CLANG_TIDY    run clang-tidy (when found) on targets that
-#                            request it (crypto, analysis)
+#                            request it (crypto, analysis, core, node, sim)
+#   TOKENMAGIC_COVERAGE      clang source-based coverage instrumentation
+#                            (-fprofile-instr-generate -fcoverage-mapping)
+#                            for the llvm-cov CI lane
+#
+# Clang builds additionally get -Wthread-safety: the capability annotations
+# in src/common/annotations.h (TM_GUARDED_BY et al.) are statically checked
+# on every clang compile, and escalate to errors under TOKENMAGIC_WERROR.
+# GCC has no thread-safety analysis, so the flag is compiler-gated; the
+# annotations themselves compile away (see annotations.h).
 
 include_guard(GLOBAL)
 
 set(TOKENMAGIC_SANITIZE "" CACHE STRING
     "Comma-separated sanitizers: address,undefined,leak,thread,memory")
 option(TOKENMAGIC_CLANG_TIDY
-       "Run clang-tidy on crypto/analysis targets when available" OFF)
+       "Run clang-tidy on annotated targets when available" OFF)
+option(TOKENMAGIC_COVERAGE
+       "Clang source-based coverage instrumentation (llvm-cov)" OFF)
+
+if(TOKENMAGIC_COVERAGE AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+      "TOKENMAGIC_COVERAGE uses clang source-based coverage "
+      "(-fprofile-instr-generate); current compiler is "
+      "${CMAKE_CXX_COMPILER_ID}. For GCC use gcov directly.")
+endif()
 
 # ---------------------------------------------------------------------------
 # Validate the requested sanitizer combination once, up front.
@@ -88,6 +106,17 @@ function(tokenmagic_configure_target target)
   cmake_parse_arguments(ARG "TIDY" "" "" ${ARGN})
 
   target_compile_options(${target} PRIVATE -Wall -Wextra)
+  # Clang statically checks the TM_* capability annotations on every build;
+  # under -Werror an unguarded access to a TM_GUARDED_BY member fails the
+  # compile. GCC ignores the attributes (annotations.h compiles them away).
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    target_compile_options(${target} PRIVATE -Wthread-safety)
+  endif()
+  if(TOKENMAGIC_COVERAGE)
+    target_compile_options(${target} PRIVATE
+        -fprofile-instr-generate -fcoverage-mapping)
+    target_link_options(${target} PRIVATE -fprofile-instr-generate)
+  endif()
   # GCC 12+ -Wmaybe-uninitialized false-positives on std::variant/optional
   # members when destructors get inlined at -O2 (e.g. GCC PR105562); it fires
   # inside libstdc++ headers for Result<T> and cannot be fixed in our source.

@@ -498,6 +498,8 @@ class DenseCascade {
     return result;
   }
 
+  // tm-borrows(caller): the engine lives only for one Cascade() call;
+  // the context outlives it by construction.
   const AnalysisContext& ctx_;
   const Local m_;
   const Local n_;

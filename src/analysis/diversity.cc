@@ -18,17 +18,16 @@ namespace {
 // DTRS count. Any finite double c is exactly the dyadic rational m * 2^e
 // (53-bit integer m), so the comparison q1 ? c*tail becomes the integer
 // comparison q1 * 2^-e ? m * tail, done in 128 bits with saturation.
-int CompareSlackExact(int64_t q1, double c /* tm-lint: float-ok(decomposed
-                      into an exact dyadic rational below) */,
-                      int64_t tail) {
+// tm-lint: allow(float, c is decomposed into an exact dyadic rational below)
+int CompareSlackExact(int64_t q1, double c, int64_t tail) {
   TM_CHECK(q1 >= 0 && tail >= 0);
-  TM_CHECK(std::isfinite(c) && c >= 0.0);  // tm-lint: float-ok(input check)
-  if (tail == 0 || c == 0.0) {  // tm-lint: float-ok(exact zero test)
+  TM_CHECK(std::isfinite(c) && c >= 0.0);
+  if (tail == 0 || c == 0.0) {
     return q1 > 0 ? 1 : 0;
   }
   if (q1 == 0) return -1;  // c*tail > 0 at this point
   int exp = 0;
-  // tm-lint: float-ok(frexp/ldexp are exact: c == m * 2^e with integer m)
+  // tm-lint: allow(float, frexp/ldexp are exact: c == m * 2^e, integer m)
   double frac = std::frexp(c, &exp);
   int64_t m = static_cast<int64_t>(std::ldexp(frac, 53));
   int e = exp - 53;
@@ -138,8 +137,7 @@ bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
   return SatisfiesRecursiveDiversity(HtFrequencies(tokens, context), req);
 }
 
-// tm-lint: float-ok(greedy potential only; its magnitude may round but its
-// sign is forced to agree with the exact integer comparison)
+// tm-lint: allow(float, greedy potential; sign forced to the exact verdict)
 double DiversitySlack(const std::vector<int64_t>& frequencies,
                       const chain::DiversityRequirement& req) {
   TM_CHECK(req.ell >= 1);
@@ -149,7 +147,7 @@ double DiversitySlack(const std::vector<int64_t>& frequencies,
   int64_t q1 = frequencies.front();
   int64_t tail = DiversityTail(frequencies, req.ell);
   int sign = CompareSlackExact(q1, req.c, tail);
-  // tm-lint: float-ok(display/heuristic magnitude; sign corrected below)
+  // tm-lint: allow(float, display/heuristic magnitude; sign corrected below)
   double approx =
       static_cast<double>(q1) - req.c * static_cast<double>(tail);
   // Rounding in `approx` must never contradict the exact feasibility

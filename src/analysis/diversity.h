@@ -49,7 +49,7 @@ bool SatisfiesRecursiveDiversity(std::span<const chain::TokenId> tokens,
 /// met; used as the greedy potential in the Progressive Algorithm (§6.2).
 /// The sign always matches the exact integer feasibility verdict even when
 /// the double magnitude rounds.
-// tm-lint: float-ok(greedy potential; sign is exact, magnitude may round)
+// tm-lint: allow(float, greedy potential; sign exact, magnitude may round)
 double DiversitySlack(const std::vector<int64_t>& frequencies,
                       const chain::DiversityRequirement& req);
 

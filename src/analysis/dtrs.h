@@ -46,7 +46,7 @@ class DtrsFinder {
     /// Cap on the number of SDRs materialized (0 = unlimited).
     uint64_t max_combinations = 200000;
     /// Wall-clock budget for the whole computation (0 = unlimited).
-    // tm-lint: float-ok(wall-clock budget, not DTRS counting math)
+    // tm-lint: allow(float, wall-clock budget, not DTRS counting math)
     double budget_seconds = 0.0;
     /// Cap on candidate-subset size (0 = up to family size - 1).
     size_t max_dtrs_size = 0;

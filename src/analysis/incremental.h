@@ -60,7 +60,8 @@ class IncrementalCascade {
   /// indices must be revisited (empty = all).
   void Propagate();
 
-  // tm-lint: history-ok(incremental state owns its inserted views)
+  // tm-owns: the incrementally inserted views (candidates_ indexes them).
+  // tm-lint: allow(history, incremental state owns its inserted views)
   std::vector<chain::RsView> views_;
   /// Per-RS remaining candidate spends (shrinks as spends are revealed).
   std::vector<std::vector<chain::TokenId>> remaining_;

@@ -75,7 +75,7 @@ class SdrEnumerator {
     /// Stop after this many SDRs (0 = unlimited).
     uint64_t max_results = 0;
     /// Wall-clock budget; expiry aborts with Status::Timeout.
-    // tm-lint: float-ok(wall-clock budget, not exact enumeration math)
+    // tm-lint: allow(float, wall-clock budget, not exact enumeration math)
     double budget_seconds = 0.0;
     /// Pre-forced assignments (token index per RS index, or kUnassigned).
     std::vector<size_t> forced;

@@ -1,0 +1,83 @@
+// Clang thread-safety analysis attributes (TM_GUARDED_BY & friends) and
+// the tm-analyze borrow-annotation conventions.
+//
+// The macros expand to Clang's `-Wthread-safety` capability attributes
+// when the compiler supports them and to nothing otherwise (GCC builds
+// compile the same sources unannotated). Pair them with the annotated
+// lock types in common/mutex.h — the analysis only sees acquisitions made
+// through types that carry TM_CAPABILITY/TM_ACQUIRE themselves, so a raw
+// std::mutex next to a TM_GUARDED_BY member silently disables checking.
+//
+// Static lifetime discipline (checked by tools/analyze/tm_analyze.py, the
+// AST/lexical analyzer registered as the `analyze` ctest target):
+//
+//   // tm-owns: <what>
+//       on a member declaration: this member is the owning storage other
+//       views borrow from. The member name becomes an owner id other
+//       annotations may reference.
+//
+//   // tm-borrows(<owner>): <why the owner outlives this view>
+//       on a view-typed member (std::span, std::string_view, RsView
+//       references, AnalysisContext pointers): names the dominating
+//       owner. <owner> is either `caller` (caller-owned storage whose
+//       lifetime is part of the API contract), a sibling member of the
+//       same struct declared tm-owns, or `Type::member` naming a tm-owns
+//       member of another type.
+//
+//   // tm-invalidates(<Type::member>): <what becomes stale>
+//       on a method declaration: calling this method invalidates views
+//       borrowed from that owner. tm_analyze checks the referenced owner
+//       exists and that code mutating an owner outside its declared
+//       invalidators (or lazy builder) fails the build.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TM_THREAD_ANNOTATION_IMPL(x) __has_attribute(x)
+#else
+#define TM_THREAD_ANNOTATION_IMPL(x) 0
+#endif
+
+#if TM_THREAD_ANNOTATION_IMPL(guarded_by)
+#define TM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Type attribute: instances of this type are lockable capabilities.
+#define TM_CAPABILITY(x) TM_THREAD_ANNOTATION(capability(x))
+
+/// Type attribute: RAII types that acquire in the constructor and release
+/// in the destructor.
+#define TM_SCOPED_CAPABILITY TM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member attribute: reads/writes require holding `x`.
+#define TM_GUARDED_BY(x) TM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Member attribute (pointers): the pointee is guarded by `x`.
+#define TM_PT_GUARDED_BY(x) TM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capability exclusively/shared.
+#define TM_REQUIRES(...) \
+  TM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TM_REQUIRES_SHARED(...) \
+  TM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: the function acquires/releases the capability.
+#define TM_ACQUIRE(...) TM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TM_ACQUIRE_SHARED(...) \
+  TM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define TM_RELEASE(...) TM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TM_RELEASE_SHARED(...) \
+  TM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capability (deadlock
+/// prevention for non-reentrant locks).
+#define TM_EXCLUDES(...) TM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define TM_RETURN_CAPABILITY(x) TM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions whose locking the analysis cannot follow;
+/// every use needs a comment explaining the manual audit.
+#define TM_NO_THREAD_SAFETY_ANALYSIS \
+  TM_THREAD_ANNOTATION(no_thread_safety_analysis)

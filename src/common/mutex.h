@@ -1,0 +1,90 @@
+// Annotated lock types for the thread-safety analysis layer.
+//
+// Thin wrappers over std::mutex / std::shared_mutex carrying the
+// TM_CAPABILITY attributes from common/annotations.h, so clang's
+// -Wthread-safety can prove every access to a TM_GUARDED_BY member
+// happens under its lock. libstdc++'s std lock types are unannotated —
+// using them directly next to guarded members would silently disable the
+// analysis — hence these wrappers are the only lock types first-party
+// code may use for guarded state.
+//
+// The API mirrors the std types (plus Abseil-style RAII guards) and adds
+// zero overhead: everything inlines to the underlying std call.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.h"
+
+namespace tokenmagic::common {
+
+/// Exclusive mutex. Non-reentrant.
+class TM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TM_ACQUIRE() { mu_.lock(); }
+  void Unlock() TM_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TM_THREAD_ANNOTATION(
+      try_acquire_capability(true)) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex: one exclusive writer or many shared readers.
+class TM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TM_ACQUIRE() { mu_.lock(); }
+  void Unlock() TM_RELEASE() { mu_.unlock(); }
+  void LockShared() TM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() TM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex or SharedMutex.
+template <typename MutexT>
+class TM_SCOPED_CAPABILITY BasicMutexLock {
+ public:
+  explicit BasicMutexLock(MutexT* mu) TM_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~BasicMutexLock() TM_RELEASE() { mu_->Unlock(); }
+
+  BasicMutexLock(const BasicMutexLock&) = delete;
+  BasicMutexLock& operator=(const BasicMutexLock&) = delete;
+
+ private:
+  MutexT* mu_;
+};
+
+using MutexLock = BasicMutexLock<Mutex>;
+using WriterMutexLock = BasicMutexLock<SharedMutex>;
+
+/// RAII shared (reader) lock over SharedMutex.
+class TM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) TM_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() TM_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+}  // namespace tokenmagic::common

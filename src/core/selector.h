@@ -30,8 +30,11 @@ namespace tokenmagic::core {
 struct SelectionInput {
   chain::TokenId target = chain::kInvalidToken;
   /// The mixin universe T (must contain `target`).
+  // tm-borrows(caller): points into the caller's batch snapshot, which
+  // must outlive every Select() call made with this input.
   std::span<const chain::TokenId> universe;
   /// RSs over T in proposal order (the related RS set of the batch).
+  // tm-borrows(caller): same storage contract as `universe`.
   std::span<const chain::RsView> history;
   chain::DiversityRequirement requirement;
   const chain::HtIndex* index = nullptr;
@@ -40,6 +43,8 @@ struct SelectionInput {
   /// When set, it must have been built from exactly the same history span;
   /// selectors then take the context fast paths (CSR related-set walks,
   /// dense cascade) instead of re-interning per call.
+  // tm-borrows(caller): owned by the caller's batch snapshot alongside
+  // the `history` storage it was interned from.
   const analysis::AnalysisContext* context = nullptr;
   EligibilityPolicy policy;
   /// Optional caller-owned budget. Every selector observes it: expiry is

@@ -17,30 +17,31 @@ TokenMagic::TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config)
   TM_CHECK(bc != nullptr);
 }
 
-const TokenMagic::BatchSnapshot& TokenMagic::SnapshotFor(
+std::shared_ptr<const TokenMagic::BatchSnapshot> TokenMagic::SnapshotFor(
     chain::TokenId token) const {
   const Batch& batch = batch_index_.BatchOfToken(token);
-  if (snapshot_.valid && snapshot_.batch == batch.index &&
-      snapshot_.ledger_size == ledger_.size()) {
+  common::MutexLock lock(&snapshot_mu_);
+  if (snapshot_ != nullptr && snapshot_->batch == batch.index &&
+      snapshot_->ledger_size == ledger_.size()) {
     return snapshot_;
   }
   std::unordered_set<chain::TokenId> batch_tokens(batch.tokens.begin(),
                                                   batch.tokens.end());
-  snapshot_.history.clear();
+  auto snapshot = std::make_shared<BatchSnapshot>();
   for (size_t i = 0; i < ledger_.size(); ++i) {
     const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
     // Batches are disjoint and RSs never span batches, so membership of
     // the first token decides.
     if (!view.members.empty() &&
         batch_tokens.count(view.members.front()) > 0) {
-      snapshot_.history.push_back(view);
+      snapshot->history.push_back(view);
     }
   }
-  snapshot_.context = analysis::AnalysisContext::Build(
-      snapshot_.history, &ht_index_, batch.tokens);
-  snapshot_.batch = batch.index;
-  snapshot_.ledger_size = ledger_.size();
-  snapshot_.valid = true;
+  snapshot->context = analysis::AnalysisContext::Build(
+      snapshot->history, &ht_index_, batch.tokens);
+  snapshot->batch = batch.index;
+  snapshot->ledger_size = ledger_.size();
+  snapshot_ = std::move(snapshot);
   return snapshot_;
 }
 
@@ -52,12 +53,12 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
   if (ledger_.IsSpent(target)) {
     return common::Status::AlreadyExists("token already spent");
   }
-  const BatchSnapshot& snapshot = SnapshotFor(target);
+  std::shared_ptr<const BatchSnapshot> snapshot = SnapshotFor(target);
   SelectionInput input;
   input.target = target;
   input.universe = batch_index_.MixinUniverse(target);
-  input.history = snapshot.history;
-  input.context = &snapshot.context;
+  input.history = snapshot->history;
+  input.context = &snapshot->context;
   input.requirement = req;
   input.index = &ht_index_;
   input.policy = config_.policy;
@@ -67,7 +68,7 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
 bool TokenMagic::LiquidityAllows(
     chain::TokenId target,
     const std::vector<chain::TokenId>& members) const {
-  std::vector<chain::RsView> history = SnapshotFor(target).history;
+  std::vector<chain::RsView> history = SnapshotFor(target)->history;
   chain::RsView prospective;
   prospective.id = chain::kInvalidRs - 1;
   prospective.members = members;

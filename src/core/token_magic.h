@@ -20,6 +20,8 @@
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "core/batch.h"
 #include "core/resilient.h"
 #include "core/selector.h"
@@ -99,27 +101,43 @@ class TokenMagic {
   /// interned AnalysisContext. Built once per (batch, ledger state) and
   /// shared by every instance, ladder stage, and liquidity probe until the
   /// next proposal invalidates it — SelectionInput spans point into it, so
-  /// it owns the storage those spans reference.
+  /// it owns the storage those spans reference. Immutable once built.
   struct BatchSnapshot {
-    bool valid = false;
     size_t batch = 0;
     size_t ledger_size = 0;
-    // tm-lint: history-ok(the snapshot is the owning storage the
-    // SelectionInput spans point into)
+    // tm-owns: the batch's RS views (SelectionInput::history points here).
+    // tm-lint: allow(history, owning snapshot storage the spans point into)
     std::vector<chain::RsView> history;
     analysis::AnalysisContext context;
   };
 
   /// Returns the snapshot for `token`'s batch, rebuilding it only when the
-  /// cached one is for a different batch or a stale ledger state.
-  const BatchSnapshot& SnapshotFor(chain::TokenId token) const;
+  /// cached one is for a different batch or a stale ledger state. The
+  /// returned pointer keeps the snapshot alive for the caller even after
+  /// the cache replaces it (concurrent const probes each hold their own).
+  // tm-invalidates(TokenMagic::snapshot_): reseats the cache slot when the
+  // batch or the ledger state moved; outstanding shared_ptrs keep the
+  // superseded snapshot alive for their holders.
+  std::shared_ptr<const BatchSnapshot> SnapshotFor(chain::TokenId token)
+      const TM_EXCLUDES(snapshot_mu_);
 
   const chain::Blockchain* bc_;
   TokenMagicConfig config_;
   BatchIndex batch_index_;
   chain::HtIndex ht_index_;
   chain::Ledger ledger_;
-  mutable BatchSnapshot snapshot_;
+
+  /// Guards only the snapshot cache below. The chain/ledger state itself
+  /// follows a single-writer contract: the mutating GenerateRs* entry
+  /// points must be externally serialized with each other, while the
+  /// const probes (InstanceFor, LiquidityAllows) are safe to run
+  /// concurrently with each other between mutations.
+  mutable common::Mutex snapshot_mu_;
+  /// Cached snapshot of the most recently probed batch. A GenerateRs*
+  /// ledger commit bumps ledger_.size(), so the next SnapshotFor rebuilds.
+  // tm-owns: the cache slot for the current batch snapshot.
+  mutable std::shared_ptr<const BatchSnapshot> snapshot_
+      TM_GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace tokenmagic::core

@@ -109,7 +109,7 @@ Jacobian JacobianMul(const U256& k, const Jacobian& p) {
 // unconditionally through the same instruction stream.
 void JacobianCondSwap(uint64_t swap, Jacobian* a, Jacobian* b) {
   uint64_t mask = 0 - swap;
-  for (int i = 0; i < 4; ++i) {  // tm-lint: ct-ok(fixed four-limb trip count)
+  for (int i = 0; i < 4; ++i) {  // tm-lint: allow(ct, fixed four-limb trips)
     uint64_t tx = mask & (a->x.limbs[i] ^ b->x.limbs[i]);
     a->x.limbs[i] ^= tx;
     b->x.limbs[i] ^= tx;
@@ -132,7 +132,7 @@ Jacobian JacobianMulCT(const U256& k, const Jacobian& p) {
   Jacobian r0 = Jacobian::Identity();
   Jacobian r1 = p;
   uint64_t swap = 0;
-  for (int i = 255; i >= 0; --i) {  // tm-lint: ct-ok(fixed 256-bit trip count)
+  for (int i = 255; i >= 0; --i) {  // tm-lint: allow(ct, fixed 256-bit trips)
     uint64_t bit = (k.limbs[i >> 6] >> (i & 63)) & 1;
     swap ^= bit;
     JacobianCondSwap(swap, &r0, &r1);

@@ -18,6 +18,8 @@ struct Dataset {
   /// The mixin universe T (all tokens, creation order).
   std::vector<chain::TokenId> universe;
   /// Pre-existing RSs (the super RSs of the setup), proposal order.
+  // tm-owns: the dataset's RS views; bench/sim SelectionInputs span into
+  // this storage for the dataset's whole lifetime.
   std::vector<chain::RsView> history;
   /// Fresh tokens (universe members in no history RS).
   std::vector<chain::TokenId> fresh;

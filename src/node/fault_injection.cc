@@ -31,6 +31,7 @@ size_t LineEnd(const std::string& bytes, size_t start) {
 
 std::string FaultInjector::CorruptBytes(std::string bytes, size_t flips,
                                         bool preserve_header) {
+  common::MutexLock lock(&mu_);
   if (bytes.empty()) return bytes;
   size_t first = 0;
   if (preserve_header) {
@@ -51,6 +52,7 @@ std::string FaultInjector::CorruptBytes(std::string bytes, size_t flips,
 }
 
 std::string FaultInjector::TruncateBytes(std::string bytes) {
+  common::MutexLock lock(&mu_);
   if (bytes.size() < 2) return bytes;
   size_t cut = 1 + rng_.NextBounded(bytes.size() - 1);
   bytes.resize(cut);
@@ -58,6 +60,7 @@ std::string FaultInjector::TruncateBytes(std::string bytes) {
 }
 
 std::string FaultInjector::DuplicateLine(std::string bytes) {
+  common::MutexLock lock(&mu_);
   std::vector<size_t> starts = LineStarts(bytes);
   if (starts.empty()) return bytes;
   size_t start = starts[rng_.NextBounded(starts.size())];
@@ -68,6 +71,7 @@ std::string FaultInjector::DuplicateLine(std::string bytes) {
 }
 
 std::string FaultInjector::SwapLines(std::string bytes) {
+  common::MutexLock lock(&mu_);
   std::vector<size_t> starts = LineStarts(bytes);
   if (starts.size() < 2) return bytes;
   size_t a = rng_.NextBounded(starts.size());
@@ -86,13 +90,18 @@ std::string FaultInjector::SwapLines(std::string bytes) {
 
 void FaultInjector::FailNextWrites(int n, double cut_fraction) {
   TM_CHECK(cut_fraction >= 0.0 && cut_fraction <= 1.0);
+  common::MutexLock lock(&mu_);
   write_faults_armed_ = n;
   write_cut_fraction_ = cut_fraction;
 }
 
-void FaultInjector::FailNextRenames(int n) { rename_faults_armed_ = n; }
+void FaultInjector::FailNextRenames(int n) {
+  common::MutexLock lock(&mu_);
+  rename_faults_armed_ = n;
+}
 
 bool FaultInjector::ConsumeWriteFault(double* cut_fraction) {
+  common::MutexLock lock(&mu_);
   if (write_faults_armed_ <= 0) return false;
   --write_faults_armed_;
   if (cut_fraction != nullptr) *cut_fraction = write_cut_fraction_;
@@ -100,12 +109,14 @@ bool FaultInjector::ConsumeWriteFault(double* cut_fraction) {
 }
 
 bool FaultInjector::ConsumeRenameFault() {
+  common::MutexLock lock(&mu_);
   if (rename_faults_armed_ <= 0) return false;
   --rename_faults_armed_;
   return true;
 }
 
 std::vector<size_t> FaultInjector::ScrambleOrder(size_t n, size_t duplicates) {
+  common::MutexLock lock(&mu_);
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
   rng_.Shuffle(&order);
@@ -116,15 +127,24 @@ std::vector<size_t> FaultInjector::ScrambleOrder(size_t n, size_t duplicates) {
   return order;
 }
 
-void FaultInjector::FlipNextVerdicts(int n) { verdict_flips_armed_ = n; }
+void FaultInjector::FlipNextVerdicts(int n) {
+  common::MutexLock lock(&mu_);
+  verdict_flips_armed_ = n;
+}
 
 common::Status FaultInjector::FilterVerdict(common::Status verdict) {
+  common::MutexLock lock(&mu_);
   if (!verdict.ok() || verdict_flips_armed_ <= 0) return verdict;
   --verdict_flips_armed_;
   ++verdicts_flipped_;
   return common::Status::Internal(common::StrFormat(
       "fault injection: verdict flipped to failure (flip #%zu)",
       verdicts_flipped_));
+}
+
+size_t FaultInjector::verdicts_flipped() const {
+  common::MutexLock lock(&mu_);
+  return verdicts_flipped_;
 }
 
 }  // namespace tokenmagic::node

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -82,17 +84,24 @@ class FaultInjector {
   void FlipNextVerdicts(int n);
 
   /// Filters a verifier verdict (see file comment: accept -> reject only).
-  [[nodiscard]] common::Status FilterVerdict(common::Status verdict);
+  [[nodiscard]] common::Status FilterVerdict(common::Status verdict)
+      TM_EXCLUDES(mu_);
 
-  size_t verdicts_flipped() const { return verdicts_flipped_; }
+  size_t verdicts_flipped() const TM_EXCLUDES(mu_);
 
  private:
-  common::Rng rng_;
-  int write_faults_armed_ = 0;
-  double write_cut_fraction_ = 0.5;
-  int rename_faults_armed_ = 0;
-  int verdict_flips_armed_ = 0;
-  size_t verdicts_flipped_ = 0;
+  /// One injector may be shared by a node and concurrent test threads
+  /// (e.g. parallel wallet submissions), so the armed counters and the
+  /// rng stream are internally synchronized. The fault *schedule* stays
+  /// deterministic per seed; under true concurrency the interleaving
+  /// decides which call consumes which armed fault.
+  mutable common::Mutex mu_;
+  common::Rng rng_ TM_GUARDED_BY(mu_);
+  int write_faults_armed_ TM_GUARDED_BY(mu_) = 0;
+  double write_cut_fraction_ TM_GUARDED_BY(mu_) = 0.5;
+  int rename_faults_armed_ TM_GUARDED_BY(mu_) = 0;
+  int verdict_flips_armed_ TM_GUARDED_BY(mu_) = 0;
+  size_t verdicts_flipped_ TM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tokenmagic::node

@@ -6,38 +6,61 @@
 
 namespace tokenmagic::node {
 
-Node::Node(NodeConfig config) : config_(config) { RebuildIndices(); }
+Node::Node(NodeConfig config) : config_(config) {
+  // The node is not shared during construction; the lock only satisfies
+  // RebuildIndices' contract.
+  common::WriterMutexLock lock(&state_mu_);
+  RebuildIndices();
+}
 
 void Node::RebuildIndices() {
   ht_index_ = chain::HtIndex::FromBlockchain(bc_);
   batches_ = std::make_unique<core::BatchIndex>(bc_, config_.lambda);
+  common::MutexLock lock(&snapshots_mu_);
   analysis_snapshots_.clear();
 }
 
-const Node::BatchAnalysisSnapshot& Node::AnalysisSnapshotFor(
+std::shared_ptr<const Node::BatchAnalysisSnapshot> Node::AnalysisSnapshotShared(
     size_t batch_index) const {
+  // Shared state lock first (writers exclude us while mutating), then the
+  // cache lock — the same order RebuildIndices uses from under a writer.
+  common::ReaderMutexLock state_lock(&state_mu_);
+  common::MutexLock cache_lock(&snapshots_mu_);
   auto it = analysis_snapshots_.find(batch_index);
   if (it != analysis_snapshots_.end()) return it->second;
   const core::Batch& batch = batches_->batch(batch_index);
-  BatchAnalysisSnapshot snapshot;
+  auto snapshot = std::make_shared<BatchAnalysisSnapshot>();
   for (size_t i = 0; i < ledger_.size(); ++i) {
     const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
     // Batches are disjoint and RSs never span batches, so membership of
     // the first token decides.
     if (!view.members.empty() &&
         batches_->BatchOfToken(view.members.front()).index == batch_index) {
-      snapshot.history.push_back(view);
+      snapshot->history.push_back(view);
     }
   }
-  snapshot.context = analysis::AnalysisContext::Build(snapshot.history,
-                                                      &ht_index_,
-                                                      batch.tokens);
+  snapshot->context = analysis::AnalysisContext::Build(snapshot->history,
+                                                       &ht_index_,
+                                                       batch.tokens);
   return analysis_snapshots_.emplace(batch_index, std::move(snapshot))
       .first->second;
 }
 
+const Node::BatchAnalysisSnapshot& Node::AnalysisSnapshotFor(
+    size_t batch_index) const {
+  // The cache map holds a reference until the next RebuildIndices, which
+  // is exactly the documented lifetime of the returned reference.
+  return *AnalysisSnapshotShared(batch_index);
+}
+
+size_t Node::mempool_size() const {
+  common::ReaderMutexLock lock(&state_mu_);
+  return mempool_.size();
+}
+
 std::vector<std::vector<chain::TokenId>> Node::Genesis(
     const std::vector<std::vector<crypto::Point>>& grants) {
+  common::WriterMutexLock lock(&state_mu_);
   TM_CHECK(bc_.block_count() == 0);
   std::vector<std::vector<chain::TokenId>> minted;
   bc_.BeginBlock(clock_++);
@@ -66,6 +89,7 @@ common::Status Node::SubmitTransaction(SignedTransaction tx,
     return common::Status::InvalidArgument(
         "output key count does not match output_count");
   }
+  common::WriterMutexLock lock(&state_mu_);
   common::Status verdict = MakeVerifier().Verify(tx);
   if (config_.faults != nullptr) {
     verdict = config_.faults->FilterVerdict(std::move(verdict));
@@ -87,6 +111,7 @@ common::Status Node::SubmitTransaction(SignedTransaction tx,
 }
 
 MinedBlock Node::MineBlock() {
+  common::WriterMutexLock lock(&state_mu_);
   MinedBlock mined;
   bc_.BeginBlock(clock_++);
   size_t accepted = 0;

@@ -1,6 +1,18 @@
 // A full node: owns the chain state, verifies incoming transactions
 // (Step 3), pools them, and mines blocks that mint the outputs and
 // append the ring signatures to the public ledger.
+//
+// Threading model. The node is a single-writer, multi-reader object:
+//  * Mutating entry points (Genesis, SubmitTransaction, MineBlock) take
+//    `state_mu_` exclusively and may run concurrently with any number of
+//    snapshot readers.
+//  * `AnalysisSnapshotShared` is the concurrent read path: it returns a
+//    shared_ptr to an immutable, self-contained snapshot (owning history
+//    copy + owning AnalysisContext), so a reader keeps its snapshot alive
+//    across a concurrent RebuildIndices and never observes a torn one.
+//  * The reference-returning accessors (blockchain(), ledger(), ...,
+//    AnalysisSnapshotFor) are the single-threaded convenience surface:
+//    the references they return are stable only while no writer runs.
 #pragma once
 
 #include <deque>
@@ -11,6 +23,8 @@
 #include "analysis/context.h"
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "chain/ledger.h"
 #include "core/batch.h"
@@ -55,22 +69,26 @@ class Node {
   /// Seeds the chain with a genesis block of `grants` transactions, the
   /// i-th minting grants[i].size() tokens with the given output keys.
   /// Returns the minted token ids per grant.
+  // tm-invalidates(Node::analysis_snapshots_): appends a block.
   std::vector<std::vector<chain::TokenId>> Genesis(
-      const std::vector<std::vector<crypto::Point>>& grants);
+      const std::vector<std::vector<crypto::Point>>& grants)
+      TM_EXCLUDES(state_mu_);
 
   /// Verifies and pools a transaction. Rejected transactions are not
   /// pooled and the failed check is returned.
   [[nodiscard]] common::Status SubmitTransaction(SignedTransaction tx,
-                                   std::vector<crypto::Point> output_keys);
+                                   std::vector<crypto::Point> output_keys)
+      TM_EXCLUDES(state_mu_);
 
-  size_t mempool_size() const { return mempool_.size(); }
+  size_t mempool_size() const TM_EXCLUDES(state_mu_);
 
   /// Mines every pooled transaction into one block: re-verifies (state
   /// may have changed), registers key images, appends rings to the
   /// ledger, and mints outputs with their announced keys.
-  MinedBlock MineBlock();
+  // tm-invalidates(Node::analysis_snapshots_): appends a block.
+  MinedBlock MineBlock() TM_EXCLUDES(state_mu_);
 
-  // Read-only chain state.
+  // Read-only chain state (single-threaded surface; see file comment).
   const chain::Blockchain& blockchain() const { return bc_; }
   const chain::Ledger& ledger() const { return ledger_; }
   const chain::HtIndex& ht_index() const { return ht_index_; }
@@ -90,8 +108,13 @@ class Node {
   Verifier MakeVerifier() const;
 
   /// Interned per-batch analysis snapshot of the current chain state: the
-  /// batch's ledger views plus their AnalysisContext.
+  /// batch's ledger views plus their AnalysisContext. Immutable and
+  /// self-contained once built: `history` owns copies of the batch's
+  /// ledger views and `context` owns its interned columns, so a snapshot
+  /// references no node state and outlives any later chain mutation.
   struct BatchAnalysisSnapshot {
+    // tm-owns: the batch's RS views; context and all spans derived from
+    // this snapshot point into this storage.
     std::vector<chain::RsView> history;
     analysis::AnalysisContext context;
   };
@@ -99,12 +122,26 @@ class Node {
   /// The snapshot of batch `batch_index`, built on first use after each
   /// mined block and cached until the next block changes the ledger — so
   /// every wallet selection and analysis probe of one block shares exactly
-  /// one AnalysisContext per batch. The reference (and the spans derived
-  /// from it) stays valid until the next Genesis/MineBlock call.
-  const BatchAnalysisSnapshot& AnalysisSnapshotFor(size_t batch_index) const;
+  /// one AnalysisContext per batch. Concurrent-reader safe: the returned
+  /// pointer keeps the snapshot alive across a concurrent
+  /// Genesis/MineBlock (which invalidates the *cache*, not outstanding
+  /// snapshots). Callers must re-fetch after a mutation to observe it.
+  std::shared_ptr<const BatchAnalysisSnapshot> AnalysisSnapshotShared(
+      size_t batch_index) const TM_EXCLUDES(state_mu_);
+
+  /// Single-threaded convenience overload of AnalysisSnapshotShared: the
+  /// reference (and the spans derived from it) stays valid until the next
+  /// Genesis/MineBlock call drops the cache's reference. Concurrent
+  /// readers must hold a shared_ptr via AnalysisSnapshotShared instead.
+  const BatchAnalysisSnapshot& AnalysisSnapshotFor(size_t batch_index) const
+      TM_EXCLUDES(state_mu_);
 
  private:
-  void RebuildIndices();
+  /// Rebuilds the derived indices after a chain mutation and drops every
+  /// cached analysis snapshot (outstanding shared_ptrs stay valid).
+  // tm-invalidates(Node::analysis_snapshots_): cached contexts describe
+  // the pre-mutation ledger; borrowers must re-fetch.
+  void RebuildIndices() TM_REQUIRES(state_mu_) TM_EXCLUDES(snapshots_mu_);
 
   /// Snapshot restore rebuilds private state directly (node/snapshot.h).
   friend common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
@@ -123,14 +160,27 @@ class Node {
     SignedTransaction tx;
     std::vector<crypto::Point> output_keys;
   };
-  std::deque<PendingTx> mempool_;
-  chain::Timestamp clock_ = 0;
-  /// Lazily built per-batch snapshots; cleared whenever the chain state
-  /// changes (RebuildIndices). The ledger only changes inside Genesis /
-  /// MineBlock, both of which rebuild, so a cached snapshot can never be
-  /// stale.
-  mutable std::unordered_map<size_t, BatchAnalysisSnapshot>
-      analysis_snapshots_;
+
+  /// Writer lock for every chain mutation; shared by snapshot readers so
+  /// a cache fill observes a consistent ledger. Ordered before
+  /// snapshots_mu_ (never acquire state_mu_ while holding snapshots_mu_).
+  mutable common::SharedMutex state_mu_;
+  std::deque<PendingTx> mempool_ TM_GUARDED_BY(state_mu_);
+  chain::Timestamp clock_ TM_GUARDED_BY(state_mu_) = 0;
+
+  /// Guards only the snapshot cache map; kept separate from state_mu_ so
+  /// concurrent readers filling different batches serialize on the map
+  /// without blocking behind a writer longer than necessary.
+  mutable common::Mutex snapshots_mu_;
+  /// Lazily built per-batch snapshots; the map's references are dropped
+  /// whenever the chain state changes (RebuildIndices). The ledger only
+  /// changes inside Genesis / MineBlock, both of which rebuild, so a
+  /// cached snapshot can never be stale; outstanding shared_ptrs keep
+  /// pre-mutation snapshots alive for readers that still hold them.
+  // tm-owns: the per-batch snapshot cache (owner id: analysis_snapshots_).
+  mutable std::unordered_map<size_t,
+                             std::shared_ptr<const BatchAnalysisSnapshot>>
+      analysis_snapshots_ TM_GUARDED_BY(snapshots_mu_);
 };
 
 }  // namespace tokenmagic::node

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "crypto/sha256.h"
 #include "node/fault_injection.h"
@@ -296,7 +297,12 @@ common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
     return Status::IoError("snapshot truncated: missing end trailer");
   }
   close_block();
-  node->RebuildIndices();
+  {
+    // The node is private to this restore; the lock satisfies
+    // RebuildIndices' thread-safety contract.
+    common::WriterMutexLock lock(&node->state_mu_);
+    node->RebuildIndices();
+  }
   return node;
 }
 

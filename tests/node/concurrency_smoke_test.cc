@@ -1,0 +1,266 @@
+// Concurrency smoke tests for the node's single-writer/multi-reader
+// contract. These are the tests the `tsan` preset exists for: every
+// scenario here races the documented-concurrent APIs against each other
+// (snapshot readers vs a mining writer, parallel wallet submissions,
+// shared fault injectors) so ThreadSanitizer can observe an actual
+// interleaving, and the assertions pin the invariants that must survive
+// it. They also pass single-threaded, so they run in every suite.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/chain_reaction.h"
+#include "core/progressive.h"
+#include "core/token_magic.h"
+#include "node/fault_injection.h"
+#include "node/node.h"
+#include "node/wallet.h"
+
+namespace tokenmagic::node {
+namespace {
+
+struct Network {
+  Node node;
+  Wallet alice;
+  Wallet bob;
+
+  explicit Network(size_t tokens_each = 12, size_t lambda = 64)
+      : node(MakeConfig(lambda)),
+        alice("alice", &node, 111),
+        bob("bob", &node, 222) {
+    std::vector<std::vector<crypto::Point>> grants;
+    for (size_t i = 0; i < tokens_each; ++i) {
+      grants.push_back({alice.NewOutputKey()});
+      grants.push_back({bob.NewOutputKey()});
+    }
+    auto minted = node.Genesis(grants);
+    for (size_t i = 0; i < minted.size(); ++i) {
+      Wallet& owner = (i % 2 == 0) ? alice : bob;
+      for (chain::TokenId t : minted[i]) {
+        EXPECT_TRUE(owner.Claim(t).ok());
+      }
+    }
+  }
+
+  static NodeConfig MakeConfig(size_t lambda) {
+    NodeConfig config;
+    config.lambda = lambda;
+    return config;
+  }
+};
+
+// Pins the cache-coherence contract the tm-invalidates annotations
+// describe: RebuildIndices (via MineBlock) drops the cached analysis
+// snapshot, so a borrower that kept the old pointer reads the *old*
+// history (alive, not dangling) and a re-fetch observes the new one.
+// This is the stale-pointer repro: before the shared_ptr cache, the
+// mined block would have left the old reference dangling.
+TEST(ConcurrencySmokeTest, RebuildIndicesInvalidatesCachedContext) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+
+  auto before = net.node.AnalysisSnapshotShared(0);
+  ASSERT_NE(before, nullptr);
+  const size_t history_before = before->history.size();
+  EXPECT_EQ(history_before, 0u);  // genesis only, no RSs yet
+
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  ASSERT_TRUE(net.alice
+                  .Spend(&net.node, token, {2.0, 3}, selector,
+                         {net.bob.NewOutputKey()}, "pay")
+                  .ok());
+  net.node.MineBlock();
+
+  auto after = net.node.AnalysisSnapshotShared(0);
+  ASSERT_NE(after, nullptr);
+  // The cache was invalidated: a fresh snapshot object, not the old one.
+  EXPECT_NE(before.get(), after.get());
+  // The new snapshot sees the mined RS; the stale one still (safely)
+  // describes the pre-mutation ledger.
+  EXPECT_EQ(after->history.size(), 1u);
+  EXPECT_EQ(before->history.size(), history_before);
+  // The stale snapshot's context is still fully usable — the interned
+  // columns are owned by the snapshot, not by the node.
+  EXPECT_EQ(analysis::ChainReactionAnalyzer::CountInferableSpent(
+                before->context),
+            0u);
+}
+
+// Re-fetching through the reference-returning convenience API observes
+// the invalidation too (the reference is re-looked-up per call).
+TEST(ConcurrencySmokeTest, SnapshotForReflectsRebuild) {
+  Network net(12);
+  core::ProgressiveSelector selector;
+  EXPECT_EQ(net.node.AnalysisSnapshotFor(0).history.size(), 0u);
+  chain::TokenId token = net.alice.SpendableTokens()[0];
+  ASSERT_TRUE(net.alice
+                  .Spend(&net.node, token, {2.0, 3}, selector,
+                         {net.bob.NewOutputKey()}, "pay")
+                  .ok());
+  net.node.MineBlock();
+  EXPECT_EQ(net.node.AnalysisSnapshotFor(0).history.size(), 1u);
+}
+
+// Readers loop AnalysisSnapshotShared + an analysis probe while a writer
+// thread mines blocks underneath them. Each reader's snapshot is
+// self-contained, so the probe runs on a consistent history even while
+// the ledger moves; the per-batch history size may only grow.
+TEST(ConcurrencySmokeTest, SnapshotReadersRaceMiningWriter) {
+  Network net(16);
+  constexpr int kReaders = 4;
+  constexpr int kSpends = 4;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> probes{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&net, &done, &probes] {
+      size_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snapshot = net.node.AnalysisSnapshotShared(0);
+        ASSERT_NE(snapshot, nullptr);
+        // History per batch only grows as blocks are mined.
+        EXPECT_GE(snapshot->history.size(), last_seen);
+        last_seen = snapshot->history.size();
+        // The cascade must never infer more spends than there are RSs.
+        size_t inferable = analysis::ChainReactionAnalyzer::
+            CountInferableSpent(snapshot->context);
+        EXPECT_LE(inferable, snapshot->history.size());
+        probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  core::ProgressiveSelector selector;
+  size_t mined_rs = 0;
+  for (int i = 0; i < kSpends; ++i) {
+    Wallet& spender = (i % 2 == 0) ? net.alice : net.bob;
+    Wallet& receiver = (i % 2 == 0) ? net.bob : net.alice;
+    auto spendable = spender.SpendableTokens();
+    ASSERT_FALSE(spendable.empty());
+    auto verdict = spender.Spend(&net.node, spendable[0], {2.0, 3},
+                                 selector, {receiver.NewOutputKey()}, "race");
+    if (verdict.ok()) {
+      MinedBlock block = net.node.MineBlock();
+      mined_rs += block.transactions;
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(probes.load(), 0);
+  EXPECT_EQ(net.node.AnalysisSnapshotShared(0)->history.size(), mined_rs);
+}
+
+// Many wallets submit concurrently. SubmitTransaction serializes them
+// under the node's writer lock; rings selected concurrently against the
+// same snapshot may still conflict at mine time (the practical
+// configuration moved), which must surface as recorded rejections —
+// never as lost or double-counted transactions.
+TEST(ConcurrencySmokeTest, ConcurrentWalletSpends) {
+  constexpr size_t kWallets = 4;
+  NodeConfig config;
+  config.lambda = 64;
+  Node node(config);
+  std::vector<std::unique_ptr<Wallet>> wallets;
+  std::vector<std::vector<crypto::Point>> grants;
+  for (size_t w = 0; w < kWallets; ++w) {
+    wallets.push_back(
+        std::make_unique<Wallet>("w" + std::to_string(w), &node, 1000 + w));
+    for (int i = 0; i < 8; ++i) {
+      grants.push_back({wallets[w]->NewOutputKey()});
+    }
+  }
+  auto minted = node.Genesis(grants);
+  for (size_t i = 0; i < minted.size(); ++i) {
+    for (chain::TokenId t : minted[i]) {
+      ASSERT_TRUE(wallets[i / 8]->Claim(t).ok());
+    }
+  }
+
+  core::ProgressiveSelector selector;
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWallets);
+  for (size_t w = 0; w < kWallets; ++w) {
+    threads.emplace_back([&, w] {
+      Wallet& wallet = *wallets[w];
+      chain::TokenId token = wallet.SpendableTokens()[0];
+      auto verdict = wallet.Spend(&node, token, {2.0, 3}, selector,
+                                  {wallet.NewOutputKey()}, "concurrent");
+      if (verdict.ok()) accepted.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(accepted.load(), 0u);
+  EXPECT_EQ(node.mempool_size(), accepted.load());
+
+  MinedBlock block = node.MineBlock();
+  // Every pooled transaction is accounted for: mined or rejected.
+  EXPECT_EQ(block.transactions + block.rejected.size(), accepted.load());
+  EXPECT_EQ(node.ledger().size(), block.transactions);
+  EXPECT_EQ(node.mempool_size(), 0u);
+}
+
+// Concurrent const probes on one TokenMagic share the cached batch
+// snapshot; the cache fill itself must be race-free.
+TEST(ConcurrencySmokeTest, ConcurrentTokenMagicProbes) {
+  Network net(16);
+  core::TokenMagicConfig config;
+  config.lambda = 64;
+  core::TokenMagic magic(&net.node.blockchain(), config);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<int> ok_instances{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&magic, &ok_instances] {
+      for (chain::TokenId t = 0; t < 8; ++t) {
+        auto instance = magic.InstanceFor(t, {2.0, 3});
+        if (!instance.ok()) continue;
+        EXPECT_EQ(instance->target, t);
+        EXPECT_NE(instance->context, nullptr);
+        EXPECT_TRUE(magic.LiquidityAllows(t, {t}));
+        ok_instances.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(ok_instances.load(), 0);
+}
+
+// A shared FaultInjector consumes exactly the armed number of verdict
+// flips across racing threads — no lost or duplicated faults.
+TEST(ConcurrencySmokeTest, FaultInjectorSharedAcrossThreads) {
+  FaultInjector faults(7);
+  constexpr int kArmed = 10;
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 25;
+  faults.FlipNextVerdicts(kArmed);
+
+  std::atomic<int> flipped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&faults, &flipped] {
+      for (int c = 0; c < kCallsPerThread; ++c) {
+        if (!faults.FilterVerdict(common::Status::OK()).ok()) {
+          flipped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(flipped.load(), kArmed);
+  EXPECT_EQ(faults.verdicts_flipped(), static_cast<size_t>(kArmed));
+}
+
+}  // namespace
+}  // namespace tokenmagic::node

@@ -1,0 +1,43 @@
+// Positive fixtures for tm_lint.py (named diversity.h so the float ban
+// applies). Every finding here is expected by expected.txt — keep line
+// numbers in sync.
+#pragma once
+
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "core/selector.h"
+
+namespace tokenmagic::analysis {
+
+struct RsView {
+  int id;
+};
+
+// An unannotated double in a float-banned file.
+inline double Approximate() { return 0.5; }
+
+// tm-lint: float-ok(legacy token; must be migrated to allow)
+inline double Legacy() { return 0.25; }
+
+// tm-lint: allow(spelling, unknown check name)
+inline int Unknown() { return 1; }
+
+// tm-lint: allow(float, nothing below uses float, so this is stale)
+inline int Stale() { return 2; }
+
+// A raw clock read outside common/.
+inline long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// A by-value RsView history in an analysis header.
+struct Holder {
+  std::vector<RsView> history;
+};
+
+// A Status return without [[nodiscard]].
+common::Status Unchecked();
+
+}  // namespace tokenmagic::analysis

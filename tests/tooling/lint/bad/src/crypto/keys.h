@@ -1,0 +1,11 @@
+// Deliberately missing the zeroize-on-destruction call: the
+// secret-hygiene check must flag this file.
+#pragma once
+
+namespace tokenmagic::crypto {
+
+struct Keypair {
+  unsigned long long secret[4];
+};
+
+}  // namespace tokenmagic::crypto

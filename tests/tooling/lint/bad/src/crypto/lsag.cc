@@ -1,0 +1,19 @@
+// Constant-time fixtures: the region below violates every ct rule once.
+#include "crypto/lsag.h"
+
+namespace tokenmagic::crypto {
+
+void SignFixture(int secret_bit) {
+  // tm-lint: ct-begin
+  Secp256k1::Mul(secret_bit);
+  int b = scalar.Bit(3);
+  if (secret_bit) {
+    b += 1;
+  }
+  if (b > 0) {  // tm-lint: allow(ct, bound does not depend on the secret_key)
+    b -= 1;
+  }
+  // tm-lint: ct-end
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,22 @@
+// Annotated twins of the lint/bad fixtures: every escape comment is used,
+// every check is satisfied. tm_lint must exit 0 on this tree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chain/types.h"
+
+namespace tokenmagic::analysis {
+
+// tm-lint: allow(float, fixture: audited approximate display value)
+inline double Approximate() { return 0.5; }
+
+struct Holder {
+  // tm-lint: allow(history, fixture: this struct owns its views)
+  std::vector<chain::RsView> history;
+};
+
+[[nodiscard]] common::Status Checked();
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,12 @@
+#pragma once
+
+namespace tokenmagic::crypto {
+
+void SecureWipe(void* data, unsigned long len);
+
+struct Keypair {
+  unsigned long long secret[4];
+  ~Keypair() { SecureWipe(secret, sizeof(secret)); }
+};
+
+}  // namespace tokenmagic::crypto

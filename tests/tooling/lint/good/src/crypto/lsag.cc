@@ -1,0 +1,17 @@
+// Clean constant-time region: fixed trip counts are annotated, no
+// variable-time calls, no scalar-bit branches.
+#include "crypto/lsag.h"
+
+namespace tokenmagic::crypto {
+
+void SignFixture(unsigned long long mask) {
+  // tm-lint: ct-begin
+  unsigned long long acc = 0;
+  for (int i = 0; i < 4; ++i) {  // tm-lint: allow(ct, fixed trip count)
+    acc ^= mask & (1ull << i);
+  }
+  // tm-lint: ct-end
+  (void)acc;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Fixture corpus for the static-analysis tools (ctest: tooling_fixtures).
+
+Each tool gets a `bad` tree (one minimal TU per check, every rule fires at
+a pinned file:line) and a `good` tree (the same shapes with valid
+annotations, zero findings). This is what keeps the analyzers honest in
+both directions: a regression that stops a rule from firing breaks the
+`bad` expectations, and one that over-fires breaks the `good` trees.
+
+Also validates the --sarif output of both tools against the shape GitHub
+code scanning requires (version, rules, physical locations).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).resolve().parent
+ROOT = HERE.parents[1]
+FINDING_RE = re.compile(r'^(\S+?):(\d+): \[([\w-]+)\]')
+
+TOOLS = {
+    "lint": ROOT / "tools" / "lint" / "tm_lint.py",
+    "analyze": ROOT / "tools" / "analyze" / "tm_analyze.py",
+}
+
+failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    failures.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def run_tool(tool: str, tree: pathlib.Path, sarif: pathlib.Path | None = None):
+    cmd = [sys.executable, str(TOOLS[tool]), "--root", str(tree)]
+    if tool == "analyze":
+        cmd += ["--frontend", "lexical"]  # pinned: fixtures test the rules
+    if sarif is not None:
+        cmd += ["--sarif", str(sarif)]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def parse_findings(stderr: str) -> set[tuple[str, int, str]]:
+    found = set()
+    for line in stderr.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.add((m.group(1), int(m.group(2)), m.group(3)))
+    return found
+
+
+def load_expected(path: pathlib.Path) -> set[tuple[str, int, str]]:
+    expected = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        loc, rule = line.split()
+        file, line_no = loc.rsplit(":", 1)
+        expected.add((file, int(line_no), rule))
+    return expected
+
+
+def check_bad(tool: str) -> None:
+    tree = HERE / tool / "bad"
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = pathlib.Path(tmp) / "out.sarif"
+        proc = run_tool(tool, tree, sarif_path)
+        if proc.returncode != 1:
+            fail(f"{tool}/bad: expected exit 1, got {proc.returncode}\n"
+                 f"{proc.stderr}")
+            return
+        found = parse_findings(proc.stderr)
+        expected = load_expected(tree / "expected.txt")
+        for missing in sorted(expected - found):
+            fail(f"{tool}/bad: expected finding did not fire: "
+                 f"{missing[0]}:{missing[1]} [{missing[2]}]")
+        for extra in sorted(found - expected):
+            fail(f"{tool}/bad: unexpected finding: "
+                 f"{extra[0]}:{extra[1]} [{extra[2]}]")
+        check_sarif(tool, sarif_path, len(found))
+
+
+def check_sarif(tool: str, path: pathlib.Path, n_findings: int) -> None:
+    if not path.exists():
+        fail(f"{tool}/bad: --sarif produced no file")
+        return
+    log = json.loads(path.read_text())
+    if log.get("version") != "2.1.0":
+        fail(f"{tool}/bad: SARIF version is {log.get('version')}")
+        return
+    run = log["runs"][0]
+    results = run["results"]
+    if len(results) != n_findings:
+        fail(f"{tool}/bad: SARIF has {len(results)} results, stderr had "
+             f"{n_findings} findings")
+    rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    for result in results:
+        if result["ruleId"] not in rules:
+            fail(f"{tool}/bad: SARIF result rule {result['ruleId']} missing "
+                 "from driver.rules")
+        loc = result["locations"][0]["physicalLocation"]
+        if loc["artifactLocation"].get("uriBaseId") != "SRCROOT":
+            fail(f"{tool}/bad: SARIF location missing SRCROOT uriBaseId")
+
+
+def check_good(tool: str) -> None:
+    tree = HERE / tool / "good"
+    proc = run_tool(tool, tree)
+    if proc.returncode != 0:
+        fail(f"{tool}/good: expected exit 0, got {proc.returncode}\n"
+             f"{proc.stderr}")
+
+
+def check_real_tree() -> None:
+    """The actual src/ must be clean under both tools — the same gate the
+    `lint` and `analyze` ctest targets enforce, repeated here so a fixture
+    run alone proves the annotations in the repo are complete."""
+    for tool in TOOLS:
+        proc = run_tool(tool, ROOT)
+        if proc.returncode != 0:
+            fail(f"{tool} on the repo tree: expected exit 0, got "
+                 f"{proc.returncode}\n{proc.stderr}")
+
+
+def main() -> int:
+    for tool in TOOLS:
+        check_bad(tool)
+        check_good(tool)
+    check_real_tree()
+    if failures:
+        print(f"tooling fixtures: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("tooling fixtures: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

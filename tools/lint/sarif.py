@@ -1,0 +1,101 @@
+"""Shared SARIF 2.1.0 emission for the TokenMagic static-analysis tools.
+
+Both tm_lint.py (lexical linter) and tools/analyze/tm_analyze.py (AST-level
+analyzer) produce findings as (file, line, rule_id, message) tuples; this
+module turns one tool's findings into a SARIF log that GitHub code scanning
+can ingest, so findings annotate PR diffs inline. Plain-text output stays
+the default for local runs — SARIF is opt-in via each tool's --sarif flag.
+
+No third-party dependencies: the SARIF log is assembled as plain dicts and
+serialized with the stdlib json module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a file/line."""
+
+    file: str          # path, repo-root relative (POSIX separators)
+    line: int          # 1-based; 0 means "whole file"
+    rule_id: str       # stable check identifier, e.g. "view-member"
+    message: str
+    level: str = "error"  # SARIF level: error | warning | note
+
+    def render(self) -> str:
+        """The plain-text form used for local/terminal output."""
+        return f"{self.file}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def make_log(tool_name: str, tool_version: str, findings: list[Finding],
+             rules: dict[str, str] | None = None) -> dict:
+    """Builds a single-run SARIF log dict.
+
+    `rules` maps rule id -> short description; ids present in findings but
+    missing from `rules` still get a minimal reportingDescriptor so the
+    log validates.
+    """
+    rules = dict(rules or {})
+    for finding in findings:
+        rules.setdefault(finding.rule_id, finding.rule_id)
+    rule_ids = sorted(rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    results = []
+    for finding in findings:
+        region = {}
+        if finding.line > 0:
+            region = {"region": {"startLine": finding.line}}
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": finding.level,
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    **region,
+                },
+            }],
+        })
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": tool_version,
+                    "informationUri":
+                        "https://github.com/tokenmagic/tokenmagic",
+                    "rules": [{
+                        "id": rule_id,
+                        "shortDescription": {"text": rules[rule_id]},
+                    } for rule_id in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def write_log(path: pathlib.Path, log: dict) -> None:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(log, indent=2, sort_keys=False) + "\n")

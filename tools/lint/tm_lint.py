@@ -2,59 +2,83 @@
 """TokenMagic source linter.
 
 Run from anywhere:  python3 tools/lint/tm_lint.py [--root REPO_ROOT]
+                                                  [--sarif OUT.sarif]
 
 Registered as the `lint` ctest target; a non-zero exit fails the build.
+With --sarif the findings are additionally written as a SARIF 2.1.0 log
+(tools/lint/sarif.py) for CI code-scanning upload; plain text on stderr
+stays the default for local runs.
+
+Escape comments
+---------------
+Audited exceptions use ONE syntax, checked by the linter itself:
+
+    // tm-lint: allow(<check>, <reason>)
+
+where <check> is one of: float, clock, history, ct. The annotation
+suppresses that check on the same line or the two lines below it
+(ct: same line only). The linter rejects
+  * unknown <check> names,
+  * legacy tokens (float-ok/clock-ok/history-ok/ct-ok), and
+  * stale allows that no longer suppress anything,
+so escape comments cannot rot silently. The only other recognized
+directives are the constant-time region markers `tm-lint: ct-begin` /
+`tm-lint: ct-end` (check 5).
 
 Checks
 ------
-1. Layering: src/ modules form the DAG
+1. Layering [layering]: src/ modules form the DAG
 
        common <- crypto <- chain <- data <- analysis <- core <- node <- sim
 
    (left of the arrow is lower). A module may #include only itself and
    strictly lower modules; any upward or sideways include is an error.
 
-2. Banned patterns (all of src/):
+2. Banned patterns (all of src/) [banned-randomness, banned-wallclock]:
      * libc randomness: rand(), std::rand, srand, random() -- all entropy
        must flow through common::Rng (deterministic, seedable) or the
        crypto hash-derived scalars.
      * wall-clock seeding: time(nullptr)/time(NULL)/std::time -- results
        must be reproducible from explicit seeds.
 
-3. Float hygiene: `float`/`double` are banned in the exact-arithmetic
-   analysis files (diversity, dtrs, matching, related_set, chain_reaction,
-   incremental) where the paper requires exact rational/integer verdicts.
-   Audited exceptions carry a `tm-lint: float-ok(<reason>)` annotation on
-   the same line or within the two preceding lines.
+3. Float hygiene [float-exact]: `float`/`double` are banned in the
+   exact-arithmetic analysis files (diversity, dtrs, matching,
+   related_set, chain_reaction, incremental) where the paper requires
+   exact rational/integer verdicts. Audited exceptions carry
+   `tm-lint: allow(float, <reason>)`.
 
-4. [[nodiscard]]: every function declared in a src/ header returning
-   common::Status or common::Result<T> must be marked [[nodiscard]] so an
-   ignored error is a compile-time warning (an error under -Werror).
+4. [[nodiscard]] [nodiscard]: every function declared in a src/ header
+   returning common::Status or common::Result<T> must be marked
+   [[nodiscard]] so an ignored error is a compile-time warning (an error
+   under -Werror).
 
-5. Constant-time hygiene (crypto): regions bracketed by
-   `tm-lint: ct-begin` / `tm-lint: ct-end` in lsag.cc and secp256k1.cc must
-   not call the variable-time Secp256k1::Mul/MulBase, must not branch on
-   scalar bits (.Bit( is banned inside regions), and any control-flow
-   statement inside a region needs an explicit `tm-lint: ct-ok(<reason>)`
-   annotation that is itself forbidden from referencing secret material.
-   lsag.cc must contain at least one such region, and the Keypair
-   destructor must wipe the secret (SecureWipe in keys.h).
+5. Constant-time hygiene (crypto) [ct-region]: regions bracketed by
+   `tm-lint: ct-begin` / `tm-lint: ct-end` in lsag.cc and secp256k1.cc
+   must not call the variable-time Secp256k1::Mul/MulBase, must not
+   branch on scalar bits (.Bit( is banned inside regions), and any
+   control-flow statement inside a region needs an explicit
+   `tm-lint: allow(ct, <reason>)` on the same line; the reason line is
+   itself forbidden from referencing secret material. lsag.cc must
+   contain at least one such region, and the Keypair destructor must
+   wipe the secret (SecureWipe in keys.h).
 
-6. Clock hygiene: raw std::chrono clock reads
+6. Clock hygiene [clock-hygiene]: raw std::chrono clock reads
    (system_clock/steady_clock/high_resolution_clock::now) are banned
    outside src/common/. Budgeted algorithms must measure time through an
    injected common::Clock (common/deadline.h) so timeout paths are
-   deterministically testable; audited exceptions carry a
-   `tm-lint: clock-ok(<reason>)` annotation on the same line or within
-   the two preceding lines.
+   deterministically testable; audited exceptions carry
+   `tm-lint: allow(clock, <reason>)`.
 
-7. History-span hygiene: `std::vector<chain::RsView>` is banned in the
-   src/core/ and src/analysis/ API surface (headers). Read paths take
-   `std::span<const chain::RsView>` (or an analysis::AnalysisContext) so
-   one interned batch snapshot is shared instead of copied per call;
-   legitimate owning storage (snapshot owners, incremental state) carries
-   a `tm-lint: history-ok(<reason>)` annotation on the same line or
-   within the two preceding lines.
+7. History-span hygiene [history-span]: `std::vector<chain::RsView>` is
+   banned in the src/core/ and src/analysis/ API surface (headers). Read
+   paths take `std::span<const chain::RsView>` (or an
+   analysis::AnalysisContext) so one interned batch snapshot is shared
+   instead of copied per call; legitimate owning storage (snapshot
+   owners, incremental state) carries `tm-lint: allow(history, <reason>)`.
+
+8. Escape-comment hygiene [allow-hygiene]: every `tm-lint:` directive
+   must parse as allow(<known-check>, ...) or a ct region marker, and
+   every allow must actually suppress a finding.
 """
 
 from __future__ import annotations
@@ -63,6 +87,11 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import sarif  # noqa: E402  (tools/lint/sarif.py)
+
+TOOL_VERSION = "2.0"
 
 MODULE_RANK = {
     "common": 0,
@@ -87,12 +116,25 @@ FLOAT_BANNED_FILES = {
     "chain/ht_index.h", "chain/ht_index.cc",
 }
 
+#: The unified escape-comment checks (check 8 rejects anything else).
+ALLOW_CHECKS = {"float", "clock", "history", "ct"}
+
+RULE_DESCRIPTIONS = {
+    "layering": "module include must follow the layering DAG",
+    "banned-randomness": "libc randomness is banned; use common::Rng",
+    "banned-wallclock": "wall-clock seeding is banned; thread a seed",
+    "float-exact": "float/double banned in exact-arithmetic analysis code",
+    "nodiscard": "Status/Result returns must be [[nodiscard]]",
+    "ct-region": "constant-time region hygiene (crypto)",
+    "clock-hygiene": "raw std::chrono clock reads banned outside common/",
+    "history-span": "by-value RsView history banned in core/analysis API",
+    "allow-hygiene": "tm-lint escape comments must be known and non-stale",
+}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 RAND_RE = re.compile(r'\b(?:std::)?(?:s?rand|random)\s*\(')
 TIME_RE = re.compile(r'\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)')
 FLOAT_RE = re.compile(r'\b(?:float|double)\b')
-FLOAT_OK_RE = re.compile(r'tm-lint:\s*float-ok\(')
-CT_OK_RE = re.compile(r'tm-lint:\s*ct-ok\(')
 CONTROL_FLOW_RE = re.compile(r'\b(?:if|for|while|switch)\s*\(')
 NODISCARD_RE = re.compile(r'\[\[nodiscard\]\]')
 # Friend declarations are deliberately excluded: [[nodiscard]] on a friend
@@ -107,20 +149,37 @@ SECRET_TOKEN_RE = re.compile(r'secret|priv(?:ate)?_?key', re.IGNORECASE)
 CLOCK_RE = re.compile(
     r'\b(?:std::chrono::)?'
     r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
-CLOCK_OK_RE = re.compile(r'tm-lint:\s*clock-ok\(')
 HISTORY_VEC_RE = re.compile(r'std::vector<\s*(?:chain::)?RsView\s*>')
-HISTORY_OK_RE = re.compile(r'tm-lint:\s*history-ok\(')
+
+DIRECTIVE_RE = re.compile(r'tm-lint:\s*([A-Za-z-]+)')
+ALLOW_RE = re.compile(
+    r'tm-lint:\s*allow\(\s*([A-Za-z-]+)\s*(?:,\s*([^)]*))?\)')
+LEGACY_RE = re.compile(
+    r'tm-lint:\s*(float-ok|clock-ok|history-ok|ct-ok)\s*\(')
+CT_MARKERS = ("ct-begin", "ct-end")
+
+
+class Allow:
+    """One parsed `tm-lint: allow(check, reason)` escape comment."""
+
+    def __init__(self, line_no: int, check: str):
+        self.line_no = line_no
+        self.check = check
+        self.used = False
 
 
 class Linter:
     def __init__(self, root: pathlib.Path):
         self.root = root
         self.src = root / "src"
-        self.errors: list[str] = []
+        self.findings: list[sarif.Finding] = []
+        #: path -> parsed allow comments, filled before the checks run.
+        self.allows: dict[pathlib.Path, list[Allow]] = {}
 
-    def error(self, path: pathlib.Path, line_no: int, message: str) -> None:
-        rel = path.relative_to(self.root)
-        self.errors.append(f"{rel}:{line_no}: {message}")
+    def error(self, path: pathlib.Path, line_no: int, rule: str,
+              message: str) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        self.findings.append(sarif.Finding(rel, line_no, rule, message))
 
     # -- helpers ----------------------------------------------------------
 
@@ -157,14 +216,61 @@ class Linter:
             if path.suffix in (".h", ".cc"):
                 yield path
 
+    def scan_allows(self, path: pathlib.Path, raw: list[str]) -> None:
+        """Parses every tm-lint directive; rejects malformed ones now and
+        records allow() comments for the stale check after the scan."""
+        allows: list[Allow] = []
+        for i, line in enumerate(raw, start=1):
+            if "tm-lint:" not in line:
+                continue
+            legacy = LEGACY_RE.search(line)
+            if legacy:
+                self.error(path, i, "allow-hygiene",
+                           f"legacy escape token 'tm-lint: {legacy.group(1)}"
+                           "(...)'; migrate to the unified "
+                           "'tm-lint: allow(<check>, <reason>)' syntax")
+                continue
+            if any(f"tm-lint: {marker}" in line for marker in CT_MARKERS):
+                continue
+            m = ALLOW_RE.search(line)
+            if not m:
+                directive = DIRECTIVE_RE.search(line)
+                name = directive.group(1) if directive else "<unparsable>"
+                self.error(path, i, "allow-hygiene",
+                           f"unknown tm-lint directive '{name}'; expected "
+                           "'allow(<check>, <reason>)' or a ct-begin/ct-end "
+                           "region marker")
+                continue
+            check = m.group(1)
+            if check not in ALLOW_CHECKS:
+                self.error(path, i, "allow-hygiene",
+                           f"allow({check}): unknown check; known checks: "
+                           f"{', '.join(sorted(ALLOW_CHECKS))}")
+                continue
+            allows.append(Allow(i, check))
+        self.allows[path] = allows
+
+    def consume_allow(self, path: pathlib.Path, check: str,
+                      line_no: int, same_line_only: bool = False) -> bool:
+        """True when an allow(check) covers `line_no` (same line or the two
+        lines above); marks it used so the stale check passes."""
+        lo = line_no if same_line_only else line_no - 2
+        hit = False
+        for allow in self.allows.get(path, []):
+            if allow.check == check and lo <= allow.line_no <= line_no:
+                allow.used = True
+                hit = True
+        return hit
+
     # -- checks -----------------------------------------------------------
 
     def check_layering(self, path: pathlib.Path, code: list[str]) -> None:
         rel = path.relative_to(self.src)
         module = rel.parts[0]
         if module not in MODULE_RANK:
-            self.error(path, 1, f"unknown module '{module}' (update the DAG "
-                                "in tools/lint/tm_lint.py and docs)")
+            self.error(path, 1, "layering",
+                       f"unknown module '{module}' (update the DAG "
+                       "in tools/lint/tm_lint.py and docs)")
             return
         rank = MODULE_RANK[module]
         for i, line in enumerate(code, start=1):
@@ -176,7 +282,7 @@ class Linter:
                 continue  # third-party or relative include
             if MODULE_RANK[target] > rank or (
                     MODULE_RANK[target] == rank and target != module):
-                self.error(path, i,
+                self.error(path, i, "layering",
                            f"layering violation: '{module}' (rank {rank}) "
                            f"may not include '{m.group(1)}' "
                            f"(module '{target}', rank {MODULE_RANK[target]})")
@@ -185,29 +291,27 @@ class Linter:
                               code: list[str]) -> None:
         for i, line in enumerate(code, start=1):
             if RAND_RE.search(line):
-                self.error(path, i,
+                self.error(path, i, "banned-randomness",
                            "banned randomness: use common::Rng (explicit "
                            "seed) instead of libc rand()/srand()/random()")
             if TIME_RE.search(line):
-                self.error(path, i,
+                self.error(path, i, "banned-wallclock",
                            "banned wall-clock seeding: time(nullptr) makes "
                            "runs irreproducible; thread an explicit seed")
 
-    def check_float_ban(self, path: pathlib.Path, code: list[str],
-                        raw: list[str]) -> None:
+    def check_float_ban(self, path: pathlib.Path, code: list[str]) -> None:
         rel = str(path.relative_to(self.src)).replace("\\", "/")
         if rel not in FLOAT_BANNED_FILES:
             return
         for i, line in enumerate(code, start=1):
             if not FLOAT_RE.search(line):
                 continue
-            window = raw[max(0, i - 3):i]  # this line + two above
-            if any(FLOAT_OK_RE.search(w) for w in window):
+            if self.consume_allow(path, "float", i):
                 continue
-            self.error(path, i,
+            self.error(path, i, "float-exact",
                        "float/double in exact-arithmetic analysis code; "
                        "use integer/rational math or annotate an audited "
-                       "use with 'tm-lint: float-ok(<reason>)'")
+                       "use with 'tm-lint: allow(float, <reason>)'")
 
     def check_nodiscard(self, path: pathlib.Path, code: list[str]) -> None:
         if path.suffix != ".h":
@@ -220,45 +324,43 @@ class Linter:
             prev = code[i - 2] if i >= 2 else ""
             if NODISCARD_RE.search(prev):
                 continue
-            self.error(path, i,
+            self.error(path, i, "nodiscard",
                        "Status/Result-returning function must be "
                        "[[nodiscard]] (silently dropped errors corrupt "
                        "results)")
 
-    def check_clock_hygiene(self, path: pathlib.Path, code: list[str],
-                            raw: list[str]) -> None:
+    def check_clock_hygiene(self, path: pathlib.Path,
+                            code: list[str]) -> None:
         rel = path.relative_to(self.src)
         if rel.parts[0] == "common":
             return  # SteadyClock/StopWatch implementations live here
         for i, line in enumerate(code, start=1):
             if not CLOCK_RE.search(line):
                 continue
-            window = raw[max(0, i - 3):i]  # this line + two above
-            if any(CLOCK_OK_RE.search(w) for w in window):
+            if self.consume_allow(path, "clock", i):
                 continue
-            self.error(path, i,
+            self.error(path, i, "clock-hygiene",
                        "raw std::chrono clock read; inject a common::Clock "
                        "(common/deadline.h) so deadlines are testable, or "
                        "annotate an audited use with "
-                       "'tm-lint: clock-ok(<reason>)'")
+                       "'tm-lint: allow(clock, <reason>)'")
 
-    def check_history_span(self, path: pathlib.Path, code: list[str],
-                           raw: list[str]) -> None:
+    def check_history_span(self, path: pathlib.Path,
+                           code: list[str]) -> None:
         rel = path.relative_to(self.src)
         if rel.parts[0] not in ("core", "analysis") or path.suffix != ".h":
             return
         for i, line in enumerate(code, start=1):
             if not HISTORY_VEC_RE.search(line):
                 continue
-            window = raw[max(0, i - 3):i]  # this line + two above
-            if any(HISTORY_OK_RE.search(w) for w in window):
+            if self.consume_allow(path, "history", i):
                 continue
-            self.error(path, i,
+            self.error(path, i, "history-span",
                        "by-value RsView history in the core/analysis API "
                        "surface; take std::span<const chain::RsView> (or "
                        "an AnalysisContext) so the batch snapshot is "
                        "shared, or annotate owning storage with "
-                       "'tm-lint: history-ok(<reason>)'")
+                       "'tm-lint: allow(history, <reason>)'")
 
     def check_constant_time(self) -> None:
         lsag = self.src / "crypto" / "lsag.cc"
@@ -268,7 +370,8 @@ class Linter:
         regions = 0
         for path in (lsag, secp):
             if not path.exists():
-                self.error(path, 1, "constant-time check: file missing")
+                self.error(path, 1, "ct-region",
+                           "constant-time check: file missing")
                 continue
             raw = path.read_text().splitlines()
             in_region = False
@@ -276,69 +379,97 @@ class Linter:
             for i, line in enumerate(raw, start=1):
                 if "tm-lint: ct-begin" in line:
                     if in_region:
-                        self.error(path, i, "nested ct-begin")
+                        self.error(path, i, "ct-region", "nested ct-begin")
                     in_region = True
                     begin_line = i
                     regions += 1
                     continue
                 if "tm-lint: ct-end" in line:
                     if not in_region:
-                        self.error(path, i, "ct-end without ct-begin")
+                        self.error(path, i, "ct-region",
+                                   "ct-end without ct-begin")
                     in_region = False
                     continue
                 if not in_region:
                     continue
                 if re.search(r'Secp256k1::Mul(?:Base)?\(', line):
-                    self.error(path, i,
+                    self.error(path, i, "ct-region",
                                "variable-time Secp256k1::Mul/MulBase inside "
                                "a constant-time region; use MulCT/MulBaseCT")
                 if ".Bit(" in line:
-                    self.error(path, i,
+                    self.error(path, i, "ct-region",
                                "scalar bit accessor inside a constant-time "
                                "region; extract bits with masked limb "
                                "arithmetic instead")
                 has_ternary = re.search(r'\?.*:', line) and "::" not in line
                 if CONTROL_FLOW_RE.search(line) or has_ternary:
-                    if not CT_OK_RE.search(line):
-                        self.error(path, i,
+                    if not self.consume_allow(path, "ct", i,
+                                              same_line_only=True):
+                        self.error(path, i, "ct-region",
                                    "control flow inside a constant-time "
-                                   "region needs 'tm-lint: ct-ok(<reason>)'")
+                                   "region needs "
+                                   "'tm-lint: allow(ct, <reason>)'")
                     elif SECRET_TOKEN_RE.search(
                             CONTROL_FLOW_RE.sub("", line)):
-                        self.error(path, i,
+                        self.error(path, i, "ct-region",
                                    "control flow referencing secret "
-                                   "material may not be ct-ok'd away")
+                                   "material may not be allow(ct)'d away")
             if in_region:
-                self.error(path, begin_line, "unterminated ct-begin region")
+                self.error(path, begin_line, "ct-region",
+                           "unterminated ct-begin region")
 
         if regions == 0:
-            self.error(lsag, 1,
+            self.error(lsag, 1, "ct-region",
                        "LSAG signing must mark its secret-scalar operations "
                        "with tm-lint: ct-begin/ct-end regions")
 
         if keys.exists() and "SecureWipe" not in keys.read_text():
-            self.error(keys, 1,
+            self.error(keys, 1, "ct-region",
                        "Keypair must zeroize its secret scalar on "
                        "destruction via SecureWipe")
 
+    def check_stale_allows(self) -> None:
+        for path, allows in sorted(self.allows.items()):
+            for allow in allows:
+                if allow.used:
+                    continue
+                self.error(path, allow.line_no, "allow-hygiene",
+                           f"stale allow({allow.check}): nothing within its "
+                           "window needs suppression; delete the escape "
+                           "comment (or move it to the offending line)")
+
     # -- driver -----------------------------------------------------------
 
-    def run(self) -> int:
-        for path in self.iter_source_files():
+    def run(self, sarif_out: pathlib.Path | None = None) -> int:
+        files = list(self.iter_source_files())
+        # Pass 1: parse every escape comment (the ct check below needs the
+        # allow registry for files it re-reads).
+        contents = {}
+        for path in files:
             raw = path.read_text().splitlines()
+            contents[path] = raw
+            self.scan_allows(path, raw)
+        # Pass 2: the checks.
+        for path in files:
+            raw = contents[path]
             code = self.strip_comments(raw)
             self.check_layering(path, code)
             self.check_banned_patterns(path, code)
-            self.check_float_ban(path, code, raw)
+            self.check_float_ban(path, code)
             self.check_nodiscard(path, code)
-            self.check_clock_hygiene(path, code, raw)
-            self.check_history_span(path, code, raw)
+            self.check_clock_hygiene(path, code)
+            self.check_history_span(path, code)
         self.check_constant_time()
+        self.check_stale_allows()
 
-        if self.errors:
-            for err in self.errors:
-                print(err, file=sys.stderr)
-            print(f"tm_lint: {len(self.errors)} error(s)", file=sys.stderr)
+        if sarif_out is not None:
+            sarif.write_log(sarif_out, sarif.make_log(
+                "tm_lint", TOOL_VERSION, self.findings, RULE_DESCRIPTIONS))
+
+        if self.findings:
+            for finding in self.findings:
+                print(finding.render(), file=sys.stderr)
+            print(f"tm_lint: {len(self.findings)} error(s)", file=sys.stderr)
             return 1
         print("tm_lint: OK")
         return 0
@@ -348,8 +479,10 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=pathlib.Path,
                         default=pathlib.Path(__file__).resolve().parents[2])
+    parser.add_argument("--sarif", type=pathlib.Path, default=None,
+                        help="also write findings as a SARIF 2.1.0 log")
     args = parser.parse_args()
-    return Linter(args.root.resolve()).run()
+    return Linter(args.root.resolve()).run(args.sarif)
 
 
 if __name__ == "__main__":
