@@ -24,9 +24,12 @@ namespace tokenmagic::core {
 /// given the RS history over that universe.
 ///
 /// The instance does not own the universe or the history: both are spans
-/// into caller-owned storage (the batch snapshot in TokenMagic/node, the
-/// dataset in benches) that must outlive every Select() call. Copying an
-/// instance — the resilient ladder does this per stage — is O(1).
+/// into snapshot storage (the batch snapshot in TokenMagic/node, the
+/// dataset in benches) that must outlive every Select() call. Producers
+/// whose snapshot cache can be reseated concurrently set `owner` so the
+/// instance co-owns that storage; otherwise the caller must keep it
+/// alive. Copying an instance — the resilient ladder does this per
+/// stage — is O(1) (the copy shares ownership).
 struct SelectionInput {
   chain::TokenId target = chain::kInvalidToken;
   /// The mixin universe T (must contain `target`).
@@ -47,6 +50,14 @@ struct SelectionInput {
   // the `history` storage it was interned from.
   const analysis::AnalysisContext* context = nullptr;
   EligibilityPolicy policy;
+  /// Keep-alive for the snapshot `universe`, `history`, and `context`
+  /// point into. Producers with a reseatable snapshot cache
+  /// (TokenMagic::InstanceFor, node wallets) set this so a concurrent
+  /// cache refill for another batch cannot destroy the storage while the
+  /// instance is still selecting; when null, the caller owns the storage
+  /// directly and must outlive every Select() call.
+  // tm-owns: shared keep-alive of the snapshot behind the views above.
+  std::shared_ptr<const void> owner;
   /// Optional caller-owned budget. Every selector observes it: expiry is
   /// reported as Status::Timeout, and an already-expired (zero-budget)
   /// deadline returns Timeout before any work. nullptr = unlimited.

@@ -62,6 +62,11 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
   input.requirement = req;
   input.index = &ht_index_;
   input.policy = config_.policy;
+  // The instance co-owns the snapshot: a concurrent probe for a token of
+  // another batch reseats the single-slot cache, and without this the
+  // cache slot would be the last owner — history/context would dangle
+  // before the caller ever ran Select().
+  input.owner = std::move(snapshot);
   return input;
 }
 

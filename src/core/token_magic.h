@@ -80,10 +80,12 @@ class TokenMagic {
       common::Deadline* deadline = nullptr);
 
   /// Builds the DA-MS instance for `target` without committing anything
-  /// (used by benchmarks to time the bare selector). The instance borrows
-  /// the framework's per-batch snapshot: its universe/history spans and
-  /// context pointer stay valid until the next proposal or until an
-  /// instance for a token of a *different* batch is requested.
+  /// (used by benchmarks to time the bare selector). The instance
+  /// co-owns the framework's per-batch snapshot (SelectionInput::owner):
+  /// its universe/history spans and context pointer stay valid for the
+  /// instance's whole lifetime, even when a concurrent probe for a token
+  /// of a *different* batch reseats the snapshot cache. Re-fetch after a
+  /// proposal to observe the new ledger state.
   [[nodiscard]] common::Result<SelectionInput> InstanceFor(
       chain::TokenId target, chain::DiversityRequirement req) const;
 

@@ -25,9 +25,16 @@ std::shared_ptr<const Node::BatchAnalysisSnapshot> Node::AnalysisSnapshotShared(
   // Shared state lock first (writers exclude us while mutating), then the
   // cache lock — the same order RebuildIndices uses from under a writer.
   common::ReaderMutexLock state_lock(&state_mu_);
-  common::MutexLock cache_lock(&snapshots_mu_);
-  auto it = analysis_snapshots_.find(batch_index);
-  if (it != analysis_snapshots_.end()) return it->second;
+  {
+    common::MutexLock cache_lock(&snapshots_mu_);
+    auto it = analysis_snapshots_.find(batch_index);
+    if (it != analysis_snapshots_.end()) return it->second;
+  }
+  // Build outside snapshots_mu_ so readers filling *different* batches
+  // run concurrently and only serialize on the map itself. The ledger
+  // scan is still consistent: we hold state_mu_ shared for the whole
+  // fill, so no writer (and thus no RebuildIndices clearing the map)
+  // can run until we return.
   const core::Batch& batch = batches_->batch(batch_index);
   auto snapshot = std::make_shared<BatchAnalysisSnapshot>();
   for (size_t i = 0; i < ledger_.size(); ++i) {
@@ -42,6 +49,9 @@ std::shared_ptr<const Node::BatchAnalysisSnapshot> Node::AnalysisSnapshotShared(
   snapshot->context = analysis::AnalysisContext::Build(snapshot->history,
                                                        &ht_index_,
                                                        batch.tokens);
+  // Two readers may have raced on the same batch: emplace keeps the
+  // winner's snapshot and this one is discarded in favor of it.
+  common::MutexLock cache_lock(&snapshots_mu_);
   return analysis_snapshots_.emplace(batch_index, std::move(snapshot))
       .first->second;
 }

@@ -168,9 +168,10 @@ class Node {
   std::deque<PendingTx> mempool_ TM_GUARDED_BY(state_mu_);
   chain::Timestamp clock_ TM_GUARDED_BY(state_mu_) = 0;
 
-  /// Guards only the snapshot cache map; kept separate from state_mu_ so
-  /// concurrent readers filling different batches serialize on the map
-  /// without blocking behind a writer longer than necessary.
+  /// Guards only the snapshot cache map. Snapshot fills happen outside
+  /// this lock (under state_mu_ shared), so concurrent readers filling
+  /// different batches build in parallel and serialize only on the map
+  /// lookup/insert itself.
   mutable common::Mutex snapshots_mu_;
   /// Lazily built per-batch snapshots; the map's references are dropped
   /// whenever the chain state changes (RebuildIndices). The ledger only

@@ -102,8 +102,12 @@ common::Result<SignedTransaction> Wallet::BuildSpendMulti(
     input.requirement = requirement;
     input.index = &node_->ht_index();
     const core::Batch& batch = node_->batches().BatchOfToken(token);
-    const Node::BatchAnalysisSnapshot& snapshot =
-        node_->AnalysisSnapshotFor(batch.index);
+    // Hold the snapshot via the shared_ptr surface: wallets are part of
+    // the node's concurrent-reader contract, and a Spend racing a
+    // Genesis/MineBlock writer must keep its snapshot alive across the
+    // writer's RebuildIndices dropping the cache's reference.
+    std::shared_ptr<const Node::BatchAnalysisSnapshot> snapshot =
+        node_->AnalysisSnapshotShared(batch.index);
     const std::vector<chain::RsView>& siblings = extra_history[batch.index];
     // Single-input spends (the common case) borrow the node's shared
     // per-batch snapshot and context. With sibling rings from earlier
@@ -111,12 +115,13 @@ common::Result<SignedTransaction> Wallet::BuildSpendMulti(
     // so a local combined copy owns the span and no context is set.
     std::vector<chain::RsView> combined;
     if (siblings.empty()) {
-      input.history = snapshot.history;
-      input.context = &snapshot.context;
+      input.history = snapshot->history;
+      input.context = &snapshot->context;
+      input.owner = snapshot;
     } else {
-      combined.reserve(snapshot.history.size() + siblings.size());
-      combined.insert(combined.end(), snapshot.history.begin(),
-                      snapshot.history.end());
+      combined.reserve(snapshot->history.size() + siblings.size());
+      combined.insert(combined.end(), snapshot->history.begin(),
+                      snapshot->history.end());
       combined.insert(combined.end(), siblings.begin(), siblings.end());
       input.history = combined;
     }

@@ -1,6 +1,17 @@
 // A user wallet: owns per-token one-time keys, runs DA-MS mixin
 // selection against the node's public state, and produces signed
 // transactions (Steps 1 and 2 of the RS scheme, executed client-side).
+//
+// Threading. A single Wallet object is not thread-safe, but distinct
+// wallets may build and submit spends concurrently with each other and
+// with the node's snapshot readers: selection holds the per-batch
+// analysis snapshot through Node::AnalysisSnapshotShared (and pins it
+// via SelectionInput::owner), so a concurrent chain mutation dropping
+// the node's snapshot cache cannot free the history mid-selection.
+// The batch, HT, and key directories are still borrowed from the
+// node's single-threaded reference surface, so Genesis/MineBlock must
+// be externally serialized with spend *building*; SubmitTransaction is
+// internally locked and safe to race.
 #pragma once
 
 #include <string>

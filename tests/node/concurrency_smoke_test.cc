@@ -235,6 +235,55 @@ TEST(ConcurrencySmokeTest, ConcurrentTokenMagicProbes) {
   EXPECT_GT(ok_instances.load(), 0);
 }
 
+// Regression for the InstanceFor snapshot lifetime: TokenMagic's
+// snapshot cache is a single slot, so probing a token of a *different*
+// batch reseats it while an earlier instance is still in use. Instances
+// co-own their snapshot (SelectionInput::owner), so the evicted snapshot
+// must stay alive for as long as any instance reads its history/context.
+// Threads deliberately alternate batches to force constant eviction (the
+// same-batch test above never evicts and cannot catch this).
+TEST(ConcurrencySmokeTest, ConcurrentTokenMagicProbesAcrossBatches) {
+  chain::Blockchain bc;
+  for (int b = 0; b < 4; ++b) {
+    std::vector<uint32_t> counts(8, 1);
+    bc.AddBlock(b, counts);
+  }
+  core::TokenMagicConfig config;
+  config.lambda = 8;  // 4 blocks x 8 tokens -> 4 batches of 8
+  core::TokenMagic magic(&bc, config);
+  ASSERT_EQ(magic.batches().batch_count(), 4u);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 16;
+  std::atomic<int> ok_instances{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&magic, &ok_instances, i] {
+      for (int round = 0; round < kRounds; ++round) {
+        chain::TokenId mine = static_cast<chain::TokenId>(
+            ((i + round) % 4) * 8 + round % 8);
+        auto instance = magic.InstanceFor(mine, {2.0, 3});
+        ASSERT_TRUE(instance.ok());
+        // Evict: probe a token one batch over, reseating the cache slot
+        // (other threads do the same concurrently).
+        chain::TokenId other = static_cast<chain::TokenId>((mine + 8) % 32);
+        auto evictor = magic.InstanceFor(other, {2.0, 3});
+        ASSERT_TRUE(evictor.ok());
+        // The first instance must still be fully readable: its spans and
+        // context point into the snapshot it co-owns, not the cache slot.
+        EXPECT_EQ(instance->universe.size(), 8u);
+        EXPECT_LE(analysis::ChainReactionAnalyzer::CountInferableSpent(
+                      *instance->context),
+                  instance->history.size());
+        ok_instances.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_instances.load(), kThreads * kRounds);
+}
+
 // A shared FaultInjector consumes exactly the armed number of verdict
 // flips across racing threads — no lost or duplicated faults.
 TEST(ConcurrencySmokeTest, FaultInjectorSharedAcrossThreads) {
