@@ -14,6 +14,20 @@ const U256 kOrder(0xbfd25e8cd0364141ull, 0xbaaedce6af48a03bull,
                   0xfffffffffffffffeull, 0xffffffffffffffffull);
 // 2^256 mod p = 2^32 + 977
 constexpr uint64_t kFold = 0x1000003d1ull;
+// 2^256 mod n = 2^256 - n, the scalar-field fold constant (129 bits).
+const U256 kOrderFold(0x402da1732fc9bebfull, 0x4551231950b75fc4ull, 0x1ull,
+                      0x0ull);
+
+// r = take ? a : b without a branch (full-width masking), so the scalar
+// reductions below never branch on their (typically secret) operands.
+U256 FieldMaskedSelect(uint64_t take, const U256& a, const U256& b) {
+  uint64_t mask = 0 - static_cast<uint64_t>(take != 0);
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    out.limbs[i] = (a.limbs[i] & mask) | (b.limbs[i] & ~mask);
+  }
+  return out;
+}
 
 // out = a + b * kFold where a is 5 limbs (4 + carry limb), b is 4 limbs.
 // Returns the result as 4 limbs plus a (small) carry limb.
@@ -121,9 +135,67 @@ bool FieldSqrt(const U256& a, U256* root) {
 
 U256 ScalarAdd(const U256& a, const U256& b) { return AddMod(a, b, kOrder); }
 U256 ScalarSub(const U256& a, const U256& b) { return SubMod(a, b, kOrder); }
-U256 ScalarMul(const U256& a, const U256& b) { return MulMod(a, b, kOrder); }
+
+U256 ScalarReduce512(const U512& x) {
+  // Same folding idea as FieldReduce, but mod n: 2^256 ≡ kOrderFold, so
+  // each pass rewrites high * 2^256 + low as high * kOrderFold + low.
+  // kOrderFold is 129 bits, so the bit-width trace is fixed:
+  // 512 -> 386 -> 260 -> 257. Three passes always run — the loop count
+  // carries no information about the (typically secret) operand.
+  U256 low(x.limbs[0], x.limbs[1], x.limbs[2], x.limbs[3]);
+  U256 high(x.limbs[4], x.limbs[5], x.limbs[6], x.limbs[7]);
+  for (int pass = 0; pass < 3; ++pass) {
+    U512 t = U256::Mul(high, kOrderFold);
+    unsigned __int128 acc = 0;
+    U256 next_low;
+    for (int i = 0; i < 4; ++i) {
+      acc += static_cast<unsigned __int128>(t.limbs[i]) + low.limbs[i];
+      next_low.limbs[i] = static_cast<uint64_t>(acc);
+      acc >>= 64;
+    }
+    // The high half of t plus the addition carry is at most 130 bits, so
+    // this add cannot overflow 256 bits.
+    U256 t_high(t.limbs[4], t.limbs[5], t.limbs[6], t.limbs[7]);
+    U256 next_high;
+    uint64_t overflow =
+        U256::Add(t_high, U256(static_cast<uint64_t>(acc)), &next_high);
+    TM_DCHECK(overflow == 0);
+    (void)overflow;
+    low = next_low;
+    high = next_high;
+  }
+  // After three passes the value is extra * 2^256 + low with extra in
+  // {0, 1}, i.e. strictly below 2^257 < 2n + 2^130: at most two
+  // subtractions of n remain. Both run unconditionally, masked.
+  TM_DCHECK(high.limbs[1] == 0 && high.limbs[2] == 0 && high.limbs[3] == 0 &&
+            high.limbs[0] <= 1);
+  uint64_t extra = high.limbs[0];
+  U256 r = low;
+  for (int step = 0; step < 2; ++step) {
+    U256 d;
+    uint64_t borrow = U256::Sub(r, kOrder, &d);
+    // Subtract when the 257-bit value is >= n: either the 2^256 bit is
+    // still set, or the low 256 bits alone do not borrow.
+    uint64_t take = extra | (borrow ^ 1);
+    r = FieldMaskedSelect(take, d, r);
+    // A borrowing subtraction that was taken consumed the 2^256 bit.
+    extra &= borrow ^ 1;
+  }
+  return r;
+}
+
+U256 ScalarMul(const U256& a, const U256& b) {
+  return ScalarReduce512(U256::Mul(a, b));
+}
+
 U256 ScalarInv(const U256& a) { return InvMod(a, kOrder); }
-U256 ScalarReduce(const U256& a) { return U256::Mod(a, kOrder); }
+
+U256 ScalarReduce(const U256& a) {
+  // a < 2^256 < 2n, so one masked subtraction fully reduces.
+  U256 d;
+  uint64_t borrow = U256::Sub(a, kOrder, &d);
+  return FieldMaskedSelect(borrow ^ 1, d, a);
+}
 
 bool IsValidScalar(const U256& a) { return !a.IsZero() && a < kOrder; }
 

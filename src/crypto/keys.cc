@@ -1,27 +1,33 @@
 #include "crypto/keys.h"
 
+#include "crypto/ct.h"
 #include "crypto/field.h"
 #include "crypto/sha256.h"
 
 namespace tokenmagic::crypto {
 
 Keypair Keypair::Generate(common::Rng* rng) {
-  U256 secret;
-  do {
-    for (auto& limb : secret.limbs) limb = rng->Next();
-    secret = ScalarReduce(secret);
-  } while (secret.IsZero());
   Keypair kp;
-  kp.secret = secret;
-  kp.pub = Secp256k1::MulBase(secret);
+  // Rejection-sample straight into the self-wiping Keypair. The only bit
+  // that escapes the loop is the retry verdict, a ~2^-256 event.
+  uint64_t valid = 0;
+  do {
+    for (auto& limb : kp.secret.limbs) limb = rng->Next();
+    kp.secret = ScalarReduce(kp.secret);
+    CtPoison(&kp.secret, sizeof(kp.secret));
+    valid = 1 ^ CtIsZero(kp.secret);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-256 retry)
+    CtDeclassify(&valid, sizeof(valid));
+  } while (valid == 0);
+  kp.pub = Secp256k1::MulBaseCT(kp.secret);
   return kp;
 }
 
 Keypair Keypair::FromSeed(std::string_view seed) {
-  U256 secret = HashToScalar(seed, "tokenmagic/keygen");
   Keypair kp;
-  kp.secret = secret;
-  kp.pub = Secp256k1::MulBase(secret);
+  kp.secret = HashToScalar(seed, "tokenmagic/keygen");
+  CtPoison(&kp.secret, sizeof(kp.secret));
+  kp.pub = Secp256k1::MulBaseCT(kp.secret);
   return kp;
 }
 
@@ -38,7 +44,14 @@ U256 HashToScalar(const uint8_t* data, size_t size,
     hasher.Update(counter_bytes, 4);
     auto digest = hasher.Finalize();
     U256 value = U256::FromBytes(digest.data());
-    if (IsValidScalar(value)) return value;
+    // The candidate inherits the secrecy of `data` (e.g. the stealth
+    // shared point); only the validity verdict may steer control flow.
+    uint64_t valid = CtValidScalar(value);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-128 retry)
+    CtDeclassify(&valid, sizeof(valid));
+    if (valid != 0) return value;
+    SecureWipe(value.limbs.data(), sizeof(value.limbs));
+    SecureWipe(digest.data(), digest.size());
     // Probability ~2^-128 per retry; loop terminates immediately in practice.
   }
 }

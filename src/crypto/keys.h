@@ -19,7 +19,7 @@ namespace tokenmagic::crypto {
 /// are still allowed — each copy wipes itself independently — but note that
 /// moved-from objects retain their bytes until their own destructor runs.
 struct Keypair {
-  U256 secret;
+  U256 secret;  // tm-secret
   Point pub;
 
   Keypair() = default;

@@ -1,6 +1,7 @@
 #include "crypto/lsag.h"
 
 #include "common/macros.h"
+#include "crypto/ct.h"
 #include "crypto/field.h"
 #include "crypto/memzero.h"
 #include "crypto/sha256.h"
@@ -38,11 +39,17 @@ U256 ChainChallenge(const std::vector<Point>& ring, const Point& key_image,
 }
 
 U256 RandomScalar(common::Rng* rng) {
+  // tm-secret
   U256 value;
+  uint64_t valid = 0;
   do {
     for (auto& limb : value.limbs) limb = rng->Next();
     value = ScalarReduce(value);
-  } while (value.IsZero());
+    CtPoison(&value, sizeof(value));
+    valid = 1 ^ CtIsZero(value);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-256 retry)
+    CtDeclassify(&valid, sizeof(valid));
+  } while (valid == 0);
   return value;
 }
 
@@ -82,16 +89,16 @@ common::Result<LsagSignature> Lsag::Sign(const std::vector<Point>& ring,
 
   Point hp_signer = HashPointOfKey(signer.pub);
 
-  // tm-lint: ct-begin -- key image and commitment: every scalar multiple of
-  // the secret key x and the nonce u goes through the constant-time ladder.
+  // Key image and commitment: every scalar multiple of the secret key x
+  // and the nonce u goes through the constant-time ladder.
   sig.key_image = Secp256k1::MulCT(signer.secret, hp_signer);
 
   // Start the chain at the signer with a fresh commitment nonce u:
   //   L_j = u*G,  R_j = u*Hp(P_j),  c_{j+1} = H(..., L_j, R_j)
+  // tm-secret
   U256 u = RandomScalar(rng);
   Point l = Secp256k1::MulBaseCT(u);
   Point r = Secp256k1::MulCT(u, hp_signer);
-  // tm-lint: ct-end
 
   std::vector<U256> challenges(n, U256::Zero());
   size_t next = (signer_index + 1) % n;
@@ -101,6 +108,8 @@ common::Result<LsagSignature> Lsag::Sign(const std::vector<Point>& ring,
   for (size_t step = 1; step < n; ++step) {
     size_t i = (signer_index + step) % n;
     sig.responses[i] = RandomScalar(rng);
+    // tm-declassify(simulated ring response: published in the signature)
+    CtDeclassify(&sig.responses[i], sizeof(U256));
     Point hp_i = HashPointOfKey(ring[i]);
     Point l_i = Secp256k1::MulAdd(sig.responses[i], Secp256k1::Generator(),
                                   challenges[i], ring[i]);
@@ -111,13 +120,14 @@ common::Result<LsagSignature> Lsag::Sign(const std::vector<Point>& ring,
         ChainChallenge(ring, sig.key_image, message, l_i, r_i);
   }
 
-  // tm-lint: ct-begin -- closing response touches the secret scalar; the
-  // nonce is wiped before it can leak through a reused stack frame.
-  // Close the ring: s_j = u - c_j * x (mod n).
+  // Close the ring: s_j = u - c_j * x (mod n). The nonce is wiped before
+  // it can leak through a reused stack frame; the closing response itself
+  // is published, so it is an audited declassification exit.
   sig.responses[signer_index] =
       ScalarSub(u, ScalarMul(challenges[signer_index], signer.secret));
   SecureWipe(u.limbs.data(), sizeof(u.limbs));
-  // tm-lint: ct-end
+  // tm-declassify(published ring response: closes the ring equation)
+  CtDeclassify(&sig.responses[signer_index], sizeof(U256));
   sig.c0 = challenges[0];
   return sig;
 }

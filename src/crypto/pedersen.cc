@@ -1,7 +1,9 @@
 #include "crypto/pedersen.h"
 
 #include "common/macros.h"
+#include "crypto/ct.h"
 #include "crypto/field.h"
+#include "crypto/memzero.h"
 #include "crypto/sha256.h"
 
 namespace tokenmagic::crypto {
@@ -9,11 +11,17 @@ namespace tokenmagic::crypto {
 namespace {
 
 U256 RandomScalar(common::Rng* rng) {
+  // tm-secret
   U256 value;
+  uint64_t valid = 0;
   do {
     for (auto& limb : value.limbs) limb = rng->Next();
     value = ScalarReduce(value);
-  } while (value.IsZero());
+    CtPoison(&value, sizeof(value));
+    valid = 1 ^ CtIsZero(value);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-256 retry)
+    CtDeclassify(&valid, sizeof(valid));
+  } while (valid == 0);
   return value;
 }
 
@@ -49,11 +57,17 @@ Commitment Pedersen::Commit(uint64_t value, common::Rng* rng) {
 
 Commitment Pedersen::CommitWithBlinding(uint64_t value,
                                         const U256& blinding) {
-  TM_CHECK(IsValidScalar(blinding));
+  // Validate without branching on the blinding itself: only the verdict —
+  // "is this a well-formed scalar", which every honest caller satisfies
+  // by construction — reaches control flow.
+  uint64_t valid = CtValidScalar(blinding);
+  // tm-declassify(scalar-validity verdict: callers rejection-sample blindings)
+  CtDeclassify(&valid, sizeof(valid));
+  TM_CHECK(valid != 0);
   Commitment c;
   c.value = value;
   c.blinding = blinding;
-  Point blind_part = Secp256k1::MulBase(blinding);
+  Point blind_part = Secp256k1::MulBaseCT(blinding);
   Point value_part =
       value == 0 ? Point::Infinity()
                  : Secp256k1::Mul(U256(value), ValueGenerator());
@@ -69,8 +83,19 @@ Point Pedersen::Sum(const std::vector<Point>& commitments) {
 
 bool Pedersen::VerifyOpening(const Point& commitment, const U256& blinding,
                              uint64_t value) {
-  if (!IsValidScalar(blinding)) return false;
-  return CommitWithBlinding(value, blinding).point == commitment;
+  uint64_t valid = CtValidScalar(blinding);
+  // tm-declassify(validity verdict of a candidate opening)
+  CtDeclassify(&valid, sizeof(valid));
+  if (valid == 0) return false;
+  // Compare via CtEquals: the recomputed point derives from the secret
+  // blinding, and an early-exit byte compare would reveal the first
+  // differing limb of a near-miss opening.
+  auto lhs = CommitWithBlinding(value, blinding).point.Encode();
+  auto rhs = commitment.Encode();
+  bool equal = CtEquals(lhs, rhs);
+  // The recomputed encoding is blinding-derived; don't leave it behind.
+  SecureWipe(lhs.data(), lhs.size());
+  return equal;
 }
 
 common::Result<BalanceProof> ConfidentialBalance::Prove(
@@ -88,19 +113,25 @@ common::Result<BalanceProof> ConfidentialBalance::Prove(
   }
 
   // z = sum(r_in) - sum(r_out)  (mod n); E = z*G.
+  // tm-secret
   U256 z = U256::Zero();
   for (const Commitment& c : inputs) z = ScalarAdd(z, c.blinding);
   for (const Commitment& c : outputs) z = ScalarSub(z, c.blinding);
-  if (z.IsZero()) {
+  uint64_t nonzero = 1 ^ CtIsZero(z);
+  // tm-declassify(degenerate-blinding verdict: rejecting cancellation is API behavior)
+  CtDeclassify(&nonzero, sizeof(nonzero));
+  if (nonzero == 0) {
     // Degenerate but legal; re-randomize by splitting an output blinding
     // is the caller's job — reject to keep the Schnorr key valid.
+    SecureWipe(z.limbs.data(), sizeof(z.limbs));
     return Status::InvalidArgument(
         "blinding factors cancel exactly; re-randomize an output");
   }
 
-  Keypair excess_key;
+  Keypair excess_key;  // self-wiping
   excess_key.secret = z;
-  excess_key.pub = Secp256k1::MulBase(z);
+  excess_key.pub = Secp256k1::MulBaseCT(z);
+  SecureWipe(z.limbs.data(), sizeof(z.limbs));
 
   BalanceProof proof;
   proof.excess_signature =

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "crypto/memzero.h"
 #include "crypto/schnorr.h"
 #include "crypto/secp256k1.h"
 
@@ -24,8 +25,19 @@ namespace tokenmagic::crypto {
 /// An opened commitment (prover side).
 struct Commitment {
   Point point;    ///< C = r*G + v*H
-  U256 blinding;  ///< r (secret)
-  uint64_t value = 0;  ///< v (secret)
+  U256 blinding;  ///< r (secret)  // tm-secret
+  /// v. Confidential at the protocol level, but deliberately outside the
+  /// tm_ct taint model in v1: amounts index bit-decomposition tables in
+  /// the range proof, and the threat model there is the blinding, not the
+  /// 64-bit value (see ARCHITECTURE.md "Constant-time discipline").
+  uint64_t value = 0;
+
+  Commitment() = default;
+  Commitment(const Commitment&) = default;
+  Commitment& operator=(const Commitment&) = default;
+  /// Self-wiping, like Keypair: openings travel through wallets and
+  /// vectors, and every copy scrubs its blinding when it dies.
+  ~Commitment() { SecureWipe(blinding.limbs.data(), sizeof(blinding.limbs)); }
 };
 
 class Pedersen {

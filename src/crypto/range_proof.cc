@@ -1,7 +1,9 @@
 #include "crypto/range_proof.h"
 
 #include "common/macros.h"
+#include "crypto/ct.h"
 #include "crypto/field.h"
+#include "crypto/memzero.h"
 #include "crypto/sha256.h"
 
 namespace tokenmagic::crypto {
@@ -9,11 +11,17 @@ namespace tokenmagic::crypto {
 namespace {
 
 U256 RandomScalar(common::Rng* rng) {
+  // tm-secret
   U256 value;
+  uint64_t valid = 0;
   do {
     for (auto& limb : value.limbs) limb = rng->Next();
     value = ScalarReduce(value);
-  } while (value.IsZero());
+    CtPoison(&value, sizeof(value));
+    valid = 1 ^ CtIsZero(value);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-256 retry)
+    CtDeclassify(&valid, sizeof(valid));
+  } while (valid == 0);
   return value;
 }
 
@@ -46,25 +54,31 @@ BitProof SignBit(const Point& bit_commitment, const U256& blinding, int bit,
                  common::Rng* rng) {
   Point keys[2];
   BitKeys(bit_commitment, &keys[0], &keys[1]);
-  TM_DCHECK(keys[bit] == Secp256k1::MulBase(blinding));
+  TM_DCHECK(keys[bit] == Secp256k1::MulBaseCT(blinding));
 
   const int j = bit;          // known branch
   const int other = 1 - bit;  // simulated branch
 
+  // tm-secret
   U256 alpha = RandomScalar(rng);
   // e_{j+1} = H(B, j+1, α·G)
   U256 challenges[2];
   challenges[other] = BranchChallenge(bit_commitment, other,
-                                      Secp256k1::MulBase(alpha));
+                                      Secp256k1::MulBaseCT(alpha));
   // Simulate the other branch: s_other random,
   // e_j = H(B, j, s_other·G + e_other·P_other).
   U256 s[2];
   s[other] = RandomScalar(rng);
+  // tm-declassify(simulated-branch response: published in the proof)
+  CtDeclassify(&s[other], sizeof(s[other]));
   Point r_other = Secp256k1::MulAdd(s[other], Secp256k1::Generator(),
                                     challenges[other], keys[other]);
   challenges[j] = BranchChallenge(bit_commitment, j, r_other);
-  // Close: s_j = α − e_j·x.
+  // Close: s_j = α − e_j·x; the response is published, α stays secret.
   s[j] = ScalarSub(alpha, ScalarMul(challenges[j], blinding));
+  SecureWipe(alpha.limbs.data(), sizeof(alpha.limbs));
+  // tm-declassify(published response: closes the AOS ring for this bit)
+  CtDeclassify(&s[j], sizeof(s[j]));
 
   BitProof proof;
   proof.bit_commitment = bit_commitment;
@@ -116,19 +130,31 @@ common::Result<RangeProof> RangeProver::Prove(const Commitment& opening,
 
   // Per-bit blindings r_i with Σ r_i·2^i == r (telescoped into the top
   // bit: r_top = (r − Σ_{i<top} r_i·2^i) · (2^top)^(−1) mod n).
+  // tm-secret
   std::vector<U256> blindings(bit_width);
+  // tm-secret
   U256 partial = U256::Zero();
   for (size_t i = 0; i + 1 < bit_width; ++i) {
     blindings[i] = RandomScalar(rng);
     partial = ScalarAdd(partial, ScalarMul(blindings[i], PowerOfTwo(i)));
   }
+  // tm-secret
   U256 top_share = ScalarSub(opening.blinding, partial);
+  // tm-secret
   U256 top = ScalarMul(top_share, ScalarInv(PowerOfTwo(bit_width - 1)));
-  if (top.IsZero()) {
+  SecureWipe(partial.limbs.data(), sizeof(partial.limbs));
+  SecureWipe(top_share.limbs.data(), sizeof(top_share.limbs));
+  uint64_t nonzero = 1 ^ CtIsZero(top);
+  // tm-declassify(vanishing-top-blinding verdict: triggers a public retry)
+  CtDeclassify(&nonzero, sizeof(nonzero));
+  if (nonzero == 0) {
     // Vanishing blinding would make the AOS secret zero; retry shifts it.
+    SecureWipe(top.limbs.data(), sizeof(top.limbs));
+    WipeScalars(blindings);
     return Prove(opening, bit_width, rng);
   }
   blindings[bit_width - 1] = top;
+  SecureWipe(top.limbs.data(), sizeof(top.limbs));
 
   RangeProof proof;
   proof.bits.reserve(bit_width);
@@ -139,6 +165,7 @@ common::Result<RangeProof> RangeProver::Prove(const Commitment& opening,
     proof.bits.push_back(
         SignBit(bit_commitment.point, blindings[i], bit, rng));
   }
+  WipeScalars(blindings);
   TM_DCHECK(Verify(opening.point, proof));
   return proof;
 }

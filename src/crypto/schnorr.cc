@@ -1,6 +1,8 @@
 #include "crypto/schnorr.h"
 
+#include "crypto/ct.h"
 #include "crypto/field.h"
+#include "crypto/memzero.h"
 #include "crypto/sha256.h"
 
 namespace tokenmagic::crypto {
@@ -27,23 +29,33 @@ SchnorrSignature Schnorr::Sign(const Keypair& key, std::string_view message,
                                common::Rng* rng) {
   // Hedged nonce: mix rng output with H(secret || message) so that even a
   // broken rng cannot produce a repeated nonce for distinct messages.
+  // tm-secret
   U256 nonce;
+  uint64_t valid = 0;
   do {
     Sha256 hasher;
     hasher.Update("tokenmagic/schnorr-nonce");
     auto sk = key.secret.ToBytes();
     hasher.Update(sk.data(), sk.size());
+    SecureWipe(sk.data(), sk.size());
     hasher.Update(message);
     uint64_t salt[2] = {rng->Next(), rng->Next()};
     hasher.Update(reinterpret_cast<const uint8_t*>(salt), sizeof(salt));
     auto digest = hasher.Finalize();
     nonce = ScalarReduce(U256::FromBytes(digest.data()));
-  } while (nonce.IsZero());
+    SecureWipe(digest.data(), digest.size());
+    valid = 1 ^ CtIsZero(nonce);
+    // tm-declassify(rejection-sampling verdict: reveals only a ~2^-256 retry)
+    CtDeclassify(&valid, sizeof(valid));
+  } while (valid == 0);
 
-  Point r = Secp256k1::MulBase(nonce);
+  Point r = Secp256k1::MulBaseCT(nonce);
   U256 c = Challenge(r, key.pub, message);
   // s = nonce - c*x mod n; verification computes R' = s*G + c*P.
   U256 s = ScalarSub(nonce, ScalarMul(c, key.secret));
+  SecureWipe(nonce.limbs.data(), sizeof(nonce.limbs));
+  // tm-declassify(published signature response: s is part of the signature)
+  CtDeclassify(&s, sizeof(s));
   return SchnorrSignature{c, s};
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "crypto/memzero.h"
 
 namespace tokenmagic::crypto {
 
@@ -31,6 +32,11 @@ inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+Sha256::~Sha256() {
+  SecureWipe(state_.data(), sizeof(state_));
+  SecureWipe(buffer_.data(), sizeof(buffer_));
+}
 
 void Sha256::ProcessBlock(const uint8_t block[64]) {
   uint32_t w[64];
@@ -74,6 +80,10 @@ void Sha256::ProcessBlock(const uint8_t block[64]) {
   state_[5] += f;
   state_[6] += g;
   state_[7] += h;
+
+  // The message schedule holds an expansion of the (possibly secret)
+  // input block; scrub it before the frame is reused.
+  SecureWipe(w, sizeof(w));
 }
 
 void Sha256::Update(const uint8_t* data, size_t size) {

@@ -20,6 +20,10 @@ class Sha256 {
   using Digest = std::array<uint8_t, kDigestSize>;
 
   Sha256();
+  /// Hashers routinely absorb secrets (nonce hedging, stealth shared
+  /// points), so the state and block buffer are wiped on destruction —
+  /// Sha256 is self-wiping in the same sense as Keypair.
+  ~Sha256();
 
   /// Absorbs `size` bytes.
   void Update(const uint8_t* data, size_t size);

@@ -169,26 +169,42 @@ U256 U512::Mod(const U512& a, const U256& m) {
   return remainder;
 }
 
+namespace {
+
+// out = cond ? a : b with full-width masking; no branch, so modular
+// correction steps below leak nothing about their (possibly secret)
+// operands. Mirrors crypto::CtSelect without the header dependency.
+U256 MaskedSelect(uint64_t cond, const U256& a, const U256& b) {
+  uint64_t mask = 0 - static_cast<uint64_t>(cond != 0);
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    out.limbs[i] = (a.limbs[i] & mask) | (b.limbs[i] & ~mask);
+  }
+  return out;
+}
+
+}  // namespace
+
 U256 AddMod(const U256& a, const U256& b, const U256& m) {
+  // Branch-free: compute both sum and sum - m, then select with a mask.
+  // The reduction is needed when the add carried out of 256 bits or the
+  // in-range sum still reached m; in the carry case the wrapped
+  // subtraction absorbs the implicit 2^256 and diff is already correct.
   U256 sum;
   uint64_t carry = U256::Add(a, b, &sum);
-  if (carry != 0 || sum >= m) {
-    U256 tmp;
-    U256::Sub(sum, m, &tmp);
-    return tmp;
-  }
-  return sum;
+  U256 diff;
+  uint64_t borrow = U256::Sub(sum, m, &diff);
+  uint64_t take_diff = carry | (borrow ^ 1);
+  return MaskedSelect(take_diff, diff, sum);
 }
 
 U256 SubMod(const U256& a, const U256& b, const U256& m) {
+  // Branch-free: always compute diff + m and select on the borrow.
   U256 diff;
   uint64_t borrow = U256::Sub(a, b, &diff);
-  if (borrow != 0) {
-    U256 tmp;
-    U256::Add(diff, m, &tmp);
-    return tmp;
-  }
-  return diff;
+  U256 corrected;
+  U256::Add(diff, m, &corrected);
+  return MaskedSelect(borrow, corrected, diff);
 }
 
 U256 MulMod(const U256& a, const U256& b, const U256& m) {

@@ -1,0 +1,19 @@
+// Branch/index fixtures: control flow and a table lookup on a tainted
+// scalar must fire secret-branch and secret-index exactly once each.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+uint64_t BranchFixture(const uint64_t* table) {
+  // tm-secret
+  uint64_t sk = 5;
+  uint64_t out = 0;
+  if (sk != 0) {
+    out = 1;
+  }
+  out = table[sk & 7];
+  SecureWipe(&sk, sizeof(sk));
+  return out;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,19 @@
+// Declassify fixtures: an unannotated CtDeclassify, a stale annotation
+// and a bare reason-less annotation all fire declassify-audit.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+uint64_t DeclassifyFixture() {
+  // tm-secret
+  uint64_t sk = 7;
+  uint64_t verdict = sk & 1;
+  CtDeclassify(&verdict, sizeof(verdict));
+  // tm-declassify(attached to nothing: must be reported stale)
+  uint64_t pad = 0;
+  // tm-declassify
+  SecureWipe(&sk, sizeof(sk));
+  return verdict + pad;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,17 @@
+// Ladder fixtures: .Bit() extraction and unannotated control flow
+// inside a tm-ct-ladder body must each fire ladder-hygiene.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+// tm-ct-ladder
+Point LadderFixture(const U256& scalar) {
+  Point acc = Point::Infinity();
+  for (int i = 0; i < 256; ++i) {
+    uint64_t bit = scalar.Bit(i);
+    (void)bit;
+  }
+  return acc;
+}
+
+}  // namespace tokenmagic::crypto

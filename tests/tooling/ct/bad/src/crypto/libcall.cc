@@ -1,0 +1,15 @@
+// Libcall fixture: comparing a secret-derived tag with memcmp leaks
+// the position of the first differing byte; must fire secret-libcall.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+bool LibcallFixture(const uint8_t* mac, size_t n) {
+  // tm-secret
+  uint8_t tag[32] = {0};
+  bool same = std::memcmp(tag, mac, n) == 0;
+  SecureWipe(tag, sizeof(tag));
+  return same;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,28 @@
+// Carrier types for the bad tree. Keypair and Sha256 wipe correctly;
+// Commitment's destructor forgets the blinding, which must fire the
+// self-wiping-type audit (declassify-audit) at the destructor line.
+#pragma once
+
+namespace tokenmagic::crypto {
+
+void SecureWipe(void* data, unsigned long len);
+
+struct Keypair {
+  // tm-secret
+  uint64_t secret[4];
+  uint64_t pub[4];
+  ~Keypair() { SecureWipe(secret, sizeof(secret)); }
+};
+
+struct Sha256 {
+  uint64_t state_[8];
+  ~Sha256() { SecureWipe(state_, sizeof(state_)); }
+};
+
+struct Commitment {
+  // tm-secret
+  uint64_t blinding[4];
+  ~Commitment() { blinding[0] = 0; }
+};
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,17 @@
+// Variable-time fixtures: a non-CT scalar multiply on a secret and a
+// modulo over tainted limbs must each fire variable-time-op.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+Point VarTimeFixture(common::Rng* rng) {
+  // tm-secret
+  U256 sk = RandomScalar(rng);
+  Point p = Secp256k1::MulBase(sk);
+  uint64_t r = sk.limbs[0] % 17;
+  SecureWipe(&r, sizeof(r));
+  SecureWipe(sk.limbs.data(), sizeof(sk.limbs));
+  return p;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,13 @@
+// Wipe fixture: a tainted local that is neither wiped, returned, nor of
+// a self-wiping type must fire wipe-on-exit at its declaration.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+void WipeFixture() {
+  // tm-secret
+  U256 nonce = U256::Zero();
+  (void)nonce;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,21 @@
+// Branch/index twins: the verdict pattern (branch-free verdict, audited
+// CtDeclassify, then branch) keeps control flow off the secret itself.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+uint64_t BranchFixture(const uint64_t* table) {
+  // tm-secret
+  uint64_t sk = 5;
+  uint64_t verdict = sk & 1;
+  // tm-declassify(fixture verdict: the parity bit is published by design)
+  CtDeclassify(&verdict, sizeof(verdict));
+  uint64_t out = 0;
+  if (verdict != 0) {
+    out = table[0];
+  }
+  SecureWipe(&sk, sizeof(sk));
+  return out;
+}
+
+}  // namespace tokenmagic::crypto

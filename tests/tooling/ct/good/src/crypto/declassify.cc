@@ -1,0 +1,17 @@
+// Declassify twins: every CtDeclassify carries its audit reason and
+// every annotation attaches to a real declassification site.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+uint64_t DeclassifyFixture() {
+  // tm-secret
+  uint64_t sk = 7;
+  uint64_t verdict = sk & 1;
+  // tm-declassify(fixture verdict: the parity bit is published by design)
+  CtDeclassify(&verdict, sizeof(verdict));
+  SecureWipe(&sk, sizeof(sk));
+  return verdict;
+}
+
+}  // namespace tokenmagic::crypto

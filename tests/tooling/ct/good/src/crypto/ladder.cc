@@ -1,0 +1,20 @@
+// Ladder twins: bits come from masked limb arithmetic and the loop
+// carries an audit note stating why its trip count is public.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+// tm-ct-ladder
+Point LadderFixture(const U256& scalar) {
+  Point acc = Point::Infinity();
+  // tm-declassify(fixture ladder: fixed 256-iteration trip count is public)
+  for (int i = 0; i < 256; ++i) {
+    uint64_t limb = scalar.limbs[i >> 6];
+    uint64_t bit = (limb >> (i & 63)) & 1;
+    acc = Secp256k1::Add(acc, acc);
+    (void)bit;
+  }
+  return acc;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,15 @@
+// Libcall twins: secret-derived tags are compared with the branch-free
+// crypto::CtEquals instead of an early-exit memcmp.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+bool LibcallFixture(const uint8_t* mac, size_t n) {
+  // tm-secret
+  uint8_t tag[32] = {0};
+  bool same = CtEquals({tag, n}, {mac, n});
+  SecureWipe(tag, sizeof(tag));
+  return same;
+}
+
+}  // namespace tokenmagic::crypto

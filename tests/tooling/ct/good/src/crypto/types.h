@@ -1,0 +1,27 @@
+// Carrier types for the good tree: every type tm_ct treats as
+// self-wiping defines a destructor that wipes its secret members.
+#pragma once
+
+namespace tokenmagic::crypto {
+
+void SecureWipe(void* data, unsigned long len);
+
+struct Keypair {
+  // tm-secret
+  uint64_t secret[4];
+  uint64_t pub[4];
+  ~Keypair() { SecureWipe(secret, sizeof(secret)); }
+};
+
+struct Sha256 {
+  uint64_t state_[8];
+  ~Sha256() { SecureWipe(state_, sizeof(state_)); }
+};
+
+struct Commitment {
+  // tm-secret
+  uint64_t blinding[4];
+  ~Commitment() { SecureWipe(blinding, sizeof(blinding)); }
+};
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,15 @@
+// Variable-time twins: secret scalars go through the constant-time
+// boundary; non-CT multiplies are reserved for public inputs.
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+Point VarTimeFixture(common::Rng* rng) {
+  // tm-secret
+  U256 sk = RandomScalar(rng);
+  Point p = Secp256k1::MulBaseCT(sk);
+  SecureWipe(sk.limbs.data(), sizeof(sk.limbs));
+  return p;
+}
+
+}  // namespace tokenmagic::crypto

@@ -1,0 +1,14 @@
+// Wipe twins: the nonce is wiped before the frame is reused (the wipe
+// obligation is flow-insensitive: any wipe in the body discharges it).
+#include "crypto/types.h"
+
+namespace tokenmagic::crypto {
+
+void WipeFixture() {
+  // tm-secret
+  U256 nonce = U256::Zero();
+  (void)nonce;
+  SecureWipe(nonce.limbs.data(), sizeof(nonce.limbs));
+}
+
+}  // namespace tokenmagic::crypto

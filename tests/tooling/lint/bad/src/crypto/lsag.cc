@@ -1,17 +1,14 @@
-// Constant-time fixtures: the region below violates every ct rule once.
+// The ct-region check is retired (constant-time hygiene moved to
+// tools/analyze/tm_ct.py); tm_lint must now reject the old region
+// markers and allow(ct) escapes instead of silently ignoring them.
 #include "crypto/lsag.h"
 
 namespace tokenmagic::crypto {
 
 void SignFixture(int secret_bit) {
   // tm-lint: ct-begin
-  Secp256k1::Mul(secret_bit);
-  int b = scalar.Bit(3);
-  if (secret_bit) {
-    b += 1;
-  }
-  if (b > 0) {  // tm-lint: allow(ct, bound does not depend on the secret_key)
-    b -= 1;
+  if (secret_bit) {  // tm-lint: allow(ct, retired escape must be rejected)
+    secret_bit -= 1;
   }
   // tm-lint: ct-end
 }

@@ -27,6 +27,7 @@ FINDING_RE = re.compile(r'^(\S+?):(\d+): \[([\w-]+)\]')
 TOOLS = {
     "lint": ROOT / "tools" / "lint" / "tm_lint.py",
     "analyze": ROOT / "tools" / "analyze" / "tm_analyze.py",
+    "ct": ROOT / "tools" / "analyze" / "tm_ct.py",
 }
 
 failures: list[str] = []
@@ -39,7 +40,7 @@ def fail(message: str) -> None:
 
 def run_tool(tool: str, tree: pathlib.Path, sarif: pathlib.Path | None = None):
     cmd = [sys.executable, str(TOOLS[tool]), "--root", str(tree)]
-    if tool == "analyze":
+    if tool in ("analyze", "ct"):
         cmd += ["--frontend", "lexical"]  # pinned: fixtures test the rules
     if sarif is not None:
         cmd += ["--sarif", str(sarif)]

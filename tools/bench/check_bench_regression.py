@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_context_throughput run against the committed
+baseline (BENCH_context.json at the repo root) and fail on regression.
+
+Usage:  python3 tools/bench/check_bench_regression.py FRESH.json \
+            [--baseline BENCH_context.json] [--factor 0.8]
+
+Raw milliseconds are machine-dependent, so the gate compares the one
+machine-independent number the bench is built around: the end-to-end
+speedup of the shared AnalysisContext over legacy per-call interning,
+per scale. A fresh per-scale speedup below `factor` (default 0.8, i.e. a
+>20% regression) of the committed baseline fails; per-phase numbers are
+printed for diagnosis but not gated (single phases are too noisy on
+shared CI runners). The fresh run must also keep every scale at >= 1.0x
+— the context must never be slower than what it replaced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("bench") != "context_throughput":
+        sys.exit(f"{path}: not a context_throughput bench log")
+    return {scale["num_rs"]: scale for scale in data["scales"]}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path,
+                        help="JSON emitted by this run's bench binary")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2]
+                        / "BENCH_context.json")
+    parser.add_argument("--factor", type=float, default=0.8,
+                        help="minimum fresh/baseline speedup ratio")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = 0
+    for num_rs, base_scale in sorted(baseline.items()):
+        fresh_scale = fresh.get(num_rs)
+        if fresh_scale is None:
+            print(f"FAIL: fresh run is missing the {num_rs}-RS scale",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        base_speedup = base_scale["speedup"]
+        fresh_speedup = fresh_scale["speedup"]
+        ratio = fresh_speedup / base_speedup if base_speedup > 0 else 0.0
+        print(f"scale {num_rs:>6} RS: baseline {base_speedup:.2f}x, "
+              f"fresh {fresh_speedup:.2f}x (ratio {ratio:.2f})")
+        for phase in fresh_scale.get("phases", []):
+            print(f"    {phase['name']:<16} {phase['speedup']:.2f}x")
+        if fresh_speedup < 1.0:
+            print(f"FAIL: {num_rs}-RS scale: context path is slower than "
+                  f"legacy ({fresh_speedup:.2f}x)", file=sys.stderr)
+            failures += 1
+        elif ratio < args.factor:
+            print(f"FAIL: {num_rs}-RS scale regressed to {ratio:.2f} of "
+                  f"the baseline speedup (floor {args.factor})",
+                  file=sys.stderr)
+            failures += 1
+
+    if failures:
+        print(f"bench regression check: {failures} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("bench regression check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,15 +15,13 @@ Audited exceptions use ONE syntax, checked by the linter itself:
 
     // tm-lint: allow(<check>, <reason>)
 
-where <check> is one of: float, clock, history, ct. The annotation
-suppresses that check on the same line or the two lines below it
-(ct: same line only). The linter rejects
+where <check> is one of: float, clock, history. The annotation
+suppresses that check on the same line or the two lines below it.
+The linter rejects
   * unknown <check> names,
   * legacy tokens (float-ok/clock-ok/history-ok/ct-ok), and
   * stale allows that no longer suppress anything,
-so escape comments cannot rot silently. The only other recognized
-directives are the constant-time region markers `tm-lint: ct-begin` /
-`tm-lint: ct-end` (check 5).
+so escape comments cannot rot silently.
 
 Checks
 ------
@@ -52,15 +50,13 @@ Checks
    [[nodiscard]] so an ignored error is a compile-time warning (an error
    under -Werror).
 
-5. Constant-time hygiene (crypto) [ct-region]: regions bracketed by
-   `tm-lint: ct-begin` / `tm-lint: ct-end` in lsag.cc and secp256k1.cc
-   must not call the variable-time Secp256k1::Mul/MulBase, must not
-   branch on scalar bits (.Bit( is banned inside regions), and any
-   control-flow statement inside a region needs an explicit
-   `tm-lint: allow(ct, <reason>)` on the same line; the reason line is
-   itself forbidden from referencing secret material. lsag.cc must
-   contain at least one such region, and the Keypair destructor must
-   wipe the secret (SecureWipe in keys.h).
+5. RETIRED (was: constant-time region hygiene [ct-region]). The
+   lexical ct-begin/ct-end region checker is superseded by the
+   secret-taint dataflow analyzer tools/analyze/tm_ct.py, which tracks
+   `// tm-secret` roots interprocedurally across all of src/crypto/
+   instead of scanning hand-marked regions in two files. tm_lint now
+   rejects the old markers and allow(ct) escapes as unknown directives
+   so they cannot linger unchecked.
 
 6. Clock hygiene [clock-hygiene]: raw std::chrono clock reads
    (system_clock/steady_clock/high_resolution_clock::now) are banned
@@ -91,7 +87,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import sarif  # noqa: E402  (tools/lint/sarif.py)
 
-TOOL_VERSION = "2.0"
+TOOL_VERSION = "3.0"
 
 MODULE_RANK = {
     "common": 0,
@@ -117,7 +113,7 @@ FLOAT_BANNED_FILES = {
 }
 
 #: The unified escape-comment checks (check 8 rejects anything else).
-ALLOW_CHECKS = {"float", "clock", "history", "ct"}
+ALLOW_CHECKS = {"float", "clock", "history"}
 
 RULE_DESCRIPTIONS = {
     "layering": "module include must follow the layering DAG",
@@ -125,7 +121,6 @@ RULE_DESCRIPTIONS = {
     "banned-wallclock": "wall-clock seeding is banned; thread a seed",
     "float-exact": "float/double banned in exact-arithmetic analysis code",
     "nodiscard": "Status/Result returns must be [[nodiscard]]",
-    "ct-region": "constant-time region hygiene (crypto)",
     "clock-hygiene": "raw std::chrono clock reads banned outside common/",
     "history-span": "by-value RsView history banned in core/analysis API",
     "allow-hygiene": "tm-lint escape comments must be known and non-stale",
@@ -135,7 +130,6 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 RAND_RE = re.compile(r'\b(?:std::)?(?:s?rand|random)\s*\(')
 TIME_RE = re.compile(r'\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)')
 FLOAT_RE = re.compile(r'\b(?:float|double)\b')
-CONTROL_FLOW_RE = re.compile(r'\b(?:if|for|while|switch)\s*\(')
 NODISCARD_RE = re.compile(r'\[\[nodiscard\]\]')
 # Friend declarations are deliberately excluded: [[nodiscard]] on a friend
 # declaration that is not a definition is ignored (and -Werror=attributes
@@ -145,7 +139,6 @@ STATUS_DECL_RE = re.compile(
     r'(?:::)?(?:tokenmagic::)?(?:common::)?'
     r'(?:Status|Result<[^;=]*>)\s+'
     r'[A-Za-z_]\w*\s*\(')
-SECRET_TOKEN_RE = re.compile(r'secret|priv(?:ate)?_?key', re.IGNORECASE)
 CLOCK_RE = re.compile(
     r'\b(?:std::chrono::)?'
     r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
@@ -156,7 +149,6 @@ ALLOW_RE = re.compile(
     r'tm-lint:\s*allow\(\s*([A-Za-z-]+)\s*(?:,\s*([^)]*))?\)')
 LEGACY_RE = re.compile(
     r'tm-lint:\s*(float-ok|clock-ok|history-ok|ct-ok)\s*\(')
-CT_MARKERS = ("ct-begin", "ct-end")
 
 
 class Allow:
@@ -230,16 +222,14 @@ class Linter:
                            "(...)'; migrate to the unified "
                            "'tm-lint: allow(<check>, <reason>)' syntax")
                 continue
-            if any(f"tm-lint: {marker}" in line for marker in CT_MARKERS):
-                continue
             m = ALLOW_RE.search(line)
             if not m:
                 directive = DIRECTIVE_RE.search(line)
                 name = directive.group(1) if directive else "<unparsable>"
                 self.error(path, i, "allow-hygiene",
                            f"unknown tm-lint directive '{name}'; expected "
-                           "'allow(<check>, <reason>)' or a ct-begin/ct-end "
-                           "region marker")
+                           "'allow(<check>, <reason>)' (constant-time "
+                           "hygiene moved to tools/analyze/tm_ct.py)")
                 continue
             check = m.group(1)
             if check not in ALLOW_CHECKS:
@@ -251,10 +241,10 @@ class Linter:
         self.allows[path] = allows
 
     def consume_allow(self, path: pathlib.Path, check: str,
-                      line_no: int, same_line_only: bool = False) -> bool:
+                      line_no: int) -> bool:
         """True when an allow(check) covers `line_no` (same line or the two
         lines above); marks it used so the stale check passes."""
-        lo = line_no if same_line_only else line_no - 2
+        lo = line_no - 2
         hit = False
         for allow in self.allows.get(path, []):
             if allow.check == check and lo <= allow.line_no <= line_no:
@@ -362,72 +352,6 @@ class Linter:
                        "shared, or annotate owning storage with "
                        "'tm-lint: allow(history, <reason>)'")
 
-    def check_constant_time(self) -> None:
-        lsag = self.src / "crypto" / "lsag.cc"
-        secp = self.src / "crypto" / "secp256k1.cc"
-        keys = self.src / "crypto" / "keys.h"
-
-        regions = 0
-        for path in (lsag, secp):
-            if not path.exists():
-                self.error(path, 1, "ct-region",
-                           "constant-time check: file missing")
-                continue
-            raw = path.read_text().splitlines()
-            in_region = False
-            begin_line = 0
-            for i, line in enumerate(raw, start=1):
-                if "tm-lint: ct-begin" in line:
-                    if in_region:
-                        self.error(path, i, "ct-region", "nested ct-begin")
-                    in_region = True
-                    begin_line = i
-                    regions += 1
-                    continue
-                if "tm-lint: ct-end" in line:
-                    if not in_region:
-                        self.error(path, i, "ct-region",
-                                   "ct-end without ct-begin")
-                    in_region = False
-                    continue
-                if not in_region:
-                    continue
-                if re.search(r'Secp256k1::Mul(?:Base)?\(', line):
-                    self.error(path, i, "ct-region",
-                               "variable-time Secp256k1::Mul/MulBase inside "
-                               "a constant-time region; use MulCT/MulBaseCT")
-                if ".Bit(" in line:
-                    self.error(path, i, "ct-region",
-                               "scalar bit accessor inside a constant-time "
-                               "region; extract bits with masked limb "
-                               "arithmetic instead")
-                has_ternary = re.search(r'\?.*:', line) and "::" not in line
-                if CONTROL_FLOW_RE.search(line) or has_ternary:
-                    if not self.consume_allow(path, "ct", i,
-                                              same_line_only=True):
-                        self.error(path, i, "ct-region",
-                                   "control flow inside a constant-time "
-                                   "region needs "
-                                   "'tm-lint: allow(ct, <reason>)'")
-                    elif SECRET_TOKEN_RE.search(
-                            CONTROL_FLOW_RE.sub("", line)):
-                        self.error(path, i, "ct-region",
-                                   "control flow referencing secret "
-                                   "material may not be allow(ct)'d away")
-            if in_region:
-                self.error(path, begin_line, "ct-region",
-                           "unterminated ct-begin region")
-
-        if regions == 0:
-            self.error(lsag, 1, "ct-region",
-                       "LSAG signing must mark its secret-scalar operations "
-                       "with tm-lint: ct-begin/ct-end regions")
-
-        if keys.exists() and "SecureWipe" not in keys.read_text():
-            self.error(keys, 1, "ct-region",
-                       "Keypair must zeroize its secret scalar on "
-                       "destruction via SecureWipe")
-
     def check_stale_allows(self) -> None:
         for path, allows in sorted(self.allows.items()):
             for allow in allows:
@@ -442,8 +366,8 @@ class Linter:
 
     def run(self, sarif_out: pathlib.Path | None = None) -> int:
         files = list(self.iter_source_files())
-        # Pass 1: parse every escape comment (the ct check below needs the
-        # allow registry for files it re-reads).
+        # Pass 1: parse every escape comment so the per-file checks can
+        # consume allows and the stale check sees the full registry.
         contents = {}
         for path in files:
             raw = path.read_text().splitlines()
@@ -459,7 +383,6 @@ class Linter:
             self.check_nodiscard(path, code)
             self.check_clock_hygiene(path, code)
             self.check_history_span(path, code)
-        self.check_constant_time()
         self.check_stale_allows()
 
         if sarif_out is not None:
