@@ -47,6 +47,17 @@ class Histogram {
   /// p in [0, 100]; nearest-rank percentile. Requires count() > 0.
   int64_t Percentile(double p) const;
 
+  /// p in [0, 100]; linearly interpolated percentile over the sorted
+  /// sample (the R type-7 / numpy default: rank h = p/100 * (n-1) over
+  /// 0-indexed order statistics, interpolating between the two values
+  /// h falls between). Requires count() > 0. With a single distinct
+  /// value every percentile is that value.
+  double PercentileInterpolated(double p) const;
+
+  /// Folds every observation of `other` into this histogram (used to
+  /// aggregate per-thread latency histograms).
+  void MergeFrom(const Histogram& other);
+
   /// Distinct observed values in ascending order.
   std::vector<int64_t> Values() const;
   /// (value, frequency) pairs in ascending value order.

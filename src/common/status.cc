@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

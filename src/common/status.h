@@ -24,6 +24,7 @@ enum class StatusCode {
   kVerificationFailed,  ///< Signature / configuration verification failed.
   kIoError,
   kTimeout,
+  kCancelled,  ///< Shed by a shutdown/drain before the work ran.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +70,9 @@ class Status {
   [[nodiscard]] static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +84,10 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnsatisfiable() const { return code_ == StatusCode::kUnsatisfiable; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsVerificationFailed() const {
     return code_ == StatusCode::kVerificationFailed;

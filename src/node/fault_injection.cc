@@ -147,4 +147,73 @@ size_t FaultInjector::verdicts_flipped() const {
   return verdicts_flipped_;
 }
 
+void FaultInjector::ArmTransportFaults(int n,
+                                       std::vector<TransportFault> families,
+                                       uint32_t delay_millis) {
+  common::MutexLock lock(&mu_);
+  transport_faults_armed_ = n;
+  transport_families_ = std::move(families);
+  if (transport_families_.empty()) {
+    transport_families_ = {
+        TransportFault::kCorruptFrame, TransportFault::kTruncateFrame,
+        TransportFault::kDropConnection, TransportFault::kDuplicateResponse,
+        TransportFault::kDelayResponse};
+  }
+  transport_delay_millis_ = delay_millis;
+}
+
+void FaultInjector::ArmTransportFaultRate(double p) {
+  TM_CHECK(p >= 0.0 && p <= 1.0);
+  common::MutexLock lock(&mu_);
+  transport_fault_rate_ = p;
+  if (transport_families_.empty()) {
+    transport_families_ = {
+        TransportFault::kCorruptFrame, TransportFault::kTruncateFrame,
+        TransportFault::kDropConnection, TransportFault::kDuplicateResponse,
+        TransportFault::kDelayResponse};
+  }
+}
+
+FaultInjector::TransportFaultPlan FaultInjector::NextTransportFault() {
+  common::MutexLock lock(&mu_);
+  TransportFaultPlan plan;
+  bool fire = false;
+  if (transport_faults_armed_ > 0) {
+    --transport_faults_armed_;
+    fire = true;
+  } else if (transport_fault_rate_ > 0.0 &&
+             rng_.NextDouble() < transport_fault_rate_) {
+    fire = true;
+  }
+  if (!fire || transport_families_.empty()) return plan;
+  plan.fault =
+      transport_families_[rng_.NextBounded(transport_families_.size())];
+  if (plan.fault == TransportFault::kDelayResponse) {
+    plan.delay_millis = transport_delay_millis_;
+  }
+  ++transport_faults_injected_;
+  return plan;
+}
+
+std::string FaultInjector::CorruptFrame(std::string frame) {
+  common::MutexLock lock(&mu_);
+  if (frame.empty()) return frame;
+  size_t pos = rng_.NextBounded(frame.size());
+  frame[pos] = static_cast<char>(
+      frame[pos] ^ static_cast<char>(1 + rng_.NextBounded(255)));
+  return frame;
+}
+
+std::string FaultInjector::TruncateFrame(std::string frame) {
+  common::MutexLock lock(&mu_);
+  if (frame.size() < 2) return frame;
+  frame.resize(1 + rng_.NextBounded(frame.size() - 1));
+  return frame;
+}
+
+size_t FaultInjector::transport_faults_injected() const {
+  common::MutexLock lock(&mu_);
+  return transport_faults_injected_;
+}
+
 }  // namespace tokenmagic::node

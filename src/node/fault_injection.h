@@ -18,7 +18,15 @@
 //    flipping reject -> accept would make the harness itself commit an
 //    invalid ring, breaching the exact invariant this suite checks (the
 //    verifier stays authoritative on acceptance, so an injected fault can
-//    lose liveness but never consistency).
+//    lose liveness but never consistency);
+//  * transport faults: the serving layer (src/rpc) consumes a
+//    deterministic schedule of response-path faults — corrupted frames,
+//    truncated frames, dropped connections, duplicated and delayed
+//    responses — so the framed protocol's recovery paths (client resync,
+//    retry, reconnect) are exercised under load. As with verdicts, only
+//    liveness is attackable: a corrupted frame can make a client retry
+//    but never parse into a different well-formed response (the frame
+//    decoder validates lengths and rejects trailing bytes).
 //
 // Production builds never construct one; Node and the snapshot I/O accept
 // an optional injector and behave identically when it is absent.
@@ -89,6 +97,48 @@ class FaultInjector {
 
   size_t verdicts_flipped() const TM_EXCLUDES(mu_);
 
+  // -- transport faults --------------------------------------------------
+
+  /// One fault the response writer must apply to an outgoing frame.
+  enum class TransportFault : uint8_t {
+    kNone = 0,
+    kCorruptFrame,       ///< flip one payload byte in the written frame
+    kTruncateFrame,      ///< write only a strict prefix of the frame
+    kDropConnection,     ///< close the connection instead of responding
+    kDuplicateResponse,  ///< write the same frame twice
+    kDelayResponse,      ///< sleep delay_millis before writing
+  };
+
+  struct TransportFaultPlan {
+    TransportFault fault = TransportFault::kNone;
+    uint32_t delay_millis = 0;  ///< set for kDelayResponse
+  };
+
+  /// Arms the next `n` response writes to each draw one fault uniformly
+  /// from `families` (deterministic per seed). Empty `families` arms the
+  /// full family set. Delayed responses wait `delay_millis`.
+  void ArmTransportFaults(int n,
+                          std::vector<TransportFault> families = {},
+                          uint32_t delay_millis = 2) TM_EXCLUDES(mu_);
+
+  /// Probabilistic schedule for soaks: after any armed one-shot faults
+  /// are consumed, every response write independently faults with
+  /// probability `p` (0 disables), drawing from the same families.
+  void ArmTransportFaultRate(double p) TM_EXCLUDES(mu_);
+
+  /// Consumed by the rpc response writer before every frame write.
+  TransportFaultPlan NextTransportFault() TM_EXCLUDES(mu_);
+
+  /// Flips one deterministic byte of `frame` (anywhere, including the
+  /// length prefix: a corrupted length must fail safe behind the
+  /// receiver's frame-size bound and read deadline).
+  std::string CorruptFrame(std::string frame) TM_EXCLUDES(mu_);
+
+  /// Keeps a deterministic strict prefix (>= 1 byte) of `frame`.
+  std::string TruncateFrame(std::string frame) TM_EXCLUDES(mu_);
+
+  size_t transport_faults_injected() const TM_EXCLUDES(mu_);
+
  private:
   /// One injector may be shared by a node and concurrent test threads
   /// (e.g. parallel wallet submissions), so the armed counters and the
@@ -102,6 +152,11 @@ class FaultInjector {
   int rename_faults_armed_ TM_GUARDED_BY(mu_) = 0;
   int verdict_flips_armed_ TM_GUARDED_BY(mu_) = 0;
   size_t verdicts_flipped_ TM_GUARDED_BY(mu_) = 0;
+  int transport_faults_armed_ TM_GUARDED_BY(mu_) = 0;
+  double transport_fault_rate_ TM_GUARDED_BY(mu_) = 0.0;
+  std::vector<TransportFault> transport_families_ TM_GUARDED_BY(mu_);
+  uint32_t transport_delay_millis_ TM_GUARDED_BY(mu_) = 2;
+  size_t transport_faults_injected_ TM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tokenmagic::node

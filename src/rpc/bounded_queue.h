@@ -1,0 +1,99 @@
+// Bounded MPMC admission queue with typed shedding.
+//
+// The serving layer's backpressure policy is shed-on-overload: a full
+// queue rejects the push immediately (the caller answers the client with
+// a typed Overloaded verdict) instead of buffering without bound and
+// converting overload into unbounded latency and memory. TryPush never
+// blocks; only consumers wait. Closing the queue wakes every consumer;
+// items still queued at close time keep draining through Pop so shutdown
+// can resolve each of them with a typed Cancelled — nothing is silently
+// dropped.
+//
+// This header and worker_pool.h are the only files in src/rpc/ allowed to
+// hold raw synchronization/thread primitives (tm_lint check 9 bans
+// std::queue/std::thread elsewhere in the module). The queue uses
+// std::mutex + std::condition_variable directly rather than the annotated
+// common::Mutex: condition_variable needs the standard BasicLockable
+// surface, which the capability wrappers deliberately do not expose, and
+// no member here is shared outside this class.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace tokenmagic::rpc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class Push {
+    kOk = 0,
+    kFull,    ///< shed: capacity reached, item NOT queued
+    kClosed,  ///< shutting down, item NOT queued
+  };
+
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    TM_CHECK(capacity_ > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission: queues `item` or reports why not.
+  [[nodiscard]] Push TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Push::kClosed;
+      if (items_.size() >= capacity_) return Push::kFull;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Push::kOk;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty.
+  /// Items queued before Close() keep coming out (drain semantics).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects further pushes and wakes every blocked consumer.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tokenmagic::rpc

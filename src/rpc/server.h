@@ -1,0 +1,188 @@
+// The mixin-selection daemon: serves framed Select/Ping/Stats requests
+// over an AF_UNIX socket against one node's chain state.
+//
+// Threading model (three thread families, all owned by WorkerPool):
+//
+//   acceptor ──► per-connection readers ──► bounded queue ──► workers
+//                (decode, admit, shed)       (capacity-bounded)  (select)
+//
+// Readers decode frames and either serve control ops (Ping/Stats)
+// inline or admit Select work into the bounded queue. Admission is
+// shed-on-overload: a full queue answers Overloaded (ResourceExhausted)
+// immediately instead of queueing without bound, so latency under
+// overload stays bounded by `queue_capacity / throughput` and memory by
+// `queue_capacity` items (DESIGN.md decision "shed, don't buffer").
+// Workers pop items, re-anchor the request's deadline budget (queue
+// wait already spent counts against it), and run the resilient selector
+// ladder over the node's shared per-batch analysis snapshot.
+//
+// Deadline propagation: the client's deadline_millis is an end-to-end
+// budget. The reader stamps admission time; the worker subtracts the
+// queue wait and hands the remainder to the selector as a
+// common::Deadline, so a request that waited out its budget in the
+// queue answers Timeout without doing any selection work.
+//
+// Graceful shutdown (Stop): new pushes are refused with Cancelled,
+// in-flight selections complete and their responses are written, queued
+// items drain with typed Cancelled responses, then every thread is
+// joined. Nothing is silently dropped.
+//
+// Node contract: the server reads the node through blockchain() /
+// batches() / ht_index() plus the concurrent AnalysisSnapshotShared
+// surface. The reference accessors are the node's single-threaded
+// convenience surface, so the node must be *quiescent* while serving —
+// no Genesis/MineBlock between Start() and Stop().
+//
+// Fault injection: an optional node::FaultInjector attacks the response
+// write path (corrupt/truncate/drop/duplicate/delay) — liveness, never
+// consistency — so soak tests can prove clients and server survive a
+// hostile transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/deadline.h"
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/eligibility.h"
+#include "core/resilient.h"
+#include "node/node.h"
+#include "rpc/bounded_queue.h"
+#include "rpc/protocol.h"
+#include "rpc/socket_io.h"
+#include "rpc/worker_pool.h"
+
+namespace tokenmagic::node {
+class FaultInjector;
+}  // namespace tokenmagic::node
+
+namespace tokenmagic::rpc {
+
+struct ServerConfig {
+  /// AF_UNIX socket path to listen on.
+  std::string socket_path;
+  /// Fixed selection workers.
+  size_t workers = 4;
+  /// Admission queue capacity; a full queue sheds with Overloaded.
+  size_t queue_capacity = 64;
+  /// Budget applied when a request carries deadline_millis == 0.
+  uint32_t default_deadline_millis = 250;
+  /// Ceiling clamped onto every request budget.
+  uint32_t max_deadline_millis = 5000;
+  /// Eligibility policy threaded into every selection.
+  core::EligibilityPolicy policy;
+  /// Resilient-ladder options (per-request deadlines ride on the input,
+  /// so totals here are usually left unlimited).
+  core::ResilientOptions resilient;
+  /// Seed for the per-worker selection rngs.
+  uint64_t seed = 1;
+  /// Clock for deadlines and latency accounting (tests inject).
+  const common::Clock* clock = nullptr;
+  /// Optional transport-fault injector (tests/soak only). Not owned.
+  node::FaultInjector* faults = nullptr;
+};
+
+/// Counter snapshot; every terminal verdict increments exactly one of
+/// the outcome counters, so issued == sum(outcomes) holds at quiescence.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+  uint64_t decode_errors = 0;
+  uint64_t admitted = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;  ///< subset of ok that used a fallback/relaxation
+  uint64_t shed_overloaded = 0;
+  uint64_t cancelled = 0;
+  uint64_t timeouts = 0;
+  uint64_t unsatisfiable = 0;
+  uint64_t invalid_argument = 0;
+  uint64_t internal_errors = 0;
+  uint64_t write_failures = 0;
+  common::Histogram latency_micros;     ///< selection service time
+  common::Histogram queue_wait_micros;  ///< admission -> worker pickup
+
+  /// Flat JSON object (stable keys; Stats responses carry this).
+  std::string ToJson() const;
+};
+
+class Server {
+ public:
+  /// `node` must outlive the server and stay quiescent while serving.
+  Server(const node::Node* node, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and launches acceptor + workers.
+  [[nodiscard]] common::Status Start();
+
+  /// Graceful shutdown: drains in-flight work, answers queued work with
+  /// Cancelled, joins every thread. Idempotent.
+  void Stop();
+
+  ServerStats StatsSnapshot() const TM_EXCLUDES(stats_mu_);
+
+  const std::string& socket_path() const { return config_.socket_path; }
+
+ private:
+  /// One accepted connection. The write mutex serializes responses from
+  /// workers and the reader (control ops) onto the stream.
+  struct Connection {
+    explicit Connection(Fd socket) : fd(std::move(socket)) {}
+    Fd fd;
+    common::Mutex write_mu;
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    int64_t admitted_nanos = 0;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Connection> conn);
+  void WorkerLoop(size_t worker_index);
+
+  /// Runs one Select to a terminal verdict (never blocks on I/O).
+  Response ProcessSelect(const Request& request, int64_t admitted_nanos,
+                         common::Rng* rng) TM_EXCLUDES(stats_mu_);
+  Response ProcessControl(const Request& request) TM_EXCLUDES(stats_mu_);
+
+  /// Serializes, applies any armed transport fault, writes under the
+  /// connection's write mutex, and accounts the outcome.
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const Response& response) TM_EXCLUDES(stats_mu_);
+
+  void CountOutcome(const Response& response) TM_EXCLUDES(stats_mu_);
+
+  const node::Node* node_;
+  ServerConfig config_;
+  const common::Clock* clock_;
+  core::ResilientSelector resilient_;
+
+  Fd listener_;
+  BoundedQueue<WorkItem> queue_;
+  WorkerPool workers_;
+  WorkerPool io_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable common::Mutex conns_mu_;
+  /// Weak registry of live connections so Stop() can wake blocked
+  /// readers via shutdown(2).
+  std::vector<std::weak_ptr<Connection>> conns_ TM_GUARDED_BY(conns_mu_);
+
+  mutable common::Mutex stats_mu_;
+  ServerStats stats_ TM_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace tokenmagic::rpc

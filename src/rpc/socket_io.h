@@ -1,0 +1,83 @@
+// Thin AF_UNIX stream-socket layer under the framed protocol.
+//
+// Everything here is blocking I/O on local sockets with fail-typed error
+// reporting: helpers return common::Status/Result instead of errno
+// sentinels, and short reads/writes are looped internally so callers see
+// whole frames or a typed IoError, never partial state. SIGPIPE is
+// avoided with MSG_NOSIGNAL so a peer that vanishes mid-write surfaces
+// as a Status, not a process kill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tokenmagic::rpc {
+
+/// Owning file descriptor. Closes on destruction; movable, not copyable.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// shutdown(2) both directions without closing: wakes a thread blocked
+  /// in read/write on this fd. Safe to call from another thread.
+  void Shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds, and listens on an AF_UNIX stream socket at `path`
+/// (unlinking any stale socket file first).
+[[nodiscard]] common::Result<Fd> ListenUnix(const std::string& path,
+                                            int backlog = 64);
+
+/// Connects to the AF_UNIX stream socket at `path`.
+[[nodiscard]] common::Result<Fd> ConnectUnix(const std::string& path);
+
+/// Accepts one connection. IoError on failure (including listener
+/// shutdown, which surfaces as a failed accept).
+[[nodiscard]] common::Result<Fd> Accept(const Fd& listener);
+
+/// Arms SO_RCVTIMEO so blocking reads fail with Timeout instead of
+/// hanging forever on a silent peer. 0 disables the timeout.
+[[nodiscard]] common::Status SetRecvTimeout(const Fd& fd, uint32_t millis);
+
+/// Writes all of `data`, looping over short writes.
+[[nodiscard]] common::Status WriteAll(const Fd& fd, std::string_view data);
+
+/// Reads exactly `n` bytes into `out`. kIoError with message "eof" when
+/// the peer closed cleanly at a frame boundary (0 bytes read), kTimeout
+/// when SO_RCVTIMEO expired.
+[[nodiscard]] common::Status ReadExact(const Fd& fd, size_t n,
+                                       std::string* out);
+
+/// Reads one length-prefixed frame payload (header validated against
+/// kMaxFrameBytes before the body is read).
+[[nodiscard]] common::Status ReadFrame(const Fd& fd, std::string* payload);
+
+/// Frames and writes one payload.
+[[nodiscard]] common::Status WriteFrame(const Fd& fd,
+                                        std::string_view payload);
+
+}  // namespace tokenmagic::rpc

@@ -1,0 +1,93 @@
+#include "rpc/testbed.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/baselines.h"
+#include "node/wallet.h"
+
+namespace tokenmagic::rpc {
+
+Testbed BuildTestbed(const TestbedConfig& config) {
+  TM_CHECK(config.num_wallets >= 2);
+  TM_CHECK(config.cluster_size >= 1);
+  TM_CHECK(config.tokens_per_wallet >= 1);
+
+  node::NodeConfig node_config;
+  node_config.lambda = config.lambda;
+  Testbed testbed;
+  testbed.node = std::make_unique<node::Node>(node_config);
+  node::Node& the_node = *testbed.node;
+
+  std::vector<std::unique_ptr<node::Wallet>> wallets;
+  wallets.reserve(config.num_wallets);
+  for (size_t w = 0; w < config.num_wallets; ++w) {
+    wallets.push_back(std::make_unique<node::Wallet>(
+        common::StrFormat("testbed-wallet-%zu", w), &the_node,
+        config.seed * 1000 + w));
+  }
+
+  // Genesis: per wallet, tokens in HT clusters of cluster_size (the
+  // simulation's layout, so batches carry multi-token HTs).
+  std::vector<std::vector<crypto::Point>> grants;
+  std::vector<size_t> grant_owner;
+  for (size_t w = 0; w < config.num_wallets; ++w) {
+    size_t remaining = config.tokens_per_wallet;
+    while (remaining > 0) {
+      size_t take = std::min(config.cluster_size, remaining);
+      std::vector<crypto::Point> grant;
+      for (size_t i = 0; i < take; ++i) {
+        grant.push_back(wallets[w]->NewOutputKey());
+      }
+      grants.push_back(std::move(grant));
+      grant_owner.push_back(w);
+      remaining -= take;
+    }
+  }
+  auto minted = the_node.Genesis(grants);
+  for (size_t g = 0; g < minted.size(); ++g) {
+    for (chain::TokenId token : minted[g]) {
+      TM_CHECK(wallets[grant_owner[g]]->Claim(token).ok());
+    }
+  }
+
+  // Spend rounds: put genuine ring history on the ledger so served
+  // selections face the same related-RS constraints wallets do.
+  core::SmallestSelector selector;
+  common::Rng round_rng(config.seed);
+  for (size_t round = 0; round < config.spend_rounds; ++round) {
+    for (size_t w = 0; w < config.num_wallets; ++w) {
+      auto spendable = wallets[w]->SpendableTokens();
+      if (spendable.empty()) continue;
+      chain::TokenId token =
+          spendable[round_rng.NextBounded(spendable.size())];
+      size_t receiver =
+          (w + 1 + round_rng.NextBounded(config.num_wallets - 1)) %
+          config.num_wallets;
+      (void)wallets[w]->Spend(&the_node, token, config.requirement,
+                              selector,
+                              {wallets[receiver]->NewOutputKey()},
+                              common::StrFormat("testbed round %zu", round));
+    }
+    auto mined = the_node.MineBlock();
+    for (const auto& outputs : mined.outputs) {
+      for (chain::TokenId token : outputs) {
+        for (auto& wallet : wallets) {
+          if (wallet->Claim(token).ok()) break;
+        }
+      }
+    }
+  }
+
+  testbed.targets.reserve(the_node.blockchain().token_count());
+  for (chain::TokenId token = 0;
+       token < the_node.blockchain().token_count(); ++token) {
+    testbed.targets.push_back(token);
+  }
+  return testbed;
+}
+
+}  // namespace tokenmagic::rpc

@@ -1,0 +1,42 @@
+// Deterministic chain fixture for serving-layer tests and load runs.
+//
+// Builds a node the daemon can serve: genesis grants clustered into HTs
+// (so diversity constraints bite), followed by a few mined spend rounds
+// that put real ring history on the ledger. Everything is derived from
+// the seed, so two builds with equal configs produce identical chains.
+// The node is mutated only here — by the time the server starts, the
+// chain is quiescent, which is exactly the serving contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chain/types.h"
+#include "node/node.h"
+
+namespace tokenmagic::rpc {
+
+struct TestbedConfig {
+  size_t num_wallets = 8;
+  size_t tokens_per_wallet = 4;
+  /// Tokens per genesis grant (one grant = one HT cluster).
+  size_t cluster_size = 2;
+  /// Mined spend rounds after genesis (ring history on the ledger).
+  size_t spend_rounds = 1;
+  size_t lambda = 64;
+  uint64_t seed = 42;
+  chain::DiversityRequirement requirement{2.0, 2};
+};
+
+struct Testbed {
+  std::unique_ptr<node::Node> node;
+  /// Every token on the chain (all are valid Select targets).
+  std::vector<chain::TokenId> targets;
+};
+
+/// Builds the fixture. Crashes (TM_CHECK) on impossible configs — this
+/// is test scaffolding, not production surface.
+Testbed BuildTestbed(const TestbedConfig& config);
+
+}  // namespace tokenmagic::rpc

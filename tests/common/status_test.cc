@@ -25,7 +25,10 @@ TEST(StatusTest, AllPredicatesMatchTheirCode) {
   EXPECT_TRUE(Status::Unsatisfiable("x").IsUnsatisfiable());
   EXPECT_TRUE(Status::Timeout("x").IsTimeout());
   EXPECT_TRUE(Status::VerificationFailed("x").IsVerificationFailed());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_FALSE(Status::NotFound("x").IsUnsatisfiable());
+  EXPECT_FALSE(Status::Cancelled("x").IsTimeout());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -40,6 +43,7 @@ TEST(StatusTest, CodeNamesAreStable) {
                "Unsatisfiable");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kVerificationFailed),
                "VerificationFailed");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -98,6 +98,89 @@ TEST(FaultInjectorTest, VerdictFilterOnlyFlipsAccepts) {
   EXPECT_EQ(injector.verdicts_flipped(), 2u);
 }
 
+TEST(TransportFaultTest, ScheduleIsDeterministicPerSeed) {
+  FaultInjector a(11), b(11), c(12);
+  a.ArmTransportFaults(8);
+  b.ArmTransportFaults(8);
+  c.ArmTransportFaults(8);
+  std::vector<FaultInjector::TransportFault> seq_a, seq_b, seq_c;
+  for (int i = 0; i < 8; ++i) {
+    seq_a.push_back(a.NextTransportFault().fault);
+    seq_b.push_back(b.NextTransportFault().fault);
+    seq_c.push_back(c.NextTransportFault().fault);
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_NE(seq_a, seq_c);  // a different seed reorders the family draws
+  EXPECT_EQ(a.transport_faults_injected(), 8u);
+}
+
+TEST(TransportFaultTest, ArmedCountIsExactThenDisarms) {
+  FaultInjector injector(3);
+  injector.ArmTransportFaults(2);
+  EXPECT_NE(injector.NextTransportFault().fault,
+            FaultInjector::TransportFault::kNone);
+  EXPECT_NE(injector.NextTransportFault().fault,
+            FaultInjector::TransportFault::kNone);
+  // Disarmed: every further draw is a no-fault plan.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(injector.NextTransportFault().fault,
+              FaultInjector::TransportFault::kNone);
+  }
+  EXPECT_EQ(injector.transport_faults_injected(), 2u);
+}
+
+TEST(TransportFaultTest, SingleFamilyRestrictionAndDelayParameters) {
+  FaultInjector injector(5);
+  injector.ArmTransportFaults(
+      4, {FaultInjector::TransportFault::kDelayResponse},
+      /*delay_millis=*/7);
+  for (int i = 0; i < 4; ++i) {
+    auto plan = injector.NextTransportFault();
+    EXPECT_EQ(plan.fault, FaultInjector::TransportFault::kDelayResponse);
+    EXPECT_EQ(plan.delay_millis, 7u);
+  }
+}
+
+TEST(TransportFaultTest, RateScheduleFiresApproximatelyAtRate) {
+  FaultInjector injector(9);
+  injector.ArmTransportFaultRate(0.25);
+  int fired = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (injector.NextTransportFault().fault !=
+        FaultInjector::TransportFault::kNone) {
+      ++fired;
+    }
+  }
+  // Deterministic per seed; generous band around 1000.
+  EXPECT_GT(fired, 800);
+  EXPECT_LT(fired, 1200);
+}
+
+TEST(TransportFaultTest, CorruptFrameChangesExactlyOneByte) {
+  FaultInjector injector(21);
+  std::string frame("\x08\x00\x00\x00payload!", 12);
+  std::string mutated = injector.CorruptFrame(frame);
+  ASSERT_EQ(mutated.size(), frame.size());
+  int diffs = 0;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    if (frame[i] != mutated[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(TransportFaultTest, TruncateFrameKeepsStrictPrefix) {
+  FaultInjector injector(22);
+  std::string frame(64, 'x');
+  for (int i = 0; i < 32; ++i) {
+    std::string cut = injector.TruncateFrame(frame);
+    EXPECT_GE(cut.size(), 1u);
+    EXPECT_LT(cut.size(), frame.size());
+    EXPECT_EQ(frame.compare(0, cut.size(), cut), 0);
+  }
+  // Sub-2-byte frames cannot be strictly truncated; passed through.
+  EXPECT_EQ(injector.TruncateFrame("z"), "z");
+}
+
 // Snapshot fuzz corpus: under every byte-level fault family and many
 // seeds, restore either fails with a typed error or reproduces the exact
 // original state. It never aborts and never misparses.

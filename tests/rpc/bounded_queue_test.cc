@@ -1,0 +1,110 @@
+// BoundedQueue semantics: typed shedding, drain-after-close, blocking
+// consumers woken by Close, and multi-producer/consumer accounting.
+#include "rpc/bounded_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tokenmagic::rpc {
+namespace {
+
+using Push = BoundedQueue<int>::Push;
+
+TEST(BoundedQueueTest, ShedsWhenFullInsteadOfBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.TryPush(1), Push::kOk);
+  EXPECT_EQ(queue.TryPush(2), Push::kOk);
+  EXPECT_EQ(queue.TryPush(3), Push::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  // Popping frees a slot; admission resumes.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.TryPush(4), Push::kOk);
+}
+
+TEST(BoundedQueueTest, ClosedQueueRefusesPushesTyped) {
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(queue.TryPush(1), Push::kOk);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.TryPush(2), Push::kClosed);
+}
+
+TEST(BoundedQueueTest, DrainsQueuedItemsAfterClose) {
+  // Shutdown semantics: items admitted before Close keep coming out so
+  // every one of them can be answered (with Cancelled) — only then does
+  // Pop return nullopt. Nothing is silently dropped.
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(queue.TryPush(10), Push::kOk);
+  ASSERT_EQ(queue.TryPush(11), Push::kOk);
+  queue.Close();
+  EXPECT_EQ(queue.Pop().value(), 10);
+  EXPECT_EQ(queue.Pop().value(), 11);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // stays empty, never blocks
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (queue.Pop().has_value()) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  // Every successfully pushed item is popped exactly once; sheds are
+  // accounted by the producers. pushed == popped at quiescence.
+  BoundedQueue<int> queue(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> pushed{0};
+  std::atomic<int> shed{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        popped_sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<long long> pushed_sum{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        if (queue.TryPush(value) == Push::kOk) {
+          pushed.fetch_add(1);
+          pushed_sum.fetch_add(value);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(pushed.load() + shed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), pushed.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
+}  // namespace
+}  // namespace tokenmagic::rpc

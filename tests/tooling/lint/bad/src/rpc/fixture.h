@@ -1,0 +1,17 @@
+// Serving-layer fixtures: raw std::queue/std::thread and their gateway
+// includes fire [rpc-bounded]; a stale escape fires [allow-hygiene].
+#pragma once
+
+#include <queue>
+#include <thread>
+
+namespace tokenmagic::rpc {
+
+struct UnboundedServer {
+  std::queue<int> pending;
+  std::thread worker;
+};
+
+// tm-lint: allow(rpc-bounded, stale: suppresses nothing in its window)
+
+}  // namespace tokenmagic::rpc

@@ -1,0 +1,16 @@
+// Good twin of the rpc-bounded fixture: the audited owner carries
+// allow() on the exact primitive lines, and std::this_thread (sleep /
+// yield utilities) is legal without any escape comment.
+#pragma once
+
+#include <thread>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+
+namespace tokenmagic::rpc {
+
+struct AuditedPool {
+  std::thread worker;  // tm-lint: allow(rpc-bounded, joined in Join())
+};
+
+inline void Backoff() { std::this_thread::yield(); }
+
+}  // namespace tokenmagic::rpc

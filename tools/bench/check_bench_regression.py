@@ -1,18 +1,31 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_context_throughput run against the committed
-baseline (BENCH_context.json at the repo root) and fail on regression.
+"""Compare a fresh bench run against its committed baseline at the repo
+root and fail on regression. Dispatches on the fresh log's "bench" field:
+
+  context_throughput  (bench_context_throughput -> BENCH_context.json)
+    Raw milliseconds are machine-dependent, so the gate compares the one
+    machine-independent number the bench is built around: the end-to-end
+    speedup of the shared AnalysisContext over legacy per-call
+    interning, per scale. A fresh per-scale speedup below `factor`
+    (default 0.8, i.e. a >20% regression) of the committed baseline
+    fails; per-phase numbers are printed for diagnosis but not gated
+    (single phases are too noisy on shared CI runners). The fresh run
+    must also keep every scale at >= 1.0x — the context must never be
+    slower than what it replaced.
+
+  serve  (tm_load -> BENCH_serve.json)
+    The robustness contract is gated hard, machine-independently:
+    every issued request must have resolved to a typed verdict
+    (resolved == issued) and nothing may have crashed or produced an
+    untyped verdict (crashes == 0). The service quality gate is
+    relative: the fresh ok_fraction must reach `factor` of the
+    baseline's (a fault-injected soak never demands a fixed absolute
+    success rate). Throughput and latency percentiles are printed for
+    trend-watching but not gated — they measure the CI runner as much
+    as the daemon.
 
 Usage:  python3 tools/bench/check_bench_regression.py FRESH.json \
-            [--baseline BENCH_context.json] [--factor 0.8]
-
-Raw milliseconds are machine-dependent, so the gate compares the one
-machine-independent number the bench is built around: the end-to-end
-speedup of the shared AnalysisContext over legacy per-call interning,
-per scale. A fresh per-scale speedup below `factor` (default 0.8, i.e. a
->20% regression) of the committed baseline fails; per-phase numbers are
-printed for diagnosis but not gated (single phases are too noisy on
-shared CI runners). The fresh run must also keep every scale at >= 1.0x
-— the context must never be slower than what it replaced.
+            [--baseline BENCH.json] [--factor 0.8]
 """
 
 from __future__ import annotations
@@ -22,29 +35,25 @@ import json
 import pathlib
 import sys
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DEFAULT_BASELINES = {
+    "context_throughput": REPO_ROOT / "BENCH_context.json",
+    "serve": REPO_ROOT / "BENCH_serve.json",
+}
+
 
 def load(path: pathlib.Path) -> dict:
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
-    if data.get("bench") != "context_throughput":
-        sys.exit(f"{path}: not a context_throughput bench log")
-    return {scale["num_rs"]: scale for scale in data["scales"]}
+    if data.get("bench") not in DEFAULT_BASELINES:
+        sys.exit(f"{path}: unknown bench kind {data.get('bench')!r}")
+    return data
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", type=pathlib.Path,
-                        help="JSON emitted by this run's bench binary")
-    parser.add_argument("--baseline", type=pathlib.Path,
-                        default=pathlib.Path(__file__).resolve().parents[2]
-                        / "BENCH_context.json")
-    parser.add_argument("--factor", type=float, default=0.8,
-                        help="minimum fresh/baseline speedup ratio")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
-
+def check_context(baseline_data: dict, fresh_data: dict,
+                  factor: float) -> int:
+    baseline = {s["num_rs"]: s for s in baseline_data["scales"]}
+    fresh = {s["num_rs"]: s for s in fresh_data["scales"]}
     failures = 0
     for num_rs, base_scale in sorted(baseline.items()):
         fresh_scale = fresh.get(num_rs)
@@ -64,11 +73,77 @@ def main() -> int:
             print(f"FAIL: {num_rs}-RS scale: context path is slower than "
                   f"legacy ({fresh_speedup:.2f}x)", file=sys.stderr)
             failures += 1
-        elif ratio < args.factor:
+        elif ratio < factor:
             print(f"FAIL: {num_rs}-RS scale regressed to {ratio:.2f} of "
-                  f"the baseline speedup (floor {args.factor})",
+                  f"the baseline speedup (floor {factor})",
                   file=sys.stderr)
             failures += 1
+    return failures
+
+
+def check_serve(baseline_data: dict, fresh_data: dict,
+                factor: float) -> int:
+    failures = 0
+    issued = fresh_data["issued"]
+    resolved = fresh_data["resolved"]
+    crashes = fresh_data["crashes"]
+    latency = fresh_data.get("latency_micros", {})
+    print(f"serve: issued {issued}, resolved {resolved}, "
+          f"crashes {crashes}, "
+          f"faults injected {fresh_data.get('faults_injected', 0)}")
+    print(f"serve: throughput {fresh_data.get('throughput_rps', 0.0):.1f} "
+          f"req/s (ungated), latency p50 {latency.get('p50', 0):.0f} us, "
+          f"p99 {latency.get('p99', 0):.0f} us, "
+          f"p999 {latency.get('p999', 0):.0f} us")
+
+    # Hard contract: nothing hangs, nothing crashes, nothing untyped.
+    if resolved != issued:
+        print(f"FAIL: {issued - resolved} of {issued} requests never "
+              "resolved to a typed verdict", file=sys.stderr)
+        failures += 1
+    if crashes != 0:
+        print(f"FAIL: {crashes} crash(es)/untyped verdict(s)",
+              file=sys.stderr)
+        failures += 1
+    if issued == 0:
+        print("FAIL: the run issued no requests", file=sys.stderr)
+        failures += 1
+
+    base_ok = baseline_data["ok_fraction"]
+    fresh_ok = fresh_data["ok_fraction"]
+    floor = base_ok * factor
+    print(f"serve: ok_fraction baseline {base_ok:.4f}, fresh "
+          f"{fresh_ok:.4f} (floor {floor:.4f})")
+    if fresh_ok < floor:
+        print(f"FAIL: ok_fraction {fresh_ok:.4f} fell below {factor} of "
+              f"the baseline's {base_ok:.4f}", file=sys.stderr)
+        failures += 1
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path,
+                        help="JSON emitted by this run's bench binary")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="committed baseline (default: picked by the "
+                        "fresh log's bench kind)")
+    parser.add_argument("--factor", type=float, default=0.8,
+                        help="minimum fresh/baseline ratio")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    kind = fresh["bench"]
+    baseline_path = args.baseline or DEFAULT_BASELINES[kind]
+    baseline = load(baseline_path)
+    if baseline["bench"] != kind:
+        sys.exit(f"{baseline_path}: baseline is {baseline['bench']!r} but "
+                 f"the fresh run is {kind!r}")
+
+    if kind == "context_throughput":
+        failures = check_context(baseline, fresh, args.factor)
+    else:
+        failures = check_serve(baseline, fresh, args.factor)
 
     if failures:
         print(f"bench regression check: {failures} failure(s)",

@@ -15,7 +15,7 @@ Audited exceptions use ONE syntax, checked by the linter itself:
 
     // tm-lint: allow(<check>, <reason>)
 
-where <check> is one of: float, clock, history. The annotation
+where <check> is one of: float, clock, history, rpc-bounded. The annotation
 suppresses that check on the same line or the two lines below it.
 The linter rejects
   * unknown <check> names,
@@ -27,7 +27,8 @@ Checks
 ------
 1. Layering [layering]: src/ modules form the DAG
 
-       common <- crypto <- chain <- data <- analysis <- core <- node <- sim
+       common <- crypto <- chain <- data <- analysis <- core <- node
+              <- sim <- rpc
 
    (left of the arrow is lower). A module may #include only itself and
    strictly lower modules; any upward or sideways include is an error.
@@ -75,6 +76,17 @@ Checks
 8. Escape-comment hygiene [allow-hygiene]: every `tm-lint:` directive
    must parse as allow(<known-check>, ...) or a ct region marker, and
    every allow must actually suppress a finding.
+
+9. Bounded serving layer [rpc-bounded]: `std::queue`, `std::thread`,
+   and their gateway includes (<queue>, <thread>) are banned in
+   src/rpc/. The serving layer's overload story depends on every queue
+   being capacity-bounded (rpc::BoundedQueue sheds with Overloaded) and
+   every thread being owned and joined (rpc::WorkerPool); an unbounded
+   std::queue or a detached std::thread silently reintroduces the
+   failure modes the daemon exists to rule out. The two audited owner
+   files carry `tm-lint: allow(rpc-bounded, <reason>)` on the exact
+   lines that hold the raw primitives. (std::this_thread::sleep_for is
+   not std::thread and stays legal.)
 """
 
 from __future__ import annotations
@@ -87,7 +99,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import sarif  # noqa: E402  (tools/lint/sarif.py)
 
-TOOL_VERSION = "3.0"
+TOOL_VERSION = "3.1"
 
 MODULE_RANK = {
     "common": 0,
@@ -98,6 +110,7 @@ MODULE_RANK = {
     "core": 5,
     "node": 6,
     "sim": 7,
+    "rpc": 8,
 }
 
 # Files where the paper's guarantees hinge on exact integer/rational math.
@@ -113,7 +126,7 @@ FLOAT_BANNED_FILES = {
 }
 
 #: The unified escape-comment checks (check 8 rejects anything else).
-ALLOW_CHECKS = {"float", "clock", "history"}
+ALLOW_CHECKS = {"float", "clock", "history", "rpc-bounded"}
 
 RULE_DESCRIPTIONS = {
     "layering": "module include must follow the layering DAG",
@@ -124,6 +137,8 @@ RULE_DESCRIPTIONS = {
     "clock-hygiene": "raw std::chrono clock reads banned outside common/",
     "history-span": "by-value RsView history banned in core/analysis API",
     "allow-hygiene": "tm-lint escape comments must be known and non-stale",
+    "rpc-bounded": "std::queue/std::thread banned in src/rpc/; use "
+                   "BoundedQueue/WorkerPool",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -143,6 +158,10 @@ CLOCK_RE = re.compile(
     r'\b(?:std::chrono::)?'
     r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
 HISTORY_VEC_RE = re.compile(r'std::vector<\s*(?:chain::)?RsView\s*>')
+# "std::this_thread" does not contain the token "std::thread", so the
+# sleep/yield utilities stay legal without an escape comment.
+RPC_UNBOUNDED_RE = re.compile(r'\bstd::(queue|thread)\b')
+RPC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+<(queue|thread)>')
 
 DIRECTIVE_RE = re.compile(r'tm-lint:\s*([A-Za-z-]+)')
 ALLOW_RE = re.compile(
@@ -352,6 +371,24 @@ class Linter:
                        "shared, or annotate owning storage with "
                        "'tm-lint: allow(history, <reason>)'")
 
+    def check_rpc_bounded(self, path: pathlib.Path,
+                          code: list[str]) -> None:
+        rel = path.relative_to(self.src)
+        if rel.parts[0] != "rpc":
+            return
+        for i, line in enumerate(code, start=1):
+            if not (RPC_INCLUDE_RE.match(line) or
+                    RPC_UNBOUNDED_RE.search(line)):
+                continue
+            if self.consume_allow(path, "rpc-bounded", i):
+                continue
+            self.error(path, i, "rpc-bounded",
+                       "unbounded primitive in the serving layer: use "
+                       "rpc::BoundedQueue (typed shedding) instead of "
+                       "std::queue and rpc::WorkerPool (owned, joined) "
+                       "instead of std::thread, or annotate an audited "
+                       "owner with 'tm-lint: allow(rpc-bounded, <reason>)'")
+
     def check_stale_allows(self) -> None:
         for path, allows in sorted(self.allows.items()):
             for allow in allows:
@@ -383,6 +420,7 @@ class Linter:
             self.check_nodiscard(path, code)
             self.check_clock_hygiene(path, code)
             self.check_history_span(path, code)
+            self.check_rpc_bounded(path, code)
         self.check_stale_allows()
 
         if sarif_out is not None:
