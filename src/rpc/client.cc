@@ -139,4 +139,63 @@ common::Result<std::string> Client::Stats() {
   return response->status.message();
 }
 
+common::Result<std::vector<std::vector<chain::TokenId>>> Client::Genesis(
+    const std::vector<std::vector<crypto::Point>>& grants) {
+  Request request;
+  request.op = Op::kGenesis;
+  request.blob = EncodeGrants(grants);
+  auto response = Call(std::move(request));
+  TM_RETURN_NOT_OK(response.status());
+  if (!response->status.ok()) return response->status;
+  std::vector<std::vector<chain::TokenId>> minted;
+  TM_RETURN_NOT_OK(DecodeMintedTokens(response->blob, &minted));
+  return minted;
+}
+
+common::Result<Response> Client::SubmitTx(
+    const node::SignedTransaction& tx,
+    const std::vector<crypto::Point>& output_keys) {
+  Request request;
+  request.op = Op::kSubmitTx;
+  request.blob = EncodeSignedTx(tx, output_keys);
+  return Call(std::move(request));
+}
+
+common::Result<MineSummary> Client::Mine() {
+  Request request;
+  request.op = Op::kMine;
+  auto response = Call(std::move(request));
+  TM_RETURN_NOT_OK(response.status());
+  if (!response->status.ok()) return response->status;
+  MineSummary summary;
+  TM_RETURN_NOT_OK(DecodeMineSummary(response->blob, &summary));
+  return summary;
+}
+
+common::Result<std::string> Client::FetchSnapshot() {
+  Request request;
+  request.op = Op::kSnapshot;
+  auto response = CallWithRetry(std::move(request));
+  TM_RETURN_NOT_OK(response.status());
+  if (!response->status.ok()) return response->status;
+  return std::move(response->blob);
+}
+
+common::Result<std::string> Client::SnapshotDigest() {
+  Request request;
+  request.op = Op::kSnapshotDigest;
+  auto response = CallWithRetry(std::move(request));
+  TM_RETURN_NOT_OK(response.status());
+  if (!response->status.ok()) return response->status;
+  return response->status.message();
+}
+
+common::Result<Response> Client::InstallSnapshot(
+    const std::string& snapshot) {
+  Request request;
+  request.op = Op::kInstallSnapshot;
+  request.blob = snapshot;
+  return Call(std::move(request));
+}
+
 }  // namespace tokenmagic::rpc

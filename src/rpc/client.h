@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/retry.h"
 #include "common/status.h"
@@ -62,6 +63,30 @@ class Client {
   [[nodiscard]] common::Result<std::string> Ping();
   /// Returns the server's stats counters as JSON.
   [[nodiscard]] common::Result<std::string> Stats();
+
+  // Cluster-op wrappers (servers built with a NodeHost; see
+  // rpc/node_host.h). Mutations go through plain Call() — a retry after
+  // a lost response could apply the mutation twice — so a transport
+  // fault surfaces as IoError and the harness decides. The idempotent
+  // reads (digest, snapshot fetch) retry like any other read.
+
+  /// Seeds the chain; returns the minted token ids per grant.
+  [[nodiscard]] common::Result<std::vector<std::vector<chain::TokenId>>>
+  Genesis(const std::vector<std::vector<crypto::Point>>& grants);
+  /// Submits a signed spend. The transport-ok Response carries the
+  /// verifier verdict (OK = pooled, typed rejection otherwise).
+  [[nodiscard]] common::Result<Response> SubmitTx(
+      const node::SignedTransaction& tx,
+      const std::vector<crypto::Point>& output_keys);
+  /// Mines the mempool into one block.
+  [[nodiscard]] common::Result<MineSummary> Mine();
+  /// Fetches the server's full snapshot string.
+  [[nodiscard]] common::Result<std::string> FetchSnapshot();
+  /// Fetches the sha256 hex of the server's snapshot string.
+  [[nodiscard]] common::Result<std::string> SnapshotDigest();
+  /// Replaces the server's node with one restored from `snapshot`.
+  [[nodiscard]] common::Result<Response> InstallSnapshot(
+      const std::string& snapshot);
 
   bool connected() const { return fd_.valid(); }
 

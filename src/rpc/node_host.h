@@ -1,0 +1,47 @@
+// Mutable-node hosting contract for cluster-mode serving.
+//
+// A plain serving daemon reads a quiescent `const node::Node*` and never
+// mutates it. Cluster mode (the regtest harness) additionally drives
+// chain mutations over the wire — Genesis, SubmitTx, Mine,
+// InstallSnapshot — so the server needs (a) a mutable node, (b) a way to
+// swap in a freshly restored node, and (c) a persistence hook so every
+// applied mutation reaches disk before the response is written
+// (crash-consistent: a killed daemon restarts from exactly the state its
+// clients observed as acknowledged).
+//
+// NodeHost is that contract. The server serializes all access to the
+// hosted node under its own node mutex (reads shared, cluster ops
+// exclusive), so implementations need no internal locking; they own the
+// node and the snapshot file, nothing else.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "node/node.h"
+
+namespace tokenmagic::rpc {
+
+class NodeHost {
+ public:
+  virtual ~NodeHost() = default;
+
+  /// The hosted node. Never null. The server guards every call with its
+  /// node mutex; implementations return the same object until Replace.
+  virtual node::Node* mutable_node() = 0;
+
+  /// Swaps in a restored node (kInstallSnapshot). The previous node is
+  /// destroyed; the server re-reads mutable_node() afterwards.
+  virtual void Replace(std::unique_ptr<node::Node> node) = 0;
+
+  /// Writes the hosted node's current state to durable storage. Called
+  /// after every applied mutation; a failure surfaces to the client as a
+  /// typed IoError (the in-memory state is ahead of disk until the next
+  /// successful Persist).
+  [[nodiscard]] virtual common::Status Persist() = 0;
+
+  /// Config used to build replacement nodes from snapshots.
+  virtual const node::NodeConfig& node_config() const = 0;
+};
+
+}  // namespace tokenmagic::rpc

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "crypto/serialize.h"
 
 namespace tokenmagic::rpc {
 
@@ -87,6 +88,23 @@ class Cursor {
     return s;
   }
 
+  /// Reads a 33-byte SEC1 compressed point; an off-curve or malformed
+  /// encoding marks the cursor failed (never a silently wrong key).
+  crypto::Point TakePoint() {
+    std::array<uint8_t, 33> raw{};
+    if (!Require(raw.size())) return {};
+    for (size_t i = 0; i < raw.size(); ++i) {
+      raw[i] = static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += raw.size();
+    auto point = crypto::Point::Decode(raw);
+    if (!point.has_value()) {
+      failed_ = true;
+      return {};
+    }
+    return *point;
+  }
+
   size_t remaining() const { return data_.size() - pos_; }
   bool failed() const { return failed_; }
 
@@ -123,6 +141,13 @@ class Cursor {
 /// Caps inside a payload (stricter than the frame bound).
 constexpr uint32_t kMaxMessageBytes = 1u << 16;
 constexpr uint32_t kMaxMembers = 1u << 16;
+constexpr uint32_t kMaxTxInputs = 1u << 10;
+constexpr uint32_t kMaxGrants = 1u << 16;
+
+void PutPoint(std::string* out, const crypto::Point& point) {
+  std::array<uint8_t, 33> raw = point.Encode();
+  out->append(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
 
 }  // namespace
 
@@ -203,6 +228,9 @@ std::string EncodeRequest(const Request& request) {
   PutU32(&out, static_cast<uint32_t>(request.requirement.ell));
   PutU32(&out, request.deadline_millis);
   PutU64(&out, request.iteration_budget);
+  PutString(&out, request.blob.size() > kMaxBlobBytes
+                      ? request.blob.substr(0, kMaxBlobBytes)
+                      : request.blob);
   return out;
 }
 
@@ -215,10 +243,10 @@ common::Status DecodeRequest(std::string_view payload, Request* out) {
   out->requirement.ell = static_cast<int>(cursor.TakeU32());
   out->deadline_millis = cursor.TakeU32();
   out->iteration_budget = cursor.TakeU64();
+  out->blob = cursor.TakeString(kMaxBlobBytes);
   TM_RETURN_NOT_OK(cursor.Finish("request"));
-  if (op != static_cast<uint8_t>(Op::kSelect) &&
-      op != static_cast<uint8_t>(Op::kPing) &&
-      op != static_cast<uint8_t>(Op::kStats)) {
+  if (op < static_cast<uint8_t>(Op::kSelect) ||
+      op > static_cast<uint8_t>(Op::kInstallSnapshot)) {
     return Status::InvalidArgument(
         common::StrFormat("unknown request op %u", op));
   }
@@ -248,6 +276,9 @@ std::string EncodeResponse(const Response& response) {
   PutU8(&out, response.degraded ? 1 : 0);
   PutString(&out, response.stage);
   PutU64(&out, response.server_micros);
+  PutString(&out, response.blob.size() > kMaxBlobBytes
+                      ? response.blob.substr(0, kMaxBlobBytes)
+                      : response.blob);
   return out;
 }
 
@@ -271,11 +302,174 @@ common::Status DecodeResponse(std::string_view payload, Response* out) {
   out->degraded = cursor.TakeU8() != 0;
   out->stage = cursor.TakeString(kMaxMessageBytes);
   out->server_micros = cursor.TakeU64();
+  out->blob = cursor.TakeString(kMaxBlobBytes);
   TM_RETURN_NOT_OK(cursor.Finish("response"));
   // Rebuild the status verbatim (OK statuses keep their message too:
   // Ping/Stats responses carry their payload there).
   out->status = Status(WireToStatusCode(wire_code), std::move(message));
   return Status::OK();
+}
+
+// -- cluster-op blob codecs ----------------------------------------------
+
+std::string EncodeGrants(
+    const std::vector<std::vector<crypto::Point>>& grants) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(grants.size()));
+  for (const auto& grant : grants) {
+    PutU32(&out, static_cast<uint32_t>(grant.size()));
+    for (const crypto::Point& key : grant) PutPoint(&out, key);
+  }
+  return out;
+}
+
+common::Status DecodeGrants(
+    std::string_view blob, std::vector<std::vector<crypto::Point>>* out) {
+  Cursor cursor(blob);
+  uint32_t n_grants = cursor.TakeU32();
+  if (n_grants > kMaxGrants) {
+    return Status::InvalidArgument(
+        common::StrFormat("malformed grants: %u grants", n_grants));
+  }
+  out->clear();
+  out->reserve(n_grants);
+  for (uint32_t g = 0; g < n_grants && !cursor.failed(); ++g) {
+    uint32_t n_keys = cursor.TakeU32();
+    if (n_keys > kMaxMembers) {
+      return Status::InvalidArgument(
+          common::StrFormat("malformed grants: %u keys", n_keys));
+    }
+    std::vector<crypto::Point> grant;
+    grant.reserve(n_keys);
+    for (uint32_t k = 0; k < n_keys && !cursor.failed(); ++k) {
+      grant.push_back(cursor.TakePoint());
+    }
+    out->push_back(std::move(grant));
+  }
+  return cursor.Finish("grants");
+}
+
+std::string EncodeMintedTokens(
+    const std::vector<std::vector<chain::TokenId>>& minted) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(minted.size()));
+  for (const auto& tokens : minted) {
+    PutU32(&out, static_cast<uint32_t>(tokens.size()));
+    for (chain::TokenId token : tokens) PutU64(&out, token);
+  }
+  return out;
+}
+
+common::Status DecodeMintedTokens(
+    std::string_view blob, std::vector<std::vector<chain::TokenId>>* out) {
+  Cursor cursor(blob);
+  uint32_t n_grants = cursor.TakeU32();
+  if (n_grants > kMaxGrants) {
+    return Status::InvalidArgument(
+        common::StrFormat("malformed minted tokens: %u grants", n_grants));
+  }
+  out->clear();
+  out->reserve(n_grants);
+  for (uint32_t g = 0; g < n_grants && !cursor.failed(); ++g) {
+    uint32_t n_tokens = cursor.TakeU32();
+    if (n_tokens > kMaxMembers) {
+      return Status::InvalidArgument(
+          common::StrFormat("malformed minted tokens: %u ids", n_tokens));
+    }
+    std::vector<chain::TokenId> tokens;
+    tokens.reserve(n_tokens);
+    for (uint32_t t = 0; t < n_tokens && !cursor.failed(); ++t) {
+      tokens.push_back(cursor.TakeU64());
+    }
+    out->push_back(std::move(tokens));
+  }
+  return cursor.Finish("minted tokens");
+}
+
+std::string EncodeSignedTx(const node::SignedTransaction& tx,
+                           const std::vector<crypto::Point>& output_keys) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(tx.inputs.size()));
+  for (const node::TxInput& input : tx.inputs) {
+    PutU32(&out, static_cast<uint32_t>(input.ring.size()));
+    for (chain::TokenId member : input.ring) PutU64(&out, member);
+    PutDouble(&out, input.requirement.c);
+    PutU32(&out, static_cast<uint32_t>(input.requirement.ell));
+    std::vector<uint8_t> lsag = crypto::SerializeLsag(input.signature);
+    PutU32(&out, static_cast<uint32_t>(lsag.size()));
+    out.append(reinterpret_cast<const char*>(lsag.data()), lsag.size());
+  }
+  PutU32(&out, tx.output_count);
+  PutString(&out, tx.memo);
+  PutU32(&out, static_cast<uint32_t>(output_keys.size()));
+  for (const crypto::Point& key : output_keys) PutPoint(&out, key);
+  return out;
+}
+
+common::Status DecodeSignedTx(std::string_view blob,
+                              node::SignedTransaction* tx,
+                              std::vector<crypto::Point>* output_keys) {
+  Cursor cursor(blob);
+  uint32_t n_inputs = cursor.TakeU32();
+  if (n_inputs > kMaxTxInputs) {
+    return Status::InvalidArgument(
+        common::StrFormat("malformed tx: %u inputs", n_inputs));
+  }
+  tx->inputs.clear();
+  tx->inputs.reserve(n_inputs);
+  for (uint32_t i = 0; i < n_inputs && !cursor.failed(); ++i) {
+    node::TxInput input;
+    uint32_t ring_size = cursor.TakeU32();
+    if (ring_size > kMaxMembers) {
+      return Status::InvalidArgument(
+          common::StrFormat("malformed tx: ring of %u", ring_size));
+    }
+    input.ring.reserve(ring_size);
+    for (uint32_t m = 0; m < ring_size && !cursor.failed(); ++m) {
+      input.ring.push_back(cursor.TakeU64());
+    }
+    input.requirement.c = cursor.TakeDouble();
+    input.requirement.ell = static_cast<int>(cursor.TakeU32());
+    std::string lsag_bytes = cursor.TakeString(kMaxBlobBytes);
+    if (cursor.failed()) break;
+    auto lsag = crypto::DeserializeLsag(std::vector<uint8_t>(
+        lsag_bytes.begin(), lsag_bytes.end()));
+    if (!lsag.ok()) {
+      return Status::InvalidArgument(common::StrFormat(
+          "malformed tx: %s", lsag.status().message().c_str()));
+    }
+    input.signature = std::move(lsag).value();
+    tx->inputs.push_back(std::move(input));
+  }
+  tx->output_count = cursor.TakeU32();
+  tx->memo = cursor.TakeString(kMaxMessageBytes);
+  uint32_t n_keys = cursor.TakeU32();
+  if (n_keys > kMaxMembers) {
+    return Status::InvalidArgument(
+        common::StrFormat("malformed tx: %u output keys", n_keys));
+  }
+  output_keys->clear();
+  output_keys->reserve(n_keys);
+  for (uint32_t k = 0; k < n_keys && !cursor.failed(); ++k) {
+    output_keys->push_back(cursor.TakePoint());
+  }
+  return cursor.Finish("signed tx");
+}
+
+std::string EncodeMineSummary(const MineSummary& summary) {
+  std::string out;
+  PutU64(&out, summary.height);
+  PutU64(&out, summary.transactions);
+  PutU64(&out, summary.rejected);
+  return out;
+}
+
+common::Status DecodeMineSummary(std::string_view blob, MineSummary* out) {
+  Cursor cursor(blob);
+  out->height = cursor.TakeU64();
+  out->transactions = cursor.TakeU64();
+  out->rejected = cursor.TakeU64();
+  return cursor.Finish("mine summary");
 }
 
 }  // namespace tokenmagic::rpc

@@ -27,6 +27,14 @@
 // below), the selected ring on success, and the degradation summary from
 // core::DegradationReport so a client always learns which stage produced
 // its ring and which requirement that ring actually satisfies.
+//
+// Cluster operations (kGenesis .. kInstallSnapshot) extend the protocol
+// so a regtest harness can drive a whole daemon's chain over the wire:
+// their structured payloads (grant key sets, signed transactions,
+// snapshot strings) ride in the request/response `blob` field with the
+// same strict bounds-checked codecs as everything else. A server only
+// honors them when it was constructed with a NodeHost (rpc/node_host.h);
+// a plain serving daemon answers them with InvalidArgument.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +44,8 @@
 
 #include "chain/types.h"
 #include "common/status.h"
+#include "crypto/secp256k1.h"
+#include "node/types.h"
 
 namespace tokenmagic::rpc {
 
@@ -46,17 +56,29 @@ inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
 /// Frame header size: uint32 payload length + uint64 payload checksum.
 inline constexpr size_t kFrameHeaderBytes = 12;
 
+/// Ceiling on one request/response blob (snapshot strings, tx codecs);
+/// leaves room for the fixed fields inside the frame bound.
+inline constexpr uint32_t kMaxBlobBytes = kMaxFrameBytes - 4096;
+
 /// Decoded frame header.
 struct FrameHeader {
   uint32_t length = 0;
   uint64_t checksum = 0;
 };
 
-/// Request operations.
+/// Request operations. kGenesis and later are the cluster ops: chain
+/// mutations and state export, served only when the daemon carries a
+/// NodeHost (regtest / cluster mode).
 enum class Op : uint8_t {
   kSelect = 1,  ///< run DA-MS selection for `target`
   kPing = 2,    ///< liveness probe; response message = chain token count
   kStats = 3,   ///< response message = server counters as JSON
+  kGenesis = 4,          ///< blob = grants; response blob = minted ids
+  kSubmitTx = 5,         ///< blob = signed tx; status = verifier verdict
+  kMine = 6,             ///< mine the mempool; response blob = summary
+  kSnapshot = 7,         ///< response blob = full snapshot string
+  kSnapshotDigest = 8,   ///< response message = sha256 of the snapshot
+  kInstallSnapshot = 9,  ///< blob = snapshot string; replaces the node
 };
 
 /// One client request.
@@ -72,6 +94,10 @@ struct Request {
   /// Optional iteration budget threaded into the selector deadline
   /// (0 = unlimited).
   uint64_t iteration_budget = 0;
+  /// Structured payload of the cluster ops (empty for Select/Ping/Stats):
+  /// EncodeGrants for kGenesis, EncodeSignedTx for kSubmitTx, the raw
+  /// snapshot string for kInstallSnapshot. Bounded by kMaxBlobBytes.
+  std::string blob;
 };
 
 /// One server response.
@@ -91,6 +117,17 @@ struct Response {
   std::string stage;
   /// Server-side service time (selection only, not queue wait).
   uint64_t server_micros = 0;
+  /// Structured payload of the cluster ops (empty otherwise):
+  /// EncodeMintedTokens for kGenesis, EncodeMineSummary for kMine, the
+  /// raw snapshot string for kSnapshot. Bounded by kMaxBlobBytes.
+  std::string blob;
+};
+
+/// Wire summary of one kMine operation.
+struct MineSummary {
+  uint64_t height = 0;        ///< height of the mined block
+  uint64_t transactions = 0;  ///< transactions mined into it
+  uint64_t rejected = 0;      ///< mine-time re-verification rejections
 };
 
 /// Stable wire value of a StatusCode (independent of the enum's order so
@@ -122,5 +159,34 @@ std::string EncodeResponse(const Response& response);
                                            Request* out);
 [[nodiscard]] common::Status DecodeResponse(std::string_view payload,
                                             Response* out);
+
+// -- cluster-op blob codecs ----------------------------------------------
+//
+// Same contract as the request/response codecs: fixed-layout little-
+// endian, every count bounds-checked, trailing bytes rejected, points
+// re-validated on decode (an off-curve key never enters a node).
+
+/// Genesis grants: one key set per grant transaction.
+std::string EncodeGrants(
+    const std::vector<std::vector<crypto::Point>>& grants);
+[[nodiscard]] common::Status DecodeGrants(
+    std::string_view blob, std::vector<std::vector<crypto::Point>>* out);
+
+/// Minted token ids, one list per genesis grant (kGenesis response).
+std::string EncodeMintedTokens(
+    const std::vector<std::vector<chain::TokenId>>& minted);
+[[nodiscard]] common::Status DecodeMintedTokens(
+    std::string_view blob, std::vector<std::vector<chain::TokenId>>* out);
+
+/// A signed transaction plus its announced output keys (kSubmitTx).
+std::string EncodeSignedTx(const node::SignedTransaction& tx,
+                           const std::vector<crypto::Point>& output_keys);
+[[nodiscard]] common::Status DecodeSignedTx(
+    std::string_view blob, node::SignedTransaction* tx,
+    std::vector<crypto::Point>* output_keys);
+
+std::string EncodeMineSummary(const MineSummary& summary);
+[[nodiscard]] common::Status DecodeMineSummary(std::string_view blob,
+                                               MineSummary* out);
 
 }  // namespace tokenmagic::rpc

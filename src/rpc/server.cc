@@ -10,7 +10,10 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "core/batch.h"
+#include "crypto/sha256.h"
 #include "node/fault_injection.h"
+#include "node/snapshot.h"
+#include "rpc/node_host.h"
 
 namespace tokenmagic::rpc {
 
@@ -63,13 +66,21 @@ std::string ServerStats::ToJson() const {
 }
 
 Server::Server(const node::Node* node, ServerConfig config)
-    : node_(node),
+    : Server(nullptr, node, std::move(config)) {}
+
+Server::Server(NodeHost* host, ServerConfig config)
+    : Server(host, host == nullptr ? nullptr : host->mutable_node(),
+             std::move(config)) {}
+
+Server::Server(NodeHost* host, const node::Node* node, ServerConfig config)
+    : host_(host),
+      node_(node),
       config_(std::move(config)),
       clock_(config_.clock != nullptr ? config_.clock
                                       : common::SteadyClock::Instance()),
       resilient_(WithClock(config_.resilient, clock_)),
       queue_(config_.queue_capacity) {
-  TM_CHECK(node_ != nullptr);
+  TM_CHECK(node != nullptr);
   TM_CHECK(config_.workers > 0);
   TM_CHECK(!config_.socket_path.empty());
 }
@@ -161,8 +172,15 @@ void Server::ServeConnection(std::shared_ptr<Connection> conn) {
       WriteResponse(conn, response);
       break;
     }
-    if (request.op != Op::kSelect) {
+    if (request.op == Op::kPing || request.op == Op::kStats) {
       WriteResponse(conn, ProcessControl(request));
+      continue;
+    }
+    if (request.op != Op::kSelect) {
+      // Cluster ops apply inline on the reader thread so ops issued on
+      // one connection take effect in submission order (the harness
+      // relies on submit-then-mine sequencing).
+      WriteResponse(conn, ProcessCluster(request));
       continue;
     }
     WorkItem item{conn, request, clock_->NowNanos()};
@@ -239,6 +257,10 @@ Response Server::ProcessSelect(const Request& request, int64_t admitted_nanos,
     return response;
   }
 
+  // Shared for the whole selection: input.universe and input.index
+  // borrow the node's batch index / ht index, so an InstallSnapshot
+  // replacing the node must wait until this request resolves.
+  common::ReaderMutexLock node_lock(&node_mu_);
   if (!node_->blockchain().HasToken(request.target)) {
     response.status = Status::InvalidArgument(common::StrFormat(
         "unknown target token %llu",
@@ -294,12 +316,118 @@ Response Server::ProcessControl(const Request& request) {
   Response response;
   response.request_id = request.request_id;
   if (request.op == Op::kPing) {
+    common::ReaderMutexLock node_lock(&node_mu_);
     response.status = Status(
         common::StatusCode::kOk,
         common::StrFormat("%zu", node_->blockchain().token_count()));
   } else {
     response.status = Status(common::StatusCode::kOk,
                              StatsSnapshot().ToJson());
+  }
+  return response;
+}
+
+Response Server::ProcessCluster(const Request& request) {
+  Response response;
+  response.request_id = request.request_id;
+  if (host_ == nullptr) {
+    response.status = Status::InvalidArgument(
+        "cluster ops disabled: server hosts no mutable node");
+    return response;
+  }
+  // Exclusive: cluster ops mutate (or serialize) the node, and a
+  // concurrent Select borrows the node's indices under the shared side.
+  common::WriterMutexLock node_lock(&node_mu_);
+  node::Node* node = host_->mutable_node();
+  switch (request.op) {
+    case Op::kGenesis: {
+      std::vector<std::vector<crypto::Point>> grants;
+      Status decoded = DecodeGrants(request.blob, &grants);
+      if (!decoded.ok()) {
+        response.status = decoded;
+        break;
+      }
+      std::vector<std::vector<chain::TokenId>> minted =
+          node->Genesis(grants);
+      Status persisted = host_->Persist();
+      if (!persisted.ok()) {
+        response.status = persisted;
+        break;
+      }
+      response.blob = EncodeMintedTokens(minted);
+      response.status = Status::OK();
+      break;
+    }
+    case Op::kSubmitTx: {
+      node::SignedTransaction tx;
+      std::vector<crypto::Point> output_keys;
+      Status decoded = DecodeSignedTx(request.blob, &tx, &output_keys);
+      if (!decoded.ok()) {
+        response.status = decoded;
+        break;
+      }
+      // The verdict (accept or the exact failed check) is the payload;
+      // the mempool is memory-only (snapshots carry mined state), so an
+      // accepted-but-unmined tx is lost on kill in both cluster modes.
+      response.status =
+          node->SubmitTransaction(std::move(tx), std::move(output_keys));
+      break;
+    }
+    case Op::kMine: {
+      node::MinedBlock mined = node->MineBlock();
+      Status persisted = host_->Persist();
+      if (!persisted.ok()) {
+        response.status = persisted;
+        break;
+      }
+      MineSummary summary;
+      summary.height = mined.height;
+      summary.transactions = mined.transactions;
+      summary.rejected = mined.rejected.size();
+      response.blob = EncodeMineSummary(summary);
+      response.status = Status::OK();
+      break;
+    }
+    case Op::kSnapshot: {
+      std::string snapshot = node::SnapshotToString(*node);
+      if (snapshot.size() > kMaxBlobBytes) {
+        response.status = Status::ResourceExhausted(common::StrFormat(
+            "snapshot of %zu bytes exceeds the %u-byte blob bound",
+            snapshot.size(), kMaxBlobBytes));
+        break;
+      }
+      response.blob = std::move(snapshot);
+      response.status = Status::OK();
+      break;
+    }
+    case Op::kSnapshotDigest: {
+      response.status =
+          Status(common::StatusCode::kOk,
+                 crypto::Sha256Hex(node::SnapshotToString(*node)));
+      break;
+    }
+    case Op::kInstallSnapshot: {
+      auto restored =
+          node::NodeFromSnapshot(request.blob, host_->node_config());
+      if (!restored.ok()) {
+        // Typed restore failure; the current node keeps serving — an
+        // install never leaves the server on half-restored state.
+        response.status = restored.status();
+        break;
+      }
+      host_->Replace(std::move(restored).value());
+      node_ = host_->mutable_node();
+      Status persisted = host_->Persist();
+      if (!persisted.ok()) {
+        response.status = persisted;
+        break;
+      }
+      response.status = Status::OK();
+      break;
+    }
+    default:
+      response.status = Status::InvalidArgument("unknown cluster op");
+      break;
   }
   return response;
 }

@@ -29,9 +29,13 @@
 //
 // Node contract: the server reads the node through blockchain() /
 // batches() / ht_index() plus the concurrent AnalysisSnapshotShared
-// surface. The reference accessors are the node's single-threaded
-// convenience surface, so the node must be *quiescent* while serving —
-// no Genesis/MineBlock between Start() and Stop().
+// surface. In read-only mode (const Node* ctor) the node must be
+// *quiescent* while serving — no Genesis/MineBlock between Start() and
+// Stop(). In cluster mode (NodeHost ctor) the server itself is the only
+// writer: cluster ops (Genesis/SubmitTx/Mine/Snapshot/InstallSnapshot)
+// run exclusively under `node_mu_` on the reader thread that received
+// them, Select/Ping hold `node_mu_` shared, and every applied mutation
+// is persisted through the host before its response is written.
 //
 // Fault injection: an optional node::FaultInjector attacks the response
 // write path (corrupt/truncate/drop/duplicate/delay) — liveness, never
@@ -64,6 +68,8 @@ class FaultInjector;
 }  // namespace tokenmagic::node
 
 namespace tokenmagic::rpc {
+
+class NodeHost;
 
 struct ServerConfig {
   /// AF_UNIX socket path to listen on.
@@ -114,8 +120,15 @@ struct ServerStats {
 
 class Server {
  public:
-  /// `node` must outlive the server and stay quiescent while serving.
+  /// Read-only serving: `node` must outlive the server and stay
+  /// quiescent while serving. Cluster ops answer InvalidArgument.
   Server(const node::Node* node, ServerConfig config);
+
+  /// Cluster-mode serving: `host` owns the node and must outlive the
+  /// server. Cluster ops mutate the hosted node under `node_mu_` and
+  /// persist through the host after every applied mutation.
+  Server(NodeHost* host, ServerConfig config);
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -153,8 +166,16 @@ class Server {
 
   /// Runs one Select to a terminal verdict (never blocks on I/O).
   Response ProcessSelect(const Request& request, int64_t admitted_nanos,
-                         common::Rng* rng) TM_EXCLUDES(stats_mu_);
-  Response ProcessControl(const Request& request) TM_EXCLUDES(stats_mu_);
+                         common::Rng* rng)
+      TM_EXCLUDES(stats_mu_, node_mu_);
+  Response ProcessControl(const Request& request)
+      TM_EXCLUDES(stats_mu_, node_mu_);
+
+  /// Applies one cluster op exclusively (reader-thread inline, so ops on
+  /// one connection apply in submission order). InvalidArgument when the
+  /// server has no NodeHost.
+  Response ProcessCluster(const Request& request)
+      TM_EXCLUDES(stats_mu_, node_mu_);
 
   /// Serializes, applies any armed transport fault, writes under the
   /// connection's write mutex, and accounts the outcome.
@@ -163,7 +184,16 @@ class Server {
 
   void CountOutcome(const Response& response) TM_EXCLUDES(stats_mu_);
 
-  const node::Node* node_;
+  Server(NodeHost* host, const node::Node* node, ServerConfig config);
+
+  /// Null in read-only mode; set iff cluster ops are enabled.
+  NodeHost* host_;
+  /// Guards the hosted node: Select/Ping readers hold it shared for the
+  /// whole request, cluster mutations hold it exclusively. Ordered
+  /// before stats_mu_. In read-only mode node_ never changes and the
+  /// shared lock is uncontended.
+  mutable common::SharedMutex node_mu_;
+  const node::Node* node_ TM_GUARDED_BY(node_mu_);
   ServerConfig config_;
   const common::Clock* clock_;
   core::ResilientSelector resilient_;

@@ -1,0 +1,51 @@
+// Cross-node consistency checking for the regtest harness.
+//
+// After every scenario checkpoint the cluster fetches each peer's full
+// snapshot string over the wire and analyzes it locally: the snapshot is
+// restored into a throwaway node (so a peer can never self-report — the
+// checker re-derives everything from the bytes the peer actually
+// serialized) and reduced to three digests:
+//
+//  * state digest: sha256 of the snapshot string — byte-for-byte ledger
+//    agreement, the strongest form of convergence;
+//  * key-image digest: sha256 over the spent-key-image list — double
+//    spend surface agreement;
+//  * diversity digest: sha256 over the per-RS (c,ℓ)-recursive-diversity
+//    verdict vector, computed through the batch's AnalysisContext — two
+//    nodes agreeing on bytes but disagreeing on analysis would expose a
+//    nondeterminism bug in the interning layer.
+//
+// Reports are value types with no borrowed views, so they survive the
+// cluster mutations that follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "node/node.h"
+
+namespace tokenmagic::testnet {
+
+/// One peer's analyzed state at a checkpoint.
+struct NodeReport {
+  std::string name;
+  bool alive = false;
+  std::string state_digest;      ///< sha256 of the snapshot string
+  std::string key_image_digest;  ///< sha256 of the spent-image list
+  std::string diversity_digest;  ///< sha256 of the per-RS verdict vector
+  uint64_t rs_count = 0;
+  /// RSs whose ring fails its own declared (c,ℓ) requirement under the
+  /// recursive-diversity check. Zero on every honest run: the verifier
+  /// rejects such rings at submit and mine time.
+  uint64_t diversity_violations = 0;
+};
+
+/// Restores `snapshot` into a local node and computes the report.
+/// IoError when the snapshot fails validation (a peer serving from a
+/// half-restored ledger can never produce a clean report).
+[[nodiscard]] common::Result<NodeReport> AnalyzeSnapshot(
+    std::string name, const std::string& snapshot,
+    const node::NodeConfig& config);
+
+}  // namespace tokenmagic::testnet

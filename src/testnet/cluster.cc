@@ -1,0 +1,579 @@
+#include "testnet/cluster.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "crypto/sha256.h"
+#include "node/snapshot.h"
+#include "rpc/worker_pool.h"
+
+namespace tokenmagic::testnet {
+
+namespace {
+
+using common::Status;
+
+/// mkdir -p, one segment at a time. EEXIST is success.
+Status MakeDirs(const std::string& path) {
+  std::string prefix;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    prefix = path.substr(0, slash);
+    start = slash + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError(
+          common::StrFormat("mkdir %s failed", prefix.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string JoinIndices(const std::vector<size_t>& indices) {
+  std::string out;
+  for (size_t i : indices) {
+    if (!out.empty()) out += ',';
+    out += common::StrFormat("%zu", i);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      view_(std::make_unique<node::Node>(MakeNodeConfig())),
+      spend_rng_(config_.seed) {
+  // The digest chain starts from the determinism-relevant parameters;
+  // the cluster mode is deliberately absent so in-process and daemon
+  // runs of one seed must land on the same final digest.
+  Note(common::StrFormat(
+      "cluster nodes=%zu seed=%llu lambda=%zu", config_.nodes,
+      static_cast<unsigned long long>(config_.seed), config_.lambda));
+}
+
+Cluster::~Cluster() = default;
+
+node::NodeConfig Cluster::MakeNodeConfig() const {
+  node::NodeConfig config;
+  config.lambda = config_.lambda;
+  return config;
+}
+
+common::Result<std::unique_ptr<Cluster>> Cluster::Create(
+    ClusterConfig config) {
+  if (config.nodes == 0) {
+    return Status::InvalidArgument("cluster needs at least one peer");
+  }
+  if (config.workdir.empty()) {
+    return Status::InvalidArgument("cluster workdir is required");
+  }
+  if (config.mode == ClusterMode::kDaemon && config.tm_node_binary.empty()) {
+    return Status::InvalidArgument(
+        "daemon mode needs the tm_node binary path");
+  }
+  TM_RETURN_NOT_OK(MakeDirs(config.workdir));
+
+  std::unique_ptr<Cluster> cluster(new Cluster(std::move(config)));
+  const ClusterConfig& cfg = cluster->config_;
+  for (size_t i = 0; i < cfg.nodes; ++i) {
+    PeerConfig peer_config;
+    peer_config.name = common::StrFormat("peer%zu", i);
+    peer_config.socket_path =
+        common::StrFormat("%s/peer%zu.sock", cfg.workdir.c_str(), i);
+    peer_config.snapshot_path =
+        common::StrFormat("%s/peer%zu.snapshot", cfg.workdir.c_str(), i);
+    peer_config.log_path =
+        common::StrFormat("%s/peer%zu.log", cfg.workdir.c_str(), i);
+    peer_config.tm_node_binary = cfg.tm_node_binary;
+    peer_config.lambda = cfg.lambda;
+    peer_config.seed = cfg.seed + i;
+    peer_config.workers = cfg.server_workers;
+    peer_config.queue_capacity = cfg.server_queue;
+    // A fresh cluster never resumes a previous run's chain.
+    ::unlink(peer_config.snapshot_path.c_str());
+    ::unlink(peer_config.log_path.c_str());
+
+    PeerState state;
+    if (cfg.mode == ClusterMode::kInProcess) {
+      state.peer = std::make_unique<InProcessPeer>(std::move(peer_config));
+    } else {
+      state.peer = std::make_unique<DaemonPeer>(std::move(peer_config));
+    }
+    state.faults =
+        std::make_unique<node::FaultInjector>(cfg.seed ^ (i + 1));
+    TM_RETURN_NOT_OK(state.peer->Start());
+    TM_RETURN_NOT_OK(cluster->ConnectClient(&state));
+    cluster->peers_.push_back(std::move(state));
+  }
+  return cluster;
+}
+
+common::Status Cluster::ConnectClient(PeerState* state) {
+  auto client = rpc::Client::Connect(state->peer->socket_path());
+  TM_RETURN_NOT_OK(client.status());
+  state->client =
+      std::make_unique<rpc::Client>(std::move(client).value());
+  return Status::OK();
+}
+
+void Cluster::Note(const std::string& note) {
+  log_.push_back(note);
+  digest_ = crypto::Sha256Hex(digest_ + "|" + note);
+}
+
+common::Status Cluster::DoGenesis(size_t wallets, size_t tokens_per_wallet,
+                                  size_t cluster_size) {
+  if (!wallets_.empty()) {
+    return Status::InvalidArgument("genesis already ran");
+  }
+  if (wallets < 2 || tokens_per_wallet == 0 || cluster_size == 0) {
+    return Status::InvalidArgument("genesis needs >=2 wallets, >=1 token");
+  }
+  wallets_.reserve(wallets);
+  for (size_t w = 0; w < wallets; ++w) {
+    wallets_.push_back(std::make_unique<node::Wallet>(
+        common::StrFormat("wallet-%zu", w), view_.get(),
+        config_.seed * 1000 + w));
+  }
+
+  // The testbed's layout: per wallet, tokens in HT clusters so batches
+  // carry multi-token HTs and diversity constraints bite.
+  std::vector<std::vector<crypto::Point>> grants;
+  std::vector<size_t> grant_owner;
+  for (size_t w = 0; w < wallets; ++w) {
+    size_t remaining = tokens_per_wallet;
+    while (remaining > 0) {
+      size_t take = std::min(cluster_size, remaining);
+      std::vector<crypto::Point> grant;
+      for (size_t i = 0; i < take; ++i) {
+        grant.push_back(wallets_[w]->NewOutputKey());
+      }
+      grants.push_back(std::move(grant));
+      grant_owner.push_back(w);
+      remaining -= take;
+    }
+  }
+
+  std::vector<std::vector<chain::TokenId>> minted = view_->Genesis(grants);
+  for (size_t g = 0; g < minted.size(); ++g) {
+    for (chain::TokenId token : minted[g]) {
+      TM_RETURN_NOT_OK(wallets_[grant_owner[g]]->Claim(token));
+    }
+  }
+  Note(common::StrFormat("genesis wallets=%zu tokens=%zu clusters=%zu "
+                         "grants=%zu",
+                         wallets, tokens_per_wallet, cluster_size,
+                         grants.size()));
+
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    PeerState& state = peers_[i];
+    if (!state.peer->alive()) {
+      return Status::InvalidArgument("genesis requires every peer live");
+    }
+    auto peer_minted = state.client->Genesis(grants);
+    TM_RETURN_NOT_OK(peer_minted.status());
+    bool equal = *peer_minted == minted;
+    Note(common::StrFormat("genesis peer=%zu minted_equal=%d", i,
+                           equal ? 1 : 0));
+    if (!equal) {
+      return Status::Internal(common::StrFormat(
+          "genesis: peer %zu minted different token ids", i));
+    }
+  }
+  return Status::OK();
+}
+
+common::Status Cluster::DoSpends(size_t count) {
+  if (wallets_.empty()) {
+    return Status::InvalidArgument("spends before genesis");
+  }
+  for (size_t s = 0; s < count; ++s) {
+    size_t idx = spend_counter_++;
+    size_t w = idx % wallets_.size();
+    std::vector<chain::TokenId> spendable = wallets_[w]->SpendableTokens();
+    std::erase_if(spendable, [this](chain::TokenId t) {
+      return spent_tokens_.count(t) > 0;
+    });
+    if (spendable.empty()) {
+      Note(common::StrFormat("spend idx=%zu wallet=%zu skipped=empty", idx,
+                             w));
+      continue;
+    }
+    chain::TokenId token =
+        spendable[spend_rng_.NextBounded(spendable.size())];
+    size_t receiver =
+        (w + 1 + spend_rng_.NextBounded(wallets_.size() - 1)) %
+        wallets_.size();
+    crypto::Point key = wallets_[receiver]->NewOutputKey();
+    auto built = wallets_[w]->BuildSpend(
+        token, config_.requirement, selector_, {key},
+        common::StrFormat("spend-%zu", idx));
+    if (!built.ok()) {
+      // Valid-ring-or-typed-error: a failed build is a typed verdict,
+      // recorded and absorbed into the digest like any other outcome.
+      Note(common::StrFormat(
+          "spend idx=%zu wallet=%zu build=%s", idx, w,
+          common::StatusCodeToString(built.status().code())));
+      continue;
+    }
+    StagedTx staged{std::move(built).value(), {key}};
+    Status verdict = view_->SubmitTransaction(staged.tx, staged.output_keys);
+    if (verdict.ok()) spent_tokens_.insert(token);
+    Note(common::StrFormat(
+        "spend idx=%zu wallet=%zu token=%llu verdict=%s", idx, w,
+        static_cast<unsigned long long>(token),
+        common::StatusCodeToString(verdict.code())));
+
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      PeerState& state = peers_[i];
+      if (!state.peer->alive()) continue;  // killed peers miss traffic
+      switch (state.link) {
+        case LinkMode::kOk:
+          TM_RETURN_NOT_OK(SubmitToPeer(i, staged, "relay"));
+          break;
+        case LinkMode::kDrop:
+          break;
+        case LinkMode::kDelay:
+          state.deferred.push_back(staged);
+          break;
+        case LinkMode::kReorder:
+          state.reorder_batch.push_back(staged);
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+common::Status Cluster::SubmitToPeer(size_t index, const StagedTx& staged,
+                                     const char* tag) {
+  PeerState& state = peers_[index];
+  auto response = state.client->SubmitTx(staged.tx, staged.output_keys);
+  // Transport faults are not part of any scenario's schedule, so one
+  // here is a harness failure, not a recordable verdict.
+  TM_RETURN_NOT_OK(response.status());
+  Note(common::StrFormat(
+      "%s peer=%zu verdict=%s", tag, index,
+      common::StatusCodeToString(response->status.code())));
+  return Status::OK();
+}
+
+common::Status Cluster::DoMine() {
+  if (wallets_.empty()) {
+    return Status::InvalidArgument("mine before genesis");
+  }
+  node::MinedBlock mined = view_->MineBlock();
+  ClaimMintedOutputs(mined.outputs);
+  Note(common::StrFormat(
+      "mine height=%llu txs=%zu rejected=%zu",
+      static_cast<unsigned long long>(mined.height), mined.transactions,
+      mined.rejected.size()));
+
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    PeerState& state = peers_[i];
+    if (!state.peer->alive()) continue;
+    if (state.link == LinkMode::kDrop) {
+      Note(common::StrFormat("mine peer=%zu dropped", i));
+      continue;
+    }
+    if (state.link == LinkMode::kReorder && !state.reorder_batch.empty()) {
+      std::vector<size_t> order =
+          state.faults->ScrambleOrder(state.reorder_batch.size(), 0);
+      for (size_t j : order) {
+        TM_RETURN_NOT_OK(SubmitToPeer(i, state.reorder_batch[j], "reorder"));
+      }
+      state.reorder_batch.clear();
+    }
+    auto summary = state.client->Mine();
+    TM_RETURN_NOT_OK(summary.status());
+    Note(common::StrFormat(
+        "mine peer=%zu height=%llu txs=%llu rejected=%llu", i,
+        static_cast<unsigned long long>(summary->height),
+        static_cast<unsigned long long>(summary->transactions),
+        static_cast<unsigned long long>(summary->rejected)));
+    if (state.link == LinkMode::kDelay && !state.deferred.empty()) {
+      // Delivered only now: these land one block behind the view.
+      for (const StagedTx& staged : state.deferred) {
+        TM_RETURN_NOT_OK(SubmitToPeer(i, staged, "deliver"));
+      }
+      state.deferred.clear();
+    }
+  }
+  return Status::OK();
+}
+
+void Cluster::ClaimMintedOutputs(
+    const std::vector<std::vector<chain::TokenId>>& outputs_per_tx) {
+  for (const auto& outputs : outputs_per_tx) {
+    for (chain::TokenId token : outputs) {
+      for (auto& wallet : wallets_) {
+        if (wallet->Claim(token).ok()) break;
+      }
+    }
+  }
+}
+
+common::Status Cluster::SetLink(size_t peer, LinkMode mode) {
+  if (peer >= peers_.size()) {
+    return Status::InvalidArgument("link: no such peer");
+  }
+  peers_[peer].link = mode;
+  const char* name = mode == LinkMode::kOk      ? "ok"
+                     : mode == LinkMode::kDrop  ? "drop"
+                     : mode == LinkMode::kDelay ? "delay"
+                                                : "reorder";
+  Note(common::StrFormat("link peer=%zu mode=%s", peer, name));
+  return Status::OK();
+}
+
+common::Status Cluster::Kill(size_t peer) {
+  if (peer >= peers_.size()) {
+    return Status::InvalidArgument("kill: no such peer");
+  }
+  PeerState& state = peers_[peer];
+  if (!state.peer->alive()) {
+    return Status::InvalidArgument("kill: peer already dead");
+  }
+  // Remember the acknowledged state: every mutation persisted before it
+  // was acked, so the post-restart digest must reproduce this exactly.
+  auto digest = state.client->SnapshotDigest();
+  TM_RETURN_NOT_OK(digest.status());
+  state.pre_kill_digest = std::move(digest).value();
+  state.client.reset();
+  state.peer->Kill();
+  Note(common::StrFormat("kill peer=%zu state=%s", peer,
+                         state.pre_kill_digest.c_str()));
+  return Status::OK();
+}
+
+common::Status Cluster::Restart(size_t peer) {
+  if (peer >= peers_.size()) {
+    return Status::InvalidArgument("restart: no such peer");
+  }
+  PeerState& state = peers_[peer];
+  if (state.peer->alive()) {
+    return Status::InvalidArgument("restart: peer is running");
+  }
+  TM_RETURN_NOT_OK(state.peer->Start());
+  TM_RETURN_NOT_OK(ConnectClient(&state));
+  state.deferred.clear();
+  state.reorder_batch.clear();
+  auto digest = state.client->SnapshotDigest();
+  TM_RETURN_NOT_OK(digest.status());
+  bool identical = *digest == state.pre_kill_digest;
+  Note(common::StrFormat("restart peer=%zu restored_identical=%d", peer,
+                         identical ? 1 : 0));
+  if (!identical) {
+    return Status::Internal(common::StrFormat(
+        "restart: peer %zu state %s differs from pre-kill %s", peer,
+        digest->c_str(), state.pre_kill_digest.c_str()));
+  }
+  return Status::OK();
+}
+
+common::Status Cluster::Heal() {
+  std::string snapshot = node::SnapshotToString(*view_);
+  std::string view_digest = crypto::Sha256Hex(snapshot);
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    PeerState& state = peers_[i];
+    if (!state.peer->alive()) {
+      Note(common::StrFormat("heal peer=%zu dead", i));
+      continue;
+    }
+    auto digest = state.client->SnapshotDigest();
+    TM_RETURN_NOT_OK(digest.status());
+    if (*digest == view_digest) {
+      Note(common::StrFormat("heal peer=%zu in-sync", i));
+      continue;
+    }
+    auto installed = state.client->InstallSnapshot(snapshot);
+    TM_RETURN_NOT_OK(installed.status());
+    TM_RETURN_NOT_OK(installed->status);
+    state.deferred.clear();
+    state.reorder_batch.clear();
+    Note(common::StrFormat("heal peer=%zu installed", i));
+  }
+  return Status::OK();
+}
+
+common::Status Cluster::DoOverload(size_t requests,
+                                   uint32_t deadline_millis) {
+  if (wallets_.empty()) {
+    return Status::InvalidArgument("overload before genesis");
+  }
+  size_t target = peers_.size();
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].peer->alive()) {
+      target = i;
+      break;
+    }
+  }
+  if (target == peers_.size()) {
+    return Status::InvalidArgument("overload: no live peer");
+  }
+  const std::string socket = peers_[target].peer->socket_path();
+  const size_t tokens = view_->blockchain().token_count();
+  if (tokens == 0) return Status::InvalidArgument("overload: empty chain");
+
+  // Concurrent clients through the audited WorkerPool; each request must
+  // resolve to a typed verdict (ok / shed / timeout), never a transport
+  // failure or a hang — the shed path is what the small server queue is
+  // sized to force.
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> typed{0};
+  std::atomic<size_t> transport{0};
+  rpc::WorkerPool pool;
+  size_t threads = std::min<size_t>(8, std::max<size_t>(requests, 1));
+  pool.Start(threads, [&](size_t) {
+    std::optional<rpc::Client> client;
+    auto connected = rpc::Client::Connect(socket);
+    if (connected.ok()) client.emplace(std::move(connected).value());
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= requests) break;
+      if (!client.has_value()) {
+        transport.fetch_add(1);
+        continue;
+      }
+      auto response = client->Select(
+          static_cast<chain::TokenId>(i % tokens), config_.requirement,
+          deadline_millis);
+      if (response.ok()) {
+        typed.fetch_add(1);
+      } else {
+        transport.fetch_add(1);
+      }
+    }
+  });
+  pool.Join();
+
+  bool all_typed =
+      transport.load() == 0 && typed.load() == requests;
+  // Which requests were shed vs served depends on scheduling, so only
+  // the all-typed bit enters the digest; counts go to the log reader
+  // via the scenario runner's stderr, not the chain.
+  Note(common::StrFormat("overload issued=%zu all_typed=%d", requests,
+                         all_typed ? 1 : 0));
+  if (!all_typed) {
+    return Status::Internal(common::StrFormat(
+        "overload: %zu of %zu requests failed the transport",
+        transport.load(), requests));
+  }
+  return Status::OK();
+}
+
+common::Result<std::vector<NodeReport>> Cluster::CollectReports(
+    NodeReport* view_report) {
+  std::string view_snapshot = node::SnapshotToString(*view_);
+  auto analyzed = AnalyzeSnapshot("view", view_snapshot, MakeNodeConfig());
+  TM_RETURN_NOT_OK(analyzed.status());
+  *view_report = std::move(analyzed).value();
+
+  std::vector<NodeReport> reports;
+  reports.reserve(peers_.size());
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    PeerState& state = peers_[i];
+    std::string name = common::StrFormat("peer%zu", i);
+    if (!state.peer->alive()) {
+      NodeReport dead;
+      dead.name = std::move(name);
+      reports.push_back(std::move(dead));
+      continue;
+    }
+    auto snapshot = state.client->FetchSnapshot();
+    TM_RETURN_NOT_OK(snapshot.status());
+    auto report =
+        AnalyzeSnapshot(std::move(name), *snapshot, MakeNodeConfig());
+    TM_RETURN_NOT_OK(report.status());
+    reports.push_back(std::move(report).value());
+  }
+  return reports;
+}
+
+common::Status Cluster::CheckConverged() {
+  NodeReport view;
+  auto reports = CollectReports(&view);
+  TM_RETURN_NOT_OK(reports.status());
+  for (size_t i = 0; i < reports->size(); ++i) {
+    const NodeReport& report = (*reports)[i];
+    if (!report.alive) {
+      Note(common::StrFormat("check converged FAILED peer=%zu dead", i));
+      return Status::Internal(
+          common::StrFormat("check converged: peer %zu is dead", i));
+    }
+    if (report.state_digest != view.state_digest ||
+        report.key_image_digest != view.key_image_digest ||
+        report.diversity_digest != view.diversity_digest) {
+      Note(common::StrFormat("check converged FAILED peer=%zu", i));
+      return Status::Internal(common::StrFormat(
+          "check converged: peer %zu state %s != view %s", i,
+          report.state_digest.c_str(), view.state_digest.c_str()));
+    }
+  }
+  if (view.diversity_violations != 0) {
+    return Status::Internal(common::StrFormat(
+        "check converged: %llu diversity violations on the view chain",
+        static_cast<unsigned long long>(view.diversity_violations)));
+  }
+  Note(common::StrFormat(
+      "check converged ok state=%s images=%s diversity=%s rs=%llu",
+      view.state_digest.c_str(), view.key_image_digest.c_str(),
+      view.diversity_digest.c_str(),
+      static_cast<unsigned long long>(view.rs_count)));
+  return Status::OK();
+}
+
+common::Status Cluster::CheckDiverged(std::vector<size_t> expect) {
+  NodeReport view;
+  auto reports = CollectReports(&view);
+  TM_RETURN_NOT_OK(reports.status());
+  std::vector<size_t> actual;
+  for (size_t i = 0; i < reports->size(); ++i) {
+    const NodeReport& report = (*reports)[i];
+    if (!report.alive || report.state_digest != view.state_digest) {
+      actual.push_back(i);
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  if (actual != expect) {
+    Note(common::StrFormat("check diverged FAILED expected=%s actual=%s",
+                           JoinIndices(expect).c_str(),
+                           JoinIndices(actual).c_str()));
+    return Status::Internal(common::StrFormat(
+        "check diverged: expected peers {%s}, got {%s}",
+        JoinIndices(expect).c_str(), JoinIndices(actual).c_str()));
+  }
+  Note(common::StrFormat("check diverged ok peers=%s state=%s",
+                         JoinIndices(actual).c_str(),
+                         view.state_digest.c_str()));
+  return Status::OK();
+}
+
+common::Status Cluster::CheckRecord() {
+  NodeReport view;
+  auto reports = CollectReports(&view);
+  TM_RETURN_NOT_OK(reports.status());
+  Note(common::StrFormat("record view state=%s diversity=%s rs=%llu",
+                         view.state_digest.c_str(),
+                         view.diversity_digest.c_str(),
+                         static_cast<unsigned long long>(view.rs_count)));
+  for (size_t i = 0; i < reports->size(); ++i) {
+    const NodeReport& report = (*reports)[i];
+    Note(common::StrFormat(
+        "record peer=%zu alive=%d state=%s", i, report.alive ? 1 : 0,
+        report.alive ? report.state_digest.c_str() : "-"));
+  }
+  return Status::OK();
+}
+
+}  // namespace tokenmagic::testnet

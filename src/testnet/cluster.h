@@ -1,0 +1,188 @@
+// testnet::Cluster — a deterministic multi-node regtest network.
+//
+// Topology: one canonical in-process "view" node hosts the wallet
+// population and defines the reference chain, and N peers serve the rpc
+// protocol — either in-process servers or spawned tm_node daemons
+// (peer.h). Every event the view applies (genesis grants, signed
+// spends, mine commands) is relayed to each peer over its rpc::Client
+// according to the peer's link mode:
+//
+//   ok       deliver immediately, mine in step with the view
+//   drop     deliver nothing, mine nothing (frozen peer / partition)
+//   delay    spends are staged and delivered only after the next mine,
+//            so they land one block later than on the view
+//   reorder  spends are buffered and submitted in a FaultInjector-
+//            scrambled order right before the mine (divergent ledger
+//            RS ordering, deterministic per seed)
+//
+// Because every node applies the same deterministic operations, the
+// view's chain is byte-identical to every ok-linked peer's, and every
+// fault mode produces a *predictable* divergence that Heal() repairs by
+// installing the view's snapshot. Kill/Restart model crashes: restart
+// reloads the peer's own per-mutation persisted snapshot and asserts
+// the restore is byte-identical to the state fetched just before the
+// kill.
+//
+// Determinism contract: every step appends one or more order-stable
+// notes to a log, and the scenario digest is the sha256 chain over
+// those notes. Notes carry only mode-independent content (heights,
+// verdict codes, state digests — never paths, pids, or timings), so
+// one seed yields one digest across runs *and* across cluster modes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/baselines.h"
+#include "node/fault_injection.h"
+#include "node/node.h"
+#include "node/wallet.h"
+#include "rpc/client.h"
+#include "testnet/checker.h"
+#include "testnet/peer.h"
+
+namespace tokenmagic::testnet {
+
+enum class ClusterMode : uint8_t {
+  kInProcess,  ///< peers host rpc::Server in this process (TSan-visible)
+  kDaemon,     ///< peers are spawned tm_node children (process isolation)
+};
+
+enum class LinkMode : uint8_t { kOk, kDrop, kDelay, kReorder };
+
+struct ClusterConfig {
+  size_t nodes = 4;
+  ClusterMode mode = ClusterMode::kInProcess;
+  uint64_t seed = 1;
+  size_t lambda = 8;
+  chain::DiversityRequirement requirement{2.0, 2};
+  /// Scratch directory for sockets, per-peer snapshots, and logs.
+  /// Created if missing; stale snapshots inside are removed.
+  std::string workdir;
+  /// tm_node executable; required for kDaemon mode.
+  std::string tm_node_binary;
+  size_t server_workers = 2;
+  /// Small on purpose: the overload step must actually shed.
+  size_t server_queue = 8;
+};
+
+class Cluster {
+ public:
+  /// Builds the workdir, starts every peer, and connects clients.
+  [[nodiscard]] static common::Result<std::unique_ptr<Cluster>> Create(
+      ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // -- scenario steps (scenario.h maps DSL lines onto these) -------------
+
+  /// Seeds the chain: `wallets` wallets x `tokens_per_wallet` tokens in
+  /// HT clusters of `cluster_size`, applied to the view and relayed to
+  /// every peer (minted ids must agree).
+  [[nodiscard]] common::Status DoGenesis(size_t wallets,
+                                         size_t tokens_per_wallet,
+                                         size_t cluster_size);
+
+  /// Builds and submits `count` wallet spends (valid ring or typed
+  /// error, recorded per spend), relaying per link mode.
+  [[nodiscard]] common::Status DoSpends(size_t count);
+
+  /// Mines the view and every non-dropped live peer in step, honoring
+  /// delay/reorder staging.
+  [[nodiscard]] common::Status DoMine();
+
+  [[nodiscard]] common::Status SetLink(size_t peer, LinkMode mode);
+
+  /// Hard-kills a peer, remembering its state digest for Restart.
+  [[nodiscard]] common::Status Kill(size_t peer);
+
+  /// Restarts a killed peer from its own persisted snapshot and asserts
+  /// the restore is byte-identical to the pre-kill state.
+  [[nodiscard]] common::Status Restart(size_t peer);
+
+  /// Installs the view snapshot on every live peer that diverged.
+  [[nodiscard]] common::Status Heal();
+
+  /// Fires `requests` concurrent selects (WorkerPool clients) with a
+  /// tight deadline at the first live peer; asserts every request
+  /// resolves with a *typed* verdict (ok, shed, or timeout — never a
+  /// hang or transport corruption).
+  [[nodiscard]] common::Status DoOverload(size_t requests,
+                                          uint32_t deadline_millis);
+
+  /// Asserts every peer is live and byte-identical to the view on all
+  /// three digests (state, key images, diversity verdicts), with zero
+  /// diversity violations.
+  [[nodiscard]] common::Status CheckConverged();
+
+  /// Asserts exactly `expect` (indices) diverge from the view.
+  [[nodiscard]] common::Status CheckDiverged(std::vector<size_t> expect);
+
+  /// Records every peer's digests into the chain without asserting.
+  [[nodiscard]] common::Status CheckRecord();
+
+  // -- results -----------------------------------------------------------
+
+  /// Sha256 chain over every note so far; the scenario determinism
+  /// fingerprint.
+  const std::string& digest() const { return digest_; }
+  const std::vector<std::string>& log() const { return log_; }
+  size_t size() const { return peers_.size(); }
+  const node::Node& view() const { return *view_; }
+
+ private:
+  struct StagedTx {
+    node::SignedTransaction tx;
+    std::vector<crypto::Point> output_keys;
+  };
+
+  struct PeerState {
+    std::unique_ptr<Peer> peer;
+    std::unique_ptr<rpc::Client> client;
+    std::unique_ptr<node::FaultInjector> faults;  ///< reorder schedules
+    LinkMode link = LinkMode::kOk;
+    std::vector<StagedTx> deferred;       ///< delay: deliver after mine
+    std::vector<StagedTx> reorder_batch;  ///< reorder: scramble at mine
+    std::string pre_kill_digest;
+  };
+
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] common::Status ConnectClient(PeerState* state);
+  /// Relays one staged tx, noting the peer's typed verdict under `tag`
+  /// ("relay" / "deliver" / "reorder").
+  [[nodiscard]] common::Status SubmitToPeer(size_t index,
+                                            const StagedTx& staged,
+                                            const char* tag);
+  /// Collects view + per-peer reports (dead peers report alive=false).
+  [[nodiscard]] common::Result<std::vector<NodeReport>> CollectReports(
+      NodeReport* view_report);
+  void ClaimMintedOutputs(const std::vector<std::vector<chain::TokenId>>&
+                              outputs_per_tx);
+  void Note(const std::string& note);
+  node::NodeConfig MakeNodeConfig() const;
+
+  ClusterConfig config_;
+  std::unique_ptr<node::Node> view_;
+  std::vector<std::unique_ptr<node::Wallet>> wallets_;
+  std::vector<PeerState> peers_;
+  core::SmallestSelector selector_;
+  common::Rng spend_rng_;
+  /// Tokens already spent through the harness (BuildSpend does not mark
+  /// the wallet's local spent set; Spend() does, but the harness needs
+  /// the transaction object for relaying, so it tracks spends itself).
+  std::unordered_set<chain::TokenId> spent_tokens_;
+  size_t spend_counter_ = 0;
+  std::string digest_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,37 @@
+#include "testnet/node_host.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "node/snapshot.h"
+
+namespace tokenmagic::testnet {
+
+common::Result<std::unique_ptr<FileNodeHost>> FileNodeHost::Open(
+    std::string path, node::NodeConfig config) {
+  std::unique_ptr<node::Node> node;
+  if (::access(path.c_str(), F_OK) == 0) {
+    auto restored = node::LoadSnapshot(path, config);
+    TM_RETURN_NOT_OK(restored.status());
+    node = std::move(restored).value();
+  } else {
+    node = std::make_unique<node::Node>(config);
+  }
+  return std::unique_ptr<FileNodeHost>(
+      new FileNodeHost(std::move(path), config, std::move(node)));
+}
+
+FileNodeHost::FileNodeHost(std::string path, node::NodeConfig config,
+                           std::unique_ptr<node::Node> node)
+    : path_(std::move(path)), config_(config), node_(std::move(node)) {}
+
+void FileNodeHost::Replace(std::unique_ptr<node::Node> node) {
+  node_ = std::move(node);
+}
+
+common::Status FileNodeHost::Persist() {
+  return node::SaveSnapshot(*node_, path_);
+}
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,46 @@
+// FileNodeHost: an rpc::NodeHost backed by one snapshot file.
+//
+// This is the persistence glue of the regtest harness. Opening the host
+// restores the node from the snapshot file when one exists (a restarted
+// peer resumes from exactly the chain state its clients saw persisted)
+// and starts a fresh node otherwise. Persist() writes the full snapshot
+// atomically (temp file + rename, node/snapshot.h), so a peer killed at
+// any instant restarts from the last acknowledged mutation — the same
+// crash-consistency story in both cluster modes, in-process server kill
+// and SIGKILLed daemon.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "node/node.h"
+#include "rpc/node_host.h"
+
+namespace tokenmagic::testnet {
+
+class FileNodeHost : public rpc::NodeHost {
+ public:
+  /// Restores from the snapshot at `path` when the file exists (IoError
+  /// when it exists but fails validation — a corrupted snapshot never
+  /// yields a half-restored serving node), else hosts a fresh node.
+  [[nodiscard]] static common::Result<std::unique_ptr<FileNodeHost>> Open(
+      std::string path, node::NodeConfig config);
+
+  node::Node* mutable_node() override { return node_.get(); }
+  void Replace(std::unique_ptr<node::Node> node) override;
+  [[nodiscard]] common::Status Persist() override;
+  const node::NodeConfig& node_config() const override { return config_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileNodeHost(std::string path, node::NodeConfig config,
+               std::unique_ptr<node::Node> node);
+
+  std::string path_;
+  node::NodeConfig config_;
+  std::unique_ptr<node::Node> node_;
+};
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,70 @@
+#include "testnet/peer.h"
+
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace tokenmagic::testnet {
+
+namespace {
+
+using common::Status;
+
+rpc::ServerConfig MakeServerConfig(const PeerConfig& config) {
+  rpc::ServerConfig server;
+  server.socket_path = config.socket_path;
+  server.workers = config.workers;
+  server.queue_capacity = config.queue_capacity;
+  server.seed = config.seed;
+  return server;
+}
+
+}  // namespace
+
+common::Status InProcessPeer::Start() {
+  if (alive()) return Status::OK();
+  node::NodeConfig node_config;
+  node_config.lambda = config_.lambda;
+  auto host = FileNodeHost::Open(config_.snapshot_path, node_config);
+  TM_RETURN_NOT_OK(host.status());
+  host_ = std::move(host).value();
+  auto server =
+      std::make_unique<rpc::Server>(host_.get(), MakeServerConfig(config_));
+  TM_RETURN_NOT_OK(server->Start());
+  server_ = std::move(server);
+  return Status::OK();
+}
+
+void InProcessPeer::Kill() {
+  server_.reset();  // Server dtor stops and joins; no snapshot write
+  host_.reset();
+}
+
+common::Status DaemonPeer::Start() {
+  if (alive()) return Status::OK();
+  ProcessOptions options;
+  options.binary = config_.tm_node_binary;
+  options.log_path = config_.log_path;
+  options.args = {
+      "--socket",           config_.socket_path,
+      "--cluster-snapshot", config_.snapshot_path,
+      "--lambda",           common::StrFormat("%zu", config_.lambda),
+      "--workers",          common::StrFormat("%zu", config_.workers),
+      "--queue",            common::StrFormat("%zu", config_.queue_capacity),
+      "--seed",             common::StrFormat(
+          "%llu", static_cast<unsigned long long>(config_.seed)),
+  };
+  auto process = DaemonProcess::Spawn(std::move(options));
+  TM_RETURN_NOT_OK(process.status());
+  process_ = std::move(process).value();
+  Status ready = WaitForSocket(config_.socket_path, 10'000);
+  if (!ready.ok()) {
+    process_.KillHard();
+    return ready;
+  }
+  return Status::OK();
+}
+
+void DaemonPeer::Kill() { process_.KillHard(); }
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,93 @@
+// One cluster peer: a serving node reachable over the rpc socket.
+//
+// Both implementations expose the identical surface — an AF_UNIX socket
+// speaking the full rpc protocol including cluster ops — so the Cluster
+// drives them through the same rpc::Client code path and a scenario's
+// consistency digest is comparable across modes:
+//
+//  * InProcessPeer hosts FileNodeHost + rpc::Server inside the test
+//    process (fast, and every data race is TSan-visible);
+//  * DaemonPeer spawns a real `tm_node --cluster-snapshot` child over
+//    the same socket (true process isolation; Kill is SIGKILL).
+//
+// Kill() is always a hard kill: no drain beyond what the in-process
+// server's destructor already guarantees, and never a snapshot write —
+// restart recovers from the last per-mutation Persist, which is the
+// crash-consistency property the kill-and-restore scenario pins.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "rpc/server.h"
+#include "testnet/node_host.h"
+#include "testnet/process.h"
+
+namespace tokenmagic::testnet {
+
+struct PeerConfig {
+  std::string name;
+  std::string socket_path;
+  std::string snapshot_path;
+  std::string log_path;        ///< daemon mode: child stdout+stderr
+  std::string tm_node_binary;  ///< daemon mode: tm_node executable
+  size_t lambda = 8;
+  uint64_t seed = 1;
+  size_t workers = 2;
+  size_t queue_capacity = 8;
+};
+
+class Peer {
+ public:
+  explicit Peer(PeerConfig config) : config_(std::move(config)) {}
+  virtual ~Peer() = default;
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Starts (or restarts) serving from the snapshot file's state.
+  [[nodiscard]] virtual common::Status Start() = 0;
+
+  /// Hard kill; alive() turns false until the next Start().
+  virtual void Kill() = 0;
+
+  virtual bool alive() const = 0;
+
+  const PeerConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  const std::string& socket_path() const { return config_.socket_path; }
+
+ protected:
+  PeerConfig config_;
+};
+
+class InProcessPeer : public Peer {
+ public:
+  using Peer::Peer;
+  ~InProcessPeer() override { Kill(); }
+
+  [[nodiscard]] common::Status Start() override;
+  void Kill() override;
+  bool alive() const override { return server_ != nullptr; }
+
+ private:
+  std::unique_ptr<FileNodeHost> host_;
+  std::unique_ptr<rpc::Server> server_;
+};
+
+class DaemonPeer : public Peer {
+ public:
+  using Peer::Peer;
+  ~DaemonPeer() override { Kill(); }
+
+  [[nodiscard]] common::Status Start() override;
+  void Kill() override;
+  bool alive() const override { return process_.running(); }
+
+ private:
+  DaemonProcess process_;
+};
+
+}  // namespace tokenmagic::testnet

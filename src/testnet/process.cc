@@ -1,0 +1,112 @@
+#include "testnet/process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/strings.h"
+#include "rpc/socket_io.h"
+
+namespace tokenmagic::testnet {
+
+namespace {
+
+using common::Status;
+
+void Reap(pid_t pid) {
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+DaemonProcess::~DaemonProcess() { KillHard(); }
+
+DaemonProcess::DaemonProcess(DaemonProcess&& other) noexcept
+    : pid_(other.pid_) {
+  other.pid_ = -1;
+}
+
+DaemonProcess& DaemonProcess::operator=(DaemonProcess&& other) noexcept {
+  if (this != &other) {
+    KillHard();
+    pid_ = other.pid_;
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+common::Result<DaemonProcess> DaemonProcess::Spawn(ProcessOptions options) {
+  int log_fd = ::open(options.log_path.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    return Status::IoError(common::StrFormat(
+        "open %s: %s", options.log_path.c_str(), std::strerror(errno)));
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(options.binary.c_str()));
+  for (const std::string& arg : options.args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(log_fd);
+    return Status::IoError(
+        common::StrFormat("fork: %s", std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: logs to the per-peer file, then becomes the daemon. An exec
+    // failure exits 127; the parent observes it as a connect timeout.
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    ::close(log_fd);
+    ::execv(options.binary.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(log_fd);
+  DaemonProcess process;
+  process.pid_ = pid;
+  return process;
+}
+
+void DaemonProcess::KillHard() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  Reap(pid_);
+  pid_ = -1;
+}
+
+void DaemonProcess::StopGraceful() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGTERM);
+  Reap(pid_);
+  pid_ = -1;
+}
+
+common::Status WaitForSocket(const std::string& path,
+                             uint32_t timeout_millis) {
+  const common::Clock* clock = common::SteadyClock::Instance();
+  int64_t give_up_nanos =
+      clock->NowNanos() + static_cast<int64_t>(timeout_millis) * 1'000'000;
+  for (;;) {
+    auto fd = rpc::ConnectUnix(path);
+    if (fd.ok()) return Status::OK();
+    if (clock->NowNanos() >= give_up_nanos) {
+      return Status::Timeout(common::StrFormat(
+          "daemon socket %s not accepting after %u ms", path.c_str(),
+          timeout_millis));
+    }
+    ::usleep(5'000);
+  }
+}
+
+}  // namespace tokenmagic::testnet

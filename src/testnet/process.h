@@ -1,0 +1,61 @@
+// Child-process management for spawned-daemon cluster mode.
+//
+// DaemonProcess forks and execs one tm_node daemon with its stdout and
+// stderr appended to a per-peer log file (the artifact CI uploads when a
+// scenario fails). Kill semantics mirror the harness's two needs:
+// KillHard (SIGKILL, no drain — models a crash; the snapshot file must
+// carry every acknowledged mutation) and StopGraceful (SIGTERM, the
+// daemon drains and exits). Both reap the child, so a cluster never
+// leaks zombies across scenarios.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tokenmagic::testnet {
+
+struct ProcessOptions {
+  std::string binary;             ///< absolute path to the executable
+  std::vector<std::string> args;  ///< argv[1..]; argv[0] is `binary`
+  std::string log_path;           ///< stdout+stderr appended here
+};
+
+class DaemonProcess {
+ public:
+  DaemonProcess() = default;
+  ~DaemonProcess();
+
+  DaemonProcess(DaemonProcess&& other) noexcept;
+  DaemonProcess& operator=(DaemonProcess&& other) noexcept;
+  DaemonProcess(const DaemonProcess&) = delete;
+  DaemonProcess& operator=(const DaemonProcess&) = delete;
+
+  /// Forks and execs. IoError when the fork fails or the log file cannot
+  /// be opened; an exec failure surfaces on first use (connect timeout).
+  [[nodiscard]] static common::Result<DaemonProcess> Spawn(
+      ProcessOptions options);
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// SIGKILL + reap: models a crash. No drain, no snapshot write — the
+  /// daemon restarts from whatever its last Persist committed.
+  void KillHard();
+
+  /// SIGTERM + reap: the daemon drains gracefully and exits.
+  void StopGraceful();
+
+ private:
+  pid_t pid_ = -1;
+};
+
+/// Polls until a client can connect to the AF_UNIX socket at `path`
+/// (daemon finished binding) or `timeout_millis` elapses (Timeout).
+[[nodiscard]] common::Status WaitForSocket(const std::string& path,
+                                           uint32_t timeout_millis);
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,312 @@
+#include "testnet/scenario.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tokenmagic::testnet {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (!token.empty() && token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+common::Status LineError(size_t line, const std::string& what) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "scenario line %zu: ", line);
+  return common::Status::InvalidArgument(buf + what);
+}
+
+common::Result<size_t> ParseSize(const std::string& token, size_t line) {
+  if (token.empty()) return LineError(line, "empty count");
+  size_t value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') {
+      return LineError(line, "malformed count '" + token + "'");
+    }
+    value = value * 10 + static_cast<size_t>(ch - '0');
+    if (value > (1u << 24)) return LineError(line, "count out of range");
+  }
+  return value;
+}
+
+common::Result<LinkMode> ParseLinkMode(const std::string& token, size_t line) {
+  if (token == "ok") return LinkMode::kOk;
+  if (token == "drop") return LinkMode::kDrop;
+  if (token == "delay") return LinkMode::kDelay;
+  if (token == "reorder") return LinkMode::kReorder;
+  return LineError(line, "unknown link mode '" + token + "'");
+}
+
+struct BuiltinSpec {
+  const char* name;
+  const char* description;
+  const char* text;
+};
+
+// The builtin library. Every script ends on a converged check so the
+// final digest covers full cross-node agreement.
+constexpr BuiltinSpec kBuiltins[] = {
+    {"convergence-4", "happy path: 4 nodes apply two blocks in step",
+     R"(# two blocks of spends, everyone in step
+genesis 4 6 2
+spends 6
+mine
+spends 6
+mine
+check converged
+)"},
+    {"partition-heal", "peers 2 and 3 partition mid-run, then heal",
+     R"(genesis 4 6 2
+spends 4
+mine
+link 2 drop
+link 3 drop
+spends 4
+mine
+check diverged 2 3
+link 2 ok
+link 3 ok
+heal
+check converged
+)"},
+    {"kill-restore", "hard-kill peer 1, verify byte-identical restore",
+     R"(genesis 4 6 2
+spends 4
+mine
+kill 1
+spends 4
+mine
+restart 1
+check diverged 1
+heal
+check converged
+)"},
+    {"overload-shed", "burst of concurrent selects under a tight deadline",
+     R"(genesis 4 6 2
+spends 4
+mine
+overload 64 50
+check converged
+)"},
+    {"relay-chaos", "reorder and delay links diverge deterministically",
+     R"(genesis 4 6 2
+spends 4
+mine
+link 1 reorder
+link 2 delay
+spends 6
+mine
+check record
+link 1 ok
+link 2 ok
+heal
+check converged
+)"},
+};
+
+}  // namespace
+
+common::Result<Scenario> ParseScenario(const std::string& name,
+                                       const std::string& text) {
+  Scenario scenario;
+  scenario.name = name;
+
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+
+    Step step;
+    step.line = line_no;
+    const std::string& verb = tokens[0];
+    if (verb == "genesis") {
+      if (tokens.size() != 4) {
+        return LineError(line_no, "genesis wants <wallets> <tokens> <cluster>");
+      }
+      step.kind = Step::Kind::kGenesis;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+      TM_ASSIGN_OR_RETURN(step.b, ParseSize(tokens[2], line_no));
+      TM_ASSIGN_OR_RETURN(step.c, ParseSize(tokens[3], line_no));
+      if (step.a == 0 || step.b == 0 || step.c == 0) {
+        return LineError(line_no, "genesis operands must be positive");
+      }
+    } else if (verb == "spends") {
+      if (tokens.size() != 2) return LineError(line_no, "spends wants <count>");
+      step.kind = Step::Kind::kSpends;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+    } else if (verb == "mine") {
+      if (tokens.size() != 1) return LineError(line_no, "mine takes no args");
+      step.kind = Step::Kind::kMine;
+    } else if (verb == "link") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, "link wants <peer> ok|drop|delay|reorder");
+      }
+      step.kind = Step::Kind::kLink;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+      TM_ASSIGN_OR_RETURN(step.link, ParseLinkMode(tokens[2], line_no));
+    } else if (verb == "kill") {
+      if (tokens.size() != 2) return LineError(line_no, "kill wants <peer>");
+      step.kind = Step::Kind::kKill;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+    } else if (verb == "restart") {
+      if (tokens.size() != 2) return LineError(line_no, "restart wants <peer>");
+      step.kind = Step::Kind::kRestart;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+    } else if (verb == "heal") {
+      if (tokens.size() != 1) return LineError(line_no, "heal takes no args");
+      step.kind = Step::Kind::kHeal;
+    } else if (verb == "overload") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, "overload wants <requests> <deadline_ms>");
+      }
+      step.kind = Step::Kind::kOverload;
+      TM_ASSIGN_OR_RETURN(step.a, ParseSize(tokens[1], line_no));
+      TM_ASSIGN_OR_RETURN(step.b, ParseSize(tokens[2], line_no));
+      if (step.a == 0) return LineError(line_no, "overload wants requests > 0");
+    } else if (verb == "check") {
+      if (tokens.size() < 2) {
+        return LineError(line_no, "check wants converged|diverged|record");
+      }
+      const std::string& what = tokens[1];
+      if (what == "converged") {
+        if (tokens.size() != 2) {
+          return LineError(line_no, "check converged takes no args");
+        }
+        step.kind = Step::Kind::kCheckConverged;
+      } else if (what == "diverged") {
+        if (tokens.size() < 3) {
+          return LineError(line_no, "check diverged wants peer indices");
+        }
+        step.kind = Step::Kind::kCheckDiverged;
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          size_t peer = 0;
+          TM_ASSIGN_OR_RETURN(peer, ParseSize(tokens[i], line_no));
+          step.peers.push_back(peer);
+        }
+      } else if (what == "record") {
+        if (tokens.size() != 2) {
+          return LineError(line_no, "check record takes no args");
+        }
+        step.kind = Step::Kind::kCheckRecord;
+      } else {
+        return LineError(line_no, "unknown check '" + what + "'");
+      }
+    } else {
+      return LineError(line_no, "unknown verb '" + verb + "'");
+    }
+    scenario.steps.push_back(std::move(step));
+  }
+
+  if (scenario.steps.empty()) {
+    return common::Status::InvalidArgument("scenario '" + name +
+                                           "' has no steps");
+  }
+  return scenario;
+}
+
+const std::vector<Scenario>& BuiltinScenarios() {
+  static const std::vector<Scenario>* scenarios = [] {
+    auto* out = new std::vector<Scenario>();
+    for (const BuiltinSpec& spec : kBuiltins) {
+      auto parsed = ParseScenario(spec.name, spec.text);
+      TM_CHECK(parsed.ok());  // builtin scripts are compile-time constants
+      parsed.value().description = spec.description;
+      out->push_back(std::move(parsed.value()));
+    }
+    return out;
+  }();
+  return *scenarios;
+}
+
+const Scenario* FindBuiltinScenario(const std::string& name) {
+  for (const Scenario& scenario : BuiltinScenarios()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+common::Result<ScenarioResult> RunScenario(const Scenario& scenario,
+                                           const ClusterConfig& config) {
+  auto cluster = Cluster::Create(config);
+  TM_RETURN_NOT_OK(cluster.status());
+  Cluster& net = *cluster.value();
+
+  for (const Step& step : scenario.steps) {
+    common::Status status = common::Status::OK();
+    switch (step.kind) {
+      case Step::Kind::kGenesis:
+        status = net.DoGenesis(step.a, step.b, step.c);
+        break;
+      case Step::Kind::kSpends:
+        status = net.DoSpends(step.a);
+        break;
+      case Step::Kind::kMine:
+        status = net.DoMine();
+        break;
+      case Step::Kind::kLink:
+        status = net.SetLink(step.a, step.link);
+        break;
+      case Step::Kind::kKill:
+        status = net.Kill(step.a);
+        break;
+      case Step::Kind::kRestart:
+        status = net.Restart(step.a);
+        break;
+      case Step::Kind::kHeal:
+        status = net.Heal();
+        break;
+      case Step::Kind::kOverload:
+        status = net.DoOverload(step.a, static_cast<uint32_t>(step.b));
+        break;
+      case Step::Kind::kCheckConverged:
+        status = net.CheckConverged();
+        break;
+      case Step::Kind::kCheckDiverged:
+        status = net.CheckDiverged(step.peers);
+        break;
+      case Step::Kind::kCheckRecord:
+        status = net.CheckRecord();
+        break;
+    }
+    if (!status.ok()) {
+      // Persist the note log next to the peers' daemon logs so a red
+      // run ships its exact event sequence as a CI artifact.
+      std::string log_path = config.workdir + "/scenario.log";
+      if (std::FILE* f = std::fopen(log_path.c_str(), "w")) {
+        for (const std::string& line : net.log()) {
+          std::fprintf(f, "%s\n", line.c_str());
+        }
+        std::fprintf(f, "FAILED line %zu: %s\n", step.line,
+                     status.ToString().c_str());
+        std::fclose(f);
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "' step at line %zu: ", step.line);
+      return common::Status(status.code(), "scenario '" + scenario.name + buf +
+                                              status.message());
+    }
+  }
+
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.digest = net.digest();
+  result.log = net.log();
+  return result;
+}
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,89 @@
+// Scenario DSL for the regtest harness.
+//
+// A scenario is a line-oriented script, one step per line, '#' starts a
+// comment:
+//
+//   genesis <wallets> <tokens_per_wallet> <cluster_size>
+//   spends <count>
+//   mine
+//   link <peer> ok|drop|delay|reorder
+//   kill <peer>
+//   restart <peer>
+//   heal
+//   overload <requests> <deadline_ms>
+//   check converged
+//   check diverged <peer> [<peer> ...]
+//   check record
+//
+// Parsing is strict: an unknown verb, malformed count, or out-of-range
+// argument is a typed InvalidArgument naming the line — a scenario file
+// can never half-run. The builtin library covers the four required
+// scenarios (4-node convergence, partition-and-heal, kill-and-restore,
+// overload-shed) plus a relay-chaos scenario exercising the reorder and
+// delay link modes; all are authored in this same DSL and parsed at
+// first use, so the parser is exercised by every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testnet/cluster.h"
+
+namespace tokenmagic::testnet {
+
+struct Step {
+  enum class Kind : uint8_t {
+    kGenesis,
+    kSpends,
+    kMine,
+    kLink,
+    kKill,
+    kRestart,
+    kHeal,
+    kOverload,
+    kCheckConverged,
+    kCheckDiverged,
+    kCheckRecord,
+  };
+  Kind kind = Kind::kMine;
+  size_t a = 0;  ///< wallets / count / peer / requests
+  size_t b = 0;  ///< tokens_per_wallet / deadline_ms
+  size_t c = 0;  ///< cluster_size
+  LinkMode link = LinkMode::kOk;
+  std::vector<size_t> peers;  ///< check diverged operands
+  size_t line = 0;            ///< 1-based source line (diagnostics)
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<Step> steps;
+};
+
+/// Strict parse; InvalidArgument names the offending line.
+[[nodiscard]] common::Result<Scenario> ParseScenario(
+    const std::string& name, const std::string& text);
+
+/// The builtin scenario library (stable order, stable names).
+const std::vector<Scenario>& BuiltinScenarios();
+
+/// Finds a builtin by name; nullptr when absent.
+const Scenario* FindBuiltinScenario(const std::string& name);
+
+struct ScenarioResult {
+  std::string name;
+  /// The cluster's chained consistency digest after the last step; equal
+  /// across runs and across cluster modes for one seed.
+  std::string digest;
+  std::vector<std::string> log;
+};
+
+/// Runs every step against a fresh cluster built from `config`. The
+/// first failing step aborts with its typed status; the partial log is
+/// lost to the caller but survives in config.workdir for artifacts.
+[[nodiscard]] common::Result<ScenarioResult> RunScenario(
+    const Scenario& scenario, const ClusterConfig& config);
+
+}  // namespace tokenmagic::testnet

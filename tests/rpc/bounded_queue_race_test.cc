@@ -1,0 +1,78 @@
+// TryPush/Close race pinned under the race detector: producers hammer
+// the queue while Close() lands mid-stream. The drain invariant must
+// hold exactly — every push that was acknowledged kOk comes out of Pop
+// exactly once (nothing admitted is dropped at shutdown), pushes after
+// close answer kClosed, and every consumer wakes. Runs in the
+// `concurrency` ctest label so the TSan lane exercises it.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rpc/bounded_queue.h"
+
+namespace tokenmagic::rpc {
+namespace {
+
+TEST(BoundedQueueRaceTest, TryPushCloseRaceDrainsExactlyTheAdmitted) {
+  constexpr int kRounds = 25;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kCloseAfter = 200;  ///< admitted items before Close lands
+
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> queue(16);
+    std::atomic<bool> go{false};
+    std::atomic<int> admitted{0};
+    std::atomic<int> popped{0};
+
+    // Producers push until the queue closes on them — kFull is a shed,
+    // not an exit, so the close threshold below is always reached.
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0;; ++i) {
+          switch (queue.TryPush(i)) {
+            case BoundedQueue<int>::Push::kOk:
+              admitted.fetch_add(1);
+              break;
+            case BoundedQueue<int>::Push::kFull:
+              std::this_thread::yield();  // shed; let a consumer drain
+              break;
+            case BoundedQueue<int>::Push::kClosed:
+              return;  // close is terminal for this producer
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        while (queue.Pop().has_value()) popped.fetch_add(1);
+      });
+    }
+
+    std::thread closer([&] {
+      // Land the close somewhere inside the producer burst.
+      while (admitted.load() < kCloseAfter) std::this_thread::yield();
+      queue.Close();
+    });
+
+    go.store(true);
+    for (auto& t : producers) t.join();
+    closer.join();
+    for (auto& t : consumers) t.join();
+
+    // Exact conservation: acknowledged == drained.
+    EXPECT_EQ(admitted.load(), popped.load()) << "round " << round;
+    EXPECT_GE(admitted.load(), kCloseAfter);
+    // Close is sticky.
+    EXPECT_EQ(queue.TryPush(0), BoundedQueue<int>::Push::kClosed);
+    EXPECT_FALSE(queue.Pop().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace tokenmagic::rpc

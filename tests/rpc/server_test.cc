@@ -35,6 +35,19 @@ TestbedConfig SmallTestbed() {
   return config;
 }
 
+/// Spins (bounded) until `pred` holds. Tests synchronize on observable
+/// server counters instead of fixed sleeps, so they cannot flake on a
+/// slow machine — the predicate either becomes true or the test fails
+/// loudly after the cap.
+template <typename Pred>
+[[nodiscard]] bool WaitUntil(Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
 TEST(ServerTest, ServesValidRingsForEveryTarget) {
   Testbed testbed = BuildTestbed(SmallTestbed());
   ServerConfig config;
@@ -152,10 +165,11 @@ TEST(ServerTest, QueueWaitCountsAgainstDeadline) {
     auto response = pinned->Select(testbed.targets.front(), {2.0, 2});
     EXPECT_TRUE(response.ok());
   });
-  // Let the worker pick the pinned request up and enter the delayed
-  // write, then queue a second request and advance time past any
-  // budget it could carry.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait until the worker has picked the pinned request up (queue-wait
+  // is recorded at pickup) and entered the delayed write, then queue a
+  // second request and advance time past any budget it could carry.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server.StatsSnapshot().queue_wait_micros.count() >= 1; }));
   auto waiter = Client::Connect(config.socket_path);
   ASSERT_TRUE(waiter.ok());
   std::thread waiter_call([&] {
@@ -167,7 +181,10 @@ TEST(ServerTest, QueueWaitCountsAgainstDeadline) {
     EXPECT_NE(response->status.message().find("admission queue"),
               std::string::npos);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // The waiter is admitted by the reader thread even while the single
+  // worker is pinned; only then is the clock advanced.
+  ASSERT_TRUE(
+      WaitUntil([&] { return server.StatsSnapshot().admitted >= 2; }));
   clock.AdvanceSeconds(10.0);
   pinned_call.join();
   waiter_call.join();
@@ -228,8 +245,10 @@ TEST(ServerTest, OverloadShedsTypedOverloadedResponses) {
   auto flood = ConnectUnix(config.socket_path);
   ASSERT_TRUE(flood.ok());
   ASSERT_TRUE(SetRecvTimeout(flood.value(), 5000).ok());
-  // Give the worker a moment to pick up the pinned request.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait until the worker has picked up the pinned request (queue-wait
+  // is recorded at pickup) so the flood really races an occupied worker.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return server.StatsSnapshot().queue_wait_micros.count() >= 1; }));
   constexpr int kFlood = 10;
   for (int i = 0; i < kFlood; ++i) {
     Request request;

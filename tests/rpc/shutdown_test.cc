@@ -103,8 +103,13 @@ TEST(ShutdownTest, DrainResolvesEveryIssuedRequestTyped) {
     });
   }
 
-  // Let traffic build up, then pull the plug mid-flight.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Wait for a fixed amount of admitted traffic (observable counter,
+  // not a wall-clock sleep), then pull the plug mid-flight.
+  for (int spin = 0;
+       spin < 5000 && server.StatsSnapshot().admitted < 32; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.StatsSnapshot().admitted, 32u);
   server.Stop();
   stop_flag.store(true);
   for (auto& t : drivers) t.join();

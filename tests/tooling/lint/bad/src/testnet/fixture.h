@@ -1,0 +1,15 @@
+// Testnet fixtures: the regtest harness is under the same audited-owner
+// discipline as src/rpc — raw std::queue/std::thread fire [rpc-bounded].
+#pragma once
+
+#include <queue>
+#include <thread>
+
+namespace tokenmagic::testnet {
+
+struct RawHarness {
+  std::queue<int> staged_relays;
+  std::thread relay_pump;
+};
+
+}  // namespace tokenmagic::testnet

@@ -1,0 +1,17 @@
+// Good twin of the testnet rpc-bounded fixture: harness concurrency
+// goes through the audited rpc::WorkerPool owner, and the only raw
+// primitive carries its allow() on the exact line. std::this_thread
+// helpers stay legal without an escape.
+#pragma once
+
+#include <thread>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+
+namespace tokenmagic::testnet {
+
+struct AuditedHarness {
+  std::thread pump;  // tm-lint: allow(rpc-bounded, joined in StopPump())
+};
+
+inline void PollBackoff() { std::this_thread::yield(); }
+
+}  // namespace tokenmagic::testnet

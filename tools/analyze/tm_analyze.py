@@ -98,7 +98,8 @@ RULE_DESCRIPTIONS = {
 # Directories whose members must be annotated. common/ and crypto/ hold no
 # stored views (checked by the frontends anyway: a view member there is
 # still flagged); chain::RsView itself owns its members vector.
-AUDITED_DIRS = ("analysis", "chain", "core", "data", "node", "rpc", "sim")
+AUDITED_DIRS = ("analysis", "chain", "core", "data", "node", "rpc", "sim",
+                "testnet")
 
 # -- annotation grammar ------------------------------------------------------
 

@@ -79,14 +79,17 @@ Checks
 
 9. Bounded serving layer [rpc-bounded]: `std::queue`, `std::thread`,
    and their gateway includes (<queue>, <thread>) are banned in
-   src/rpc/. The serving layer's overload story depends on every queue
-   being capacity-bounded (rpc::BoundedQueue sheds with Overloaded) and
-   every thread being owned and joined (rpc::WorkerPool); an unbounded
-   std::queue or a detached std::thread silently reintroduces the
-   failure modes the daemon exists to rule out. The two audited owner
-   files carry `tm-lint: allow(rpc-bounded, <reason>)` on the exact
-   lines that hold the raw primitives. (std::this_thread::sleep_for is
-   not std::thread and stays legal.)
+   src/rpc/ and src/testnet/. The serving layer's overload story
+   depends on every queue being capacity-bounded (rpc::BoundedQueue
+   sheds with Overloaded) and every thread being owned and joined
+   (rpc::WorkerPool); an unbounded std::queue or a detached std::thread
+   silently reintroduces the failure modes the daemon exists to rule
+   out. The regtest harness (src/testnet/) drives those same servers
+   concurrently, so its scheduler is held to the same discipline: it
+   must use the audited owners, not raw primitives. The two audited
+   owner files carry `tm-lint: allow(rpc-bounded, <reason>)` on the
+   exact lines that hold the raw primitives.
+   (std::this_thread::sleep_for is not std::thread and stays legal.)
 """
 
 from __future__ import annotations
@@ -111,6 +114,7 @@ MODULE_RANK = {
     "node": 6,
     "sim": 7,
     "rpc": 8,
+    "testnet": 9,
 }
 
 # Files where the paper's guarantees hinge on exact integer/rational math.
@@ -137,8 +141,8 @@ RULE_DESCRIPTIONS = {
     "clock-hygiene": "raw std::chrono clock reads banned outside common/",
     "history-span": "by-value RsView history banned in core/analysis API",
     "allow-hygiene": "tm-lint escape comments must be known and non-stale",
-    "rpc-bounded": "std::queue/std::thread banned in src/rpc/; use "
-                   "BoundedQueue/WorkerPool",
+    "rpc-bounded": "std::queue/std::thread banned in src/rpc/ and "
+                   "src/testnet/; use BoundedQueue/WorkerPool",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -374,7 +378,7 @@ class Linter:
     def check_rpc_bounded(self, path: pathlib.Path,
                           code: list[str]) -> None:
         rel = path.relative_to(self.src)
-        if rel.parts[0] != "rpc":
+        if rel.parts[0] not in ("rpc", "testnet"):
             return
         for i, line in enumerate(code, start=1):
             if not (RPC_INCLUDE_RE.match(line) or

@@ -1,0 +1,209 @@
+// tm_net — the deterministic multi-node regtest runner.
+//
+//   tm_net --list
+//   tm_net --scenario NAME | --all
+//          [--mode inproc|daemon|both] [--seed N] [--runs N] [--nodes N]
+//          [--workdir DIR] [--tm-node PATH]
+//
+// Runs each selected scenario `--runs` times per cluster mode and
+// enforces the determinism contract twice over: every run of one seed
+// must produce the same consistency-checker digest, and the in-process
+// and daemon modes must land on the same digest as each other. Every
+// run's note log is written to <workdir>/<scenario>-<mode>-runN.log so
+// a red CI lane ships the exact event sequence as an artifact.
+//
+// Daemon mode spawns the tm_node binary (--tm-node flag, else the
+// TM_NODE_BIN environment variable) in --cluster-snapshot mode.
+// Exit status: 0 all green, 1 scenario failure or digest mismatch,
+// 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "testnet/scenario.h"
+
+namespace {
+
+using namespace tokenmagic;
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  std::string scenario;
+  std::string mode = "inproc";
+  uint64_t seed = 1;
+  size_t runs = 2;
+  size_t nodes = 4;
+  std::string workdir = "/tmp/tm_net";
+  std::string tm_node_binary;
+};
+
+bool ParseOptions(int argc, char** argv, Options* out) {
+  std::map<std::string, std::string*> valued = {
+      {"--scenario", &out->scenario},
+      {"--mode", &out->mode},
+      {"--workdir", &out->workdir},
+      {"--tm-node", &out->tm_node_binary},
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      out->list = true;
+    } else if (arg == "--all") {
+      out->all = true;
+    } else if (arg == "--seed" || arg == "--runs" || arg == "--nodes") {
+      if (i + 1 >= argc) return false;
+      int64_t value = -1;
+      if (!common::ParseInt64(argv[++i], &value) || value < 0) return false;
+      if (arg == "--seed") out->seed = static_cast<uint64_t>(value);
+      if (arg == "--runs") out->runs = static_cast<size_t>(value);
+      if (arg == "--nodes") out->nodes = static_cast<size_t>(value);
+    } else if (valued.count(arg) != 0) {
+      if (i + 1 >= argc) return false;
+      *valued[arg] = argv[++i];
+    } else {
+      std::fprintf(stderr, "tm_net: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->tm_node_binary.empty()) {
+    const char* env = std::getenv("TM_NODE_BIN");
+    if (env != nullptr) out->tm_node_binary = env;
+  }
+  return out->list || out->all || !out->scenario.empty();
+}
+
+const char* ModeName(testnet::ClusterMode mode) {
+  return mode == testnet::ClusterMode::kInProcess ? "inproc" : "daemon";
+}
+
+void WriteLog(const std::string& path, const std::vector<std::string>& log) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  for (const std::string& line : log) std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+}
+
+/// Runs one scenario `runs` times in `mode`; returns the (stable) digest
+/// or an empty string on failure.
+std::string RunMode(const testnet::Scenario& scenario,
+                    testnet::ClusterMode mode, const Options& options) {
+  std::string digest;
+  for (size_t run = 0; run < options.runs; ++run) {
+    std::string tag = scenario.name + "-" + ModeName(mode) + "-run" +
+                      std::to_string(run);
+    testnet::ClusterConfig config;
+    config.nodes = options.nodes;
+    config.mode = mode;
+    config.seed = options.seed;
+    config.workdir = options.workdir + "/" + tag;
+    config.tm_node_binary = options.tm_node_binary;
+
+    auto result = testnet::RunScenario(scenario, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", tag.c_str(),
+                   result.status().ToString().c_str());
+      return "";
+    }
+    WriteLog(options.workdir + "/" + tag + ".log", result->log);
+    std::fprintf(stderr, "  %-40s digest %.16s...\n", tag.c_str(),
+                 result->digest.c_str());
+    if (run == 0) {
+      digest = result->digest;
+    } else if (digest != result->digest) {
+      std::fprintf(stderr,
+                   "FAIL %s: digest differs from run0 (%s vs %s) — "
+                   "nondeterminism\n",
+                   tag.c_str(), result->digest.c_str(), digest.c_str());
+      return "";
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: tm_net --list | --scenario NAME | --all "
+                 "[--mode inproc|daemon|both] [--seed N] [--runs N] "
+                 "[--nodes N] [--workdir DIR] [--tm-node PATH]\n");
+    return 2;
+  }
+
+  if (options.list) {
+    for (const testnet::Scenario& scenario : testnet::BuiltinScenarios()) {
+      std::printf("%-16s %zu steps  %s\n", scenario.name.c_str(),
+                  scenario.steps.size(), scenario.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const testnet::Scenario*> selected;
+  if (options.all) {
+    for (const testnet::Scenario& scenario : testnet::BuiltinScenarios()) {
+      selected.push_back(&scenario);
+    }
+  } else {
+    const testnet::Scenario* found =
+        testnet::FindBuiltinScenario(options.scenario);
+    if (found == nullptr) {
+      std::fprintf(stderr, "tm_net: no scenario named '%s' (try --list)\n",
+                   options.scenario.c_str());
+      return 2;
+    }
+    selected.push_back(found);
+  }
+
+  std::vector<testnet::ClusterMode> modes;
+  if (options.mode == "inproc" || options.mode == "both") {
+    modes.push_back(testnet::ClusterMode::kInProcess);
+  }
+  if (options.mode == "daemon" || options.mode == "both") {
+    modes.push_back(testnet::ClusterMode::kDaemon);
+  }
+  if (modes.empty()) {
+    std::fprintf(stderr, "tm_net: bad --mode '%s'\n", options.mode.c_str());
+    return 2;
+  }
+  bool wants_daemon =
+      options.mode == "daemon" || options.mode == "both";
+  if (wants_daemon && options.tm_node_binary.empty()) {
+    std::fprintf(stderr,
+                 "tm_net: daemon mode needs --tm-node or TM_NODE_BIN\n");
+    return 2;
+  }
+
+  bool failed = false;
+  for (const testnet::Scenario* scenario : selected) {
+    std::fprintf(stderr, "=== %s (%s)\n", scenario->name.c_str(),
+                 scenario->description.c_str());
+    std::string reference;  // digest from the first mode
+    for (testnet::ClusterMode mode : modes) {
+      std::string digest = RunMode(*scenario, mode, options);
+      if (digest.empty()) {
+        failed = true;
+        continue;
+      }
+      if (reference.empty()) {
+        reference = digest;
+      } else if (digest != reference) {
+        std::fprintf(stderr,
+                     "FAIL %s: %s digest %s != first-mode digest %s\n",
+                     scenario->name.c_str(), ModeName(mode), digest.c_str(),
+                     reference.c_str());
+        failed = true;
+      }
+    }
+    if (!reference.empty() && !failed) {
+      std::printf("%s %s\n", scenario->name.c_str(), reference.c_str());
+    }
+  }
+  return failed ? 1 : 0;
+}

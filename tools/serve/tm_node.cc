@@ -15,6 +15,14 @@
 // drop / duplicate / delay on the response path) with independent
 // probability P per response write — the soak configuration that proves
 // clients survive a hostile transport.
+//
+// Cluster mode: --cluster-snapshot PATH [--lambda N] swaps the canned
+// testbed for a mutable node persisted to PATH (restored from it when
+// the file exists), and enables the full cluster op set (genesis,
+// submit, mine, snapshot install). This is the daemon the testnet
+// regtest harness spawns; state is persisted after every mutation, so a
+// SIGKILL'd daemon restarts exactly where its last acknowledged
+// mutation left it.
 #include <unistd.h>
 
 #include <csignal>
@@ -28,6 +36,7 @@
 #include "node/fault_injection.h"
 #include "rpc/server.h"
 #include "rpc/testbed.h"
+#include "testnet/node_host.h"
 
 namespace {
 
@@ -75,20 +84,7 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   Args args(argc, argv);
 
-  rpc::TestbedConfig testbed_config;
-  testbed_config.num_wallets =
-      static_cast<size_t>(args.GetInt("wallets", 32));
-  testbed_config.tokens_per_wallet =
-      static_cast<size_t>(args.GetInt("tokens", 4));
-  testbed_config.cluster_size =
-      static_cast<size_t>(args.GetInt("cluster", 2));
-  testbed_config.spend_rounds =
-      static_cast<size_t>(args.GetInt("rounds", 2));
-  testbed_config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-
-  std::fprintf(stderr, "tm_node: building testbed (%zu wallets x %zu)...\n",
-               testbed_config.num_wallets, testbed_config.tokens_per_wallet);
-  rpc::Testbed testbed = rpc::BuildTestbed(testbed_config);
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
 
   rpc::ServerConfig config;
   config.socket_path = args.Get("socket", "/tmp/tm_node.sock");
@@ -98,36 +94,71 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(args.GetInt("default-deadline-ms", 250));
   config.max_deadline_millis =
       static_cast<uint32_t>(args.GetInt("max-deadline-ms", 5000));
-  config.seed = testbed_config.seed;
+  config.seed = seed;
 
   std::unique_ptr<node::FaultInjector> faults;
   double fault_rate = args.GetDouble("fault-rate", 0.0);
   if (fault_rate > 0.0) {
-    faults = std::make_unique<node::FaultInjector>(testbed_config.seed);
+    faults = std::make_unique<node::FaultInjector>(seed);
     faults->ArmTransportFaultRate(fault_rate);
     config.faults = faults.get();
     std::fprintf(stderr, "tm_node: transport fault rate %.3f armed\n",
                  fault_rate);
   }
 
-  rpc::Server server(testbed.node.get(), config);
-  common::Status started = server.Start();
+  // Exactly one of these backs the server, depending on the mode.
+  rpc::Testbed testbed;
+  std::unique_ptr<testnet::FileNodeHost> host;
+  std::unique_ptr<rpc::Server> server;
+
+  std::string cluster_snapshot = args.Get("cluster-snapshot", "");
+  if (!cluster_snapshot.empty()) {
+    node::NodeConfig node_config;
+    node_config.lambda = static_cast<size_t>(args.GetInt("lambda", 8));
+    auto opened = testnet::FileNodeHost::Open(cluster_snapshot, node_config);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "tm_node: snapshot open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    host = std::move(opened).value();
+    std::fprintf(stderr, "tm_node: cluster mode, snapshot at %s\n",
+                 cluster_snapshot.c_str());
+    server = std::make_unique<rpc::Server>(host.get(), config);
+  } else {
+    rpc::TestbedConfig testbed_config;
+    testbed_config.num_wallets =
+        static_cast<size_t>(args.GetInt("wallets", 32));
+    testbed_config.tokens_per_wallet =
+        static_cast<size_t>(args.GetInt("tokens", 4));
+    testbed_config.cluster_size =
+        static_cast<size_t>(args.GetInt("cluster", 2));
+    testbed_config.spend_rounds =
+        static_cast<size_t>(args.GetInt("rounds", 2));
+    testbed_config.seed = seed;
+
+    std::fprintf(stderr, "tm_node: building testbed (%zu wallets x %zu)...\n",
+                 testbed_config.num_wallets, testbed_config.tokens_per_wallet);
+    testbed = rpc::BuildTestbed(testbed_config);
+    server = std::make_unique<rpc::Server>(testbed.node.get(), config);
+  }
+
+  common::Status started = server->Start();
   if (!started.ok()) {
     std::fprintf(stderr, "tm_node: start failed: %s\n",
                  started.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr,
-               "tm_node: serving %zu tokens on %s (%zu workers, queue %zu)\n",
-               testbed.targets.size(), config.socket_path.c_str(),
-               config.workers, config.queue_capacity);
+  std::fprintf(stderr, "tm_node: serving on %s (%zu workers, queue %zu)\n",
+               config.socket_path.c_str(), config.workers,
+               config.queue_capacity);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) pause();
 
   std::fprintf(stderr, "tm_node: draining...\n");
-  server.Stop();
-  std::printf("%s\n", server.StatsSnapshot().ToJson().c_str());
+  server->Stop();
+  std::printf("%s\n", server->StatsSnapshot().ToJson().c_str());
   return 0;
 }
