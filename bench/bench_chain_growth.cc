@@ -1,0 +1,237 @@
+// Chain growth: epoch-chained O(delta) appends vs from-scratch
+// AnalysisContext::Build as the token universe grows 100k -> 1M. The
+// tentpole claim under measurement: per-block append cost stays flat
+// while a full rebuild grows linearly with history, so rebuilding per
+// mined block is the thing the EpochChain refactor deleted. Emits
+// machine-readable BENCH_chain_growth.json (override the path with
+// TM_BENCH_JSON). `--smoke` (or TM_SMOKE=1) shrinks the scales
+// (10k -> 100k tokens) so CI finishes in seconds; the JSON shape and
+// the flatness gate are identical in both modes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "analysis/context.h"
+#include "analysis/epoch_chain.h"
+#include "chain/ht_index.h"
+#include "chain/types.h"
+#include "common/rng.h"
+
+namespace tokenmagic::bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct BenchConfig {
+  bool smoke = false;
+  // Synthetic block shape: every block mints `tokens_per_block` dense
+  // tokens and commits `rs_per_block` rings of `ring_size` members drawn
+  // from the interned prefix.
+  size_t tokens_per_block = 100;
+  size_t rs_per_block = 4;
+  size_t ring_size = 11;
+  size_t ht_cluster = 3;  ///< tokens per historical transaction
+  /// Mean per-block append cost is taken over the last `window_blocks`
+  /// blocks before each checkpoint.
+  size_t window_blocks = 100;
+  std::vector<size_t> checkpoint_tokens = {100000, 1000000};
+};
+
+struct Checkpoint {
+  size_t tokens = 0;
+  size_t rs = 0;
+  size_t window_blocks = 0;
+  double mean_append_ms = 0.0;
+  double full_build_ms = 0.0;
+};
+
+std::vector<Checkpoint> RunGrowth(const BenchConfig& config) {
+  common::Rng rng(0x9e3779b9);
+  analysis::EpochChain chain;
+  chain::HtIndex index;
+  // Owned history + universe mirrors for the full-rebuild comparison
+  // (the chain itself never needs them — that is the point).
+  std::vector<chain::RsView> history;
+  std::vector<chain::TokenId> universe;
+
+  std::vector<Checkpoint> checkpoints;
+  chain::TokenId next_token = 0;
+  chain::RsId next_rs = 0;
+  chain::Timestamp now = 0;
+  size_t block = 0;
+  double window_ms = 0.0;
+  size_t window_seen = 0;
+
+  for (size_t target : config.checkpoint_tokens) {
+    size_t blocks_to_target =
+        (target - static_cast<size_t>(next_token) + config.tokens_per_block -
+         1) /
+        config.tokens_per_block;
+    size_t window_start = block + blocks_to_target -
+                          std::min(blocks_to_target, config.window_blocks);
+    window_ms = 0.0;
+    window_seen = 0;
+    for (size_t b = 0; b < blocks_to_target; ++b, ++block) {
+      // Mint this block's tokens.
+      std::vector<chain::TokenId> minted;
+      minted.reserve(config.tokens_per_block);
+      for (size_t i = 0; i < config.tokens_per_block; ++i) {
+        index.Set(next_token, static_cast<chain::TxId>(
+                                  next_token / config.ht_cluster));
+        universe.push_back(next_token);
+        minted.push_back(next_token++);
+      }
+      // Commit this block's rings over the interned prefix.
+      std::vector<chain::RsView> views;
+      views.reserve(config.rs_per_block);
+      for (size_t r = 0; r < config.rs_per_block; ++r) {
+        chain::RsView view;
+        view.id = next_rs++;
+        view.proposed_at = now;
+        view.requirement = {1.0, 1};
+        view.members.reserve(config.ring_size);
+        // Newest minted token plus random earlier mixins, deduplicated
+        // by the sort+unique the ledger guarantees for real views.
+        view.members.push_back(minted[r % minted.size()]);
+        while (view.members.size() < config.ring_size) {
+          view.members.push_back(static_cast<chain::TokenId>(
+              rng.NextBounded(static_cast<uint64_t>(next_token))));
+        }
+        std::sort(view.members.begin(), view.members.end());
+        view.members.erase(
+            std::unique(view.members.begin(), view.members.end()),
+            view.members.end());
+        views.push_back(std::move(view));
+      }
+      for (const chain::RsView& view : views) history.push_back(view);
+      ++now;
+
+      auto start = std::chrono::steady_clock::now();
+      chain.Append(views, &index, minted);
+      double ms = MillisSince(start);
+      if (block >= window_start) {
+        window_ms += ms;
+        ++window_seen;
+      }
+    }
+
+    Checkpoint cp;
+    cp.tokens = chain.token_count();
+    cp.rs = chain.rs_count();
+    cp.window_blocks = window_seen;
+    cp.mean_append_ms = window_seen > 0 ? window_ms / window_seen : 0.0;
+    auto start = std::chrono::steady_clock::now();
+    analysis::AnalysisContext full =
+        analysis::AnalysisContext::Build(history, &index, universe);
+    cp.full_build_ms = MillisSince(start);
+    // Equivalence spot check so the bench can never report a speedup on
+    // diverged state (the randomized suite proves byte-equality; this
+    // guards the bench's own generator).
+    if (full.rs_count() != chain.View().rs_count() ||
+        full.token_count() != chain.View().token_count()) {
+      std::fprintf(stderr, "chain/build divergence at %zu tokens\n",
+                   cp.tokens);
+      std::exit(1);
+    }
+    checkpoints.push_back(cp);
+  }
+  return checkpoints;
+}
+
+void WriteJson(const std::vector<Checkpoint>& checkpoints,
+               const BenchConfig& config, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  const Checkpoint& first = checkpoints.front();
+  const Checkpoint& last = checkpoints.back();
+  double token_ratio = first.tokens > 0
+                           ? static_cast<double>(last.tokens) / first.tokens
+                           : 0.0;
+  double append_ratio = first.mean_append_ms > 0.0
+                            ? last.mean_append_ms / first.mean_append_ms
+                            : 0.0;
+  double build_ratio = first.full_build_ms > 0.0
+                           ? last.full_build_ms / first.full_build_ms
+                           : 0.0;
+  std::fprintf(out, "{\n  \"bench\": \"chain_growth\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"tokens_per_block\": %zu,\n  \"rs_per_block\": %zu,\n"
+               "  \"ring_size\": %zu,\n  \"checkpoints\": [\n",
+               config.tokens_per_block, config.rs_per_block,
+               config.ring_size);
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const Checkpoint& cp = checkpoints[i];
+    std::fprintf(out,
+                 "    {\"tokens\": %zu, \"rs\": %zu, "
+                 "\"append_window_blocks\": %zu, "
+                 "\"mean_append_ms\": %.4f, \"full_build_ms\": %.3f}%s\n",
+                 cp.tokens, cp.rs, cp.window_blocks, cp.mean_append_ms,
+                 cp.full_build_ms, i + 1 < checkpoints.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"token_growth_ratio\": %.2f,\n"
+               "  \"append_growth_ratio\": %.3f,\n"
+               "  \"build_growth_ratio\": %.3f\n}\n",
+               token_ratio, append_ratio, build_ratio);
+  std::fclose(out);
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) config.smoke = true;
+  }
+  const char* env_smoke = std::getenv("TM_SMOKE");
+  if (env_smoke != nullptr && env_smoke[0] == '1') config.smoke = true;
+  if (config.smoke) {
+    config.checkpoint_tokens = {10000, 100000};
+    config.window_blocks = 20;
+  }
+
+  std::vector<Checkpoint> checkpoints = RunGrowth(config);
+  for (const Checkpoint& cp : checkpoints) {
+    std::printf(
+        "%8zu tokens / %6zu RS: mean append %8.4f ms (last %zu blocks), "
+        "full build %9.3f ms\n",
+        cp.tokens, cp.rs, cp.mean_append_ms, cp.window_blocks,
+        cp.full_build_ms);
+  }
+  double append_ratio =
+      checkpoints.front().mean_append_ms > 0.0
+          ? checkpoints.back().mean_append_ms /
+                checkpoints.front().mean_append_ms
+          : 0.0;
+  double build_ratio = checkpoints.front().full_build_ms > 0.0
+                           ? checkpoints.back().full_build_ms /
+                                 checkpoints.front().full_build_ms
+                           : 0.0;
+  std::printf("append growth %.2fx, full-build growth %.2fx over %.0fx "
+              "tokens\n",
+              append_ratio, build_ratio,
+              static_cast<double>(checkpoints.back().tokens) /
+                  checkpoints.front().tokens);
+
+  const char* path = std::getenv("TM_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_chain_growth.json";
+  WriteJson(checkpoints, config, path);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tokenmagic::bench
+
+int main(int argc, char** argv) {
+  return tokenmagic::bench::Main(argc, argv);
+}

@@ -291,8 +291,24 @@ class DenseCascade {
   static constexpr Local kNone = AnalysisContext::kNoLocal;
 
   explicit DenseCascade(const AnalysisContext& ctx)
+      : DenseCascade(ctx, {}, chain::kInvalidRs, false) {}
+
+  /// Overlay form: the cascade runs over the context's history plus one
+  /// prospective RS with the given sorted member locals, as if that RS had
+  /// been interned as the last history entry.
+  DenseCascade(const AnalysisContext& ctx, std::vector<Local> overlay,
+               chain::RsId overlay_id)
+      : DenseCascade(ctx, std::move(overlay), overlay_id, true) {}
+
+ private:
+  DenseCascade(const AnalysisContext& ctx, std::vector<Local> overlay,
+               chain::RsId overlay_id, bool has_overlay)
       : ctx_(ctx),
-        m_(static_cast<Local>(ctx.rs_count())),
+        overlay_(std::move(overlay)),
+        overlay_id_(overlay_id),
+        has_overlay_(has_overlay),
+        base_m_(static_cast<Local>(ctx.rs_count())),
+        m_(base_m_ + (has_overlay ? 1 : 0)),
         n_(static_cast<Local>(ctx.token_count())),
         pinned_(m_),
         alive_(m_),
@@ -304,15 +320,27 @@ class DenseCascade {
         owner_size_(n_, 0),
         stamp_(n_, 0),
         comp_of_(m_, 0) {
+    if (has_overlay_) {
+      // Per-token RS lists extended with the overlay local: the overlay is
+      // the largest local, so appending preserves the ascending order the
+      // binary searches rely on.
+      ext_rs_.resize(overlay_.size());
+      for (size_t k = 0; k < overlay_.size(); ++k) {
+        std::span<const Local> base = ctx.RsOfToken(overlay_[k]);
+        ext_rs_[k].assign(base.begin(), base.end());
+        ext_rs_[k].push_back(base_m_);
+      }
+    }
     slot_offsets_.reserve(m_ + 1);
     slot_offsets_.push_back(0);
     for (Local i = 0; i < m_; ++i) {
-      alive_[i] = static_cast<uint32_t>(ctx.Members(i).size());
+      alive_[i] = static_cast<uint32_t>(MembersOf(i).size());
       slot_offsets_.push_back(slot_offsets_.back() + alive_[i]);
     }
     removed_.assign(slot_offsets_.back(), false);
   }
 
+ public:
   AnalysisResult Run(const SideInformation& side_info) {
     SeedSideInfo(side_info);
     bool changed = Rule1Pass();
@@ -322,6 +350,36 @@ class DenseCascade {
   }
 
  private:
+  /// Member tokens of RS `i`, the overlay included as the last RS.
+  std::span<const Local> MembersOf(Local i) const {
+    return i < base_m_ ? ctx_.Members(i) : std::span<const Local>(overlay_);
+  }
+
+  /// RSs containing token `u`, the overlay included.
+  std::span<const Local> RsOf(Local u) const {
+    if (has_overlay_) {
+      auto it = std::lower_bound(overlay_.begin(), overlay_.end(), u);
+      if (it != overlay_.end() && *it == u) {
+        return ext_rs_[static_cast<size_t>(it - overlay_.begin())];
+      }
+    }
+    return ctx_.RsOfToken(u);
+  }
+
+  /// True when RS `i` contains token `u` (overlay-aware RsContains).
+  bool Contains(Local i, Local u) const {
+    std::span<const Local> list = RsOf(u);
+    return std::binary_search(list.begin(), list.end(), i);
+  }
+
+  chain::RsId RsIdOf(Local i) const {
+    return i < base_m_ ? ctx_.rs_id(i) : overlay_id_;
+  }
+
+  Local LocalOfRs(chain::RsId id) const {
+    if (has_overlay_ && id == overlay_id_) return base_m_;
+    return ctx_.LocalOfRs(id);
+  }
   static constexpr uint8_t kOwnerNone = 0;
   /// Owner set is ns(owner_key_) — the RSs containing that anchor token.
   static constexpr uint8_t kOwnerNeighbor = 1;
@@ -330,7 +388,7 @@ class DenseCascade {
 
   void SeedSideInfo(const SideInformation& side_info) {
     for (const chain::TokenRsPair& pair : side_info.revealed) {
-      Local rs = ctx_.LocalOfRs(pair.rs);
+      Local rs = LocalOfRs(pair.rs);
       if (rs == kNone) continue;  // unknown RS: pair carries no information
       Local token = ctx_.LocalOfToken(pair.token);
       if (!pinned_[rs].has_value()) {
@@ -367,7 +425,7 @@ class DenseCascade {
   bool OwnedElsewhere(Local token, Local rs) const {
     switch (owner_kind_[token]) {
       case kOwnerNeighbor:
-        return !ctx_.RsContains(rs, owner_key_[token]);
+        return !Contains(rs, owner_key_[token]);
       case kOwnerComponent:
         return comp_of_[rs] != owner_key_[token];
       default:
@@ -381,7 +439,7 @@ class DenseCascade {
     bool changed = false;
     for (Local i = 0; i < m_; ++i) {
       if (pinned_[i].has_value()) continue;
-      std::span<const Local> members = ctx_.Members(i);
+      std::span<const Local> members = MembersOf(i);
       for (uint32_t k = 0; k < members.size(); ++k) {
         uint32_t slot = slot_offsets_[i] + k;
         if (removed_[slot]) continue;
@@ -429,7 +487,7 @@ class DenseCascade {
       ++mark_;
       union_tokens.clear();
       for (Local i : rs_list) {
-        for (Local t : ctx_.Members(i)) {
+        for (Local t : MembersOf(i)) {
           if (stamp_[t] != mark_) {
             stamp_[t] = mark_;
             union_tokens.push_back(t);
@@ -451,7 +509,7 @@ class DenseCascade {
     // Rule 2 (per-token neighbor sets): ns(u) tight when its member union
     // has exactly |ns(u)| tokens.
     for (Local u = 0; u < n_; ++u) {
-      std::span<const Local> rs_list = ctx_.RsOfToken(u);
+      std::span<const Local> rs_list = RsOf(u);
       if (!rs_list.empty()) mark_family(rs_list, kOwnerNeighbor, u);
     }
 
@@ -466,7 +524,7 @@ class DenseCascade {
       return x;
     };
     for (Local u = 0; u < n_; ++u) {
-      std::span<const Local> rs_list = ctx_.RsOfToken(u);
+      std::span<const Local> rs_list = RsOf(u);
       for (size_t i = 1; i < rs_list.size(); ++i) {
         parent[find(rs_list[i])] = find(rs_list[0]);
       }
@@ -492,8 +550,8 @@ class DenseCascade {
     result.spent_tokens.insert(extra_spent_.begin(), extra_spent_.end());
     for (Local i = 0; i < m_; ++i) {
       if (!pinned_[i].has_value()) continue;
-      result.revealed_spends.emplace(ctx_.rs_id(i), *pinned_[i]);
-      result.possible_spends[ctx_.rs_id(i)] = {*pinned_[i]};
+      result.revealed_spends.emplace(RsIdOf(i), *pinned_[i]);
+      result.possible_spends[RsIdOf(i)] = {*pinned_[i]};
     }
     return result;
   }
@@ -501,6 +559,12 @@ class DenseCascade {
   // tm-borrows(caller): the engine lives only for one Cascade() call;
   // the context outlives it by construction.
   const AnalysisContext& ctx_;
+  // The prospective RS: sorted member locals, dense local base_m_.
+  const std::vector<Local> overlay_;
+  const chain::RsId overlay_id_;
+  const bool has_overlay_;
+  std::vector<std::vector<Local>> ext_rs_;  // per overlay member
+  const Local base_m_;
   const Local m_;
   const Local n_;
   std::vector<std::optional<chain::TokenId>> pinned_;
@@ -530,6 +594,20 @@ AnalysisResult ChainReactionAnalyzer::Cascade(
 size_t ChainReactionAnalyzer::CountInferableSpent(
     const AnalysisContext& context) {
   return Cascade(context).spent_tokens.size();
+}
+
+size_t ChainReactionAnalyzer::CountInferableSpent(
+    const AnalysisContext& context, const chain::RsView& overlay) {
+  std::vector<AnalysisContext::Local> members;
+  members.reserve(overlay.members.size());
+  for (chain::TokenId t : overlay.members) {
+    AnalysisContext::Local local = context.LocalOfToken(t);
+    TM_CHECK(local != AnalysisContext::kNoLocal);
+    members.push_back(local);
+  }
+  std::sort(members.begin(), members.end());
+  DenseCascade cascade(context, std::move(members), overlay.id);
+  return cascade.Run({}).spent_tokens.size();
 }
 
 }  // namespace tokenmagic::analysis

@@ -80,6 +80,16 @@ class ChainReactionAnalyzer {
 
   /// Context-based μ_i count.
   static size_t CountInferableSpent(const AnalysisContext& context);
+
+  /// μ_i with one prospective `overlay` RS appended to the context's
+  /// history — the TokenMagic liquidity probe. Equivalent to interning an
+  /// extended history from scratch (the equivalence suite asserts it) but
+  /// O(cascade) instead of O(history) per probe: the overlay rides on the
+  /// snapshot's CSR incidence as one extra dense RS. Every overlay member
+  /// must be interned in `context` (prospective rings draw from the batch
+  /// universe, which batch snapshots intern).
+  static size_t CountInferableSpent(const AnalysisContext& context,
+                                    const chain::RsView& overlay);
 };
 
 }  // namespace tokenmagic::analysis

@@ -6,92 +6,160 @@
 
 namespace tokenmagic::analysis {
 
+namespace {
+
+/// Rank of `id` in the sorted column [data, data+n), or kNoLocal.
+AnalysisContext::Local RankOf(const chain::TokenId* data, size_t n,
+                              chain::TokenId id) {
+  const chain::TokenId* end = data + n;
+  const chain::TokenId* it = std::lower_bound(data, end, id);
+  if (it == end || *it != id) return AnalysisContext::kNoLocal;
+  return static_cast<AnalysisContext::Local>(it - data);
+}
+
+}  // namespace
+
 AnalysisContext AnalysisContext::Build(
     std::span<const chain::RsView> history, const chain::HtIndex* index,
     std::span<const chain::TokenId> universe) {
-  AnalysisContext ctx;
+  auto cols = std::make_shared<BuiltColumns>();
 
   // Token column: every token seen in the history or the universe, sorted
   // so Local == rank and member lists stay ascending in local space.
   size_t token_guess = universe.size();
   for (const chain::RsView& view : history) token_guess += view.size();
-  ctx.token_ids_.reserve(token_guess);
-  ctx.token_ids_.assign(universe.begin(), universe.end());
+  cols->token_ids.reserve(token_guess);
+  cols->token_ids.assign(universe.begin(), universe.end());
   for (const chain::RsView& view : history) {
-    ctx.token_ids_.insert(ctx.token_ids_.end(), view.members.begin(),
-                          view.members.end());
+    cols->token_ids.insert(cols->token_ids.end(), view.members.begin(),
+                           view.members.end());
   }
-  std::sort(ctx.token_ids_.begin(), ctx.token_ids_.end());
-  ctx.token_ids_.erase(
-      std::unique(ctx.token_ids_.begin(), ctx.token_ids_.end()),
-      ctx.token_ids_.end());
-  TM_CHECK(ctx.token_ids_.size() < kNoLocal);
+  std::sort(cols->token_ids.begin(), cols->token_ids.end());
+  cols->token_ids.erase(
+      std::unique(cols->token_ids.begin(), cols->token_ids.end()),
+      cols->token_ids.end());
+  TM_CHECK(cols->token_ids.size() < kNoLocal);
 
   // RS columns in history order.
   const size_t m = history.size();
   TM_CHECK(m < kNoLocal);
-  ctx.rs_ids_.reserve(m);
-  ctx.proposed_at_.reserve(m);
-  ctx.requirement_.reserve(m);
-  ctx.rs_local_.reserve(m);
-  ctx.member_offsets_.reserve(m + 1);
-  ctx.member_offsets_.push_back(0);
+  cols->rs_ids.reserve(m);
+  cols->proposed_at.reserve(m);
+  cols->requirement.reserve(m);
+  cols->rs_local.reserve(m);
+  cols->member_offsets.reserve(m + 1);
+  cols->member_offsets.push_back(0);
   size_t member_total = 0;
   for (const chain::RsView& view : history) member_total += view.size();
-  ctx.member_tokens_.reserve(member_total);
+  cols->member_tokens.reserve(member_total);
   for (Local r = 0; r < m; ++r) {
     const chain::RsView& view = history[r];
-    ctx.rs_ids_.push_back(view.id);
-    ctx.proposed_at_.push_back(view.proposed_at);
-    ctx.requirement_.push_back(view.requirement);
-    ctx.rs_local_.emplace(view.id, r);
+    cols->rs_ids.push_back(view.id);
+    cols->proposed_at.push_back(view.proposed_at);
+    cols->requirement.push_back(view.requirement);
+    cols->rs_local.emplace(view.id, r);
     for (chain::TokenId t : view.members) {
-      Local local = ctx.LocalOfToken(t);
+      Local local =
+          RankOf(cols->token_ids.data(), cols->token_ids.size(), t);
       TM_CHECK(local != kNoLocal);
-      ctx.member_tokens_.push_back(local);
+      cols->member_tokens.push_back(local);
     }
-    ctx.member_offsets_.push_back(
-        static_cast<uint32_t>(ctx.member_tokens_.size()));
+    cols->member_offsets.push_back(
+        static_cast<uint32_t>(cols->member_tokens.size()));
   }
 
   // Token -> RS inverted index (CSR, two passes; per token ascending
   // because RSs are scanned in local order).
-  const size_t n = ctx.token_ids_.size();
-  ctx.token_rs_offsets_.assign(n + 1, 0);
-  for (Local t : ctx.member_tokens_) ++ctx.token_rs_offsets_[t + 1];
+  const size_t n = cols->token_ids.size();
+  cols->token_rs_offsets.assign(n + 1, 0);
+  for (Local t : cols->member_tokens) ++cols->token_rs_offsets[t + 1];
   for (size_t i = 0; i < n; ++i) {
-    ctx.token_rs_offsets_[i + 1] += ctx.token_rs_offsets_[i];
+    cols->token_rs_offsets[i + 1] += cols->token_rs_offsets[i];
   }
-  ctx.token_rs_.resize(ctx.member_tokens_.size());
+  cols->token_rs.resize(cols->member_tokens.size());
   {
-    std::vector<uint32_t> cursor(ctx.token_rs_offsets_.begin(),
-                                 ctx.token_rs_offsets_.end() - 1);
+    std::vector<uint32_t> cursor(cols->token_rs_offsets.begin(),
+                                 cols->token_rs_offsets.end() - 1);
     for (Local r = 0; r < m; ++r) {
-      for (Local t : ctx.Members(r)) ctx.token_rs_[cursor[t]++] = r;
+      uint32_t begin = cols->member_offsets[r];
+      uint32_t end = cols->member_offsets[r + 1];
+      for (uint32_t k = begin; k < end; ++k) {
+        cols->token_rs[cursor[cols->member_tokens[k]]++] = r;
+      }
     }
   }
 
   // Flat token -> HT column, HTs interned in first-appearance order.
-  ctx.token_ht_.assign(n, kNoLocal);
+  cols->token_ht.assign(n, kNoLocal);
   if (index != nullptr) {
     std::unordered_map<chain::TxId, Local> ht_local;
     for (size_t i = 0; i < n; ++i) {
-      auto ht = index->TryHtOf(ctx.token_ids_[i]);
+      auto ht = index->TryHtOf(cols->token_ids[i]);
       if (!ht.has_value()) continue;
       auto [it, inserted] =
-          ht_local.emplace(*ht, static_cast<Local>(ctx.ht_ids_.size()));
-      if (inserted) ctx.ht_ids_.push_back(*ht);
-      ctx.token_ht_[i] = it->second;
+          ht_local.emplace(*ht, static_cast<Local>(cols->ht_ids.size()));
+      if (inserted) cols->ht_ids.push_back(*ht);
+      cols->token_ht[i] = it->second;
     }
   }
+
+  // Columns are final: derive the pointer surface, then hand ownership to
+  // the context (no vector may grow past this point).
+  AnalysisContext ctx;
+  ctx.token_ids_ = cols->token_ids.data();
+  ctx.rs_ids_ = cols->rs_ids.data();
+  ctx.proposed_at_ = cols->proposed_at.data();
+  ctx.requirement_ = cols->requirement.data();
+  ctx.rs_local_ = &cols->rs_local;
+  ctx.member_offsets_ = cols->member_offsets.data();
+  ctx.member_tokens_ = cols->member_tokens.data();
+  ctx.token_rs_offsets_ = cols->token_rs_offsets.data();
+  ctx.token_rs_ = cols->token_rs.data();
+  ctx.token_ht_ = cols->token_ht.data();
+  ctx.ht_ids_ = cols->ht_ids.data();
+  ctx.token_count_ = n;
+  ctx.rs_count_ = m;
+  ctx.ht_count_ = cols->ht_ids.size();
+  ctx.storage_ = std::move(cols);
   return ctx;
 }
 
 AnalysisContext::Local AnalysisContext::LocalOfToken(
     chain::TokenId id) const {
-  auto it = std::lower_bound(token_ids_.begin(), token_ids_.end(), id);
-  if (it == token_ids_.end() || *it != id) return kNoLocal;
-  return static_cast<Local>(it - token_ids_.begin());
+  return RankOf(token_ids_, token_count_, id);
+}
+
+AnalysisContext::Local AnalysisContext::LocalOfRs(chain::RsId id) const {
+  if (rs_local_ != nullptr) {
+    auto it = rs_local_->find(id);
+    return it == rs_local_->end() ? kNoLocal : it->second;
+  }
+  // Chained mode: the epoch chain enforces ascending RS ids, so the RS
+  // column doubles as its own index.
+  const chain::RsId* end = rs_ids_ + rs_count_;
+  const chain::RsId* it = std::lower_bound(rs_ids_, end, id);
+  if (it == end || *it != id) return kNoLocal;
+  return static_cast<Local>(it - rs_ids_);
+}
+
+std::span<const AnalysisContext::Local> AnalysisContext::TailRsOfToken(
+    Local token) const {
+  const Local* buf = rs_tails_[token].load(std::memory_order_acquire);
+  if (buf == nullptr) return {};
+  // The buffer holds this token's RS locals ascending, kNoLocal-filled
+  // past the written prefix (with >= 1 trailing sentinel maintained by the
+  // writer). Everything < rs_count_ was appended before this view sealed;
+  // slots at or past the prefix can concurrently flip kNoLocal -> rs with
+  // rs >= rs_count_, and both values stop the scan, so a relaxed atomic
+  // read per candidate slot suffices (the returned span then covers only
+  // pre-seal slots, which are plain immutable data).
+  const Local limit = static_cast<Local>(rs_count_);
+  size_t len = 0;
+  while (std::atomic_ref<Local>(const_cast<Local&>(buf[len]))
+             .load(std::memory_order_relaxed) < limit) {
+    ++len;
+  }
+  return {buf, len};
 }
 
 bool AnalysisContext::RsContains(Local rs, Local token) const {

@@ -12,16 +12,30 @@
 //  * CSR arrays for RS -> member tokens and the token -> RS inverted index;
 //  * a flat token -> HT column replacing per-probe HtIndex hashing.
 //
-// A context is an immutable value: once built it never changes, so a block
-// worth of selections (every target, every ladder stage, every analysis
-// probe) shares one snapshot, and future concurrent selectors can share it
+// A context is an immutable value: once obtained it never changes, so a
+// block worth of selections (every target, every ladder stage, every
+// analysis probe) shares one snapshot, and concurrent selectors share it
 // without locks. Interning is per-snapshot, not global — see DESIGN.md
-// decision 8. Legacy vector-based entry points remain as thin adapters
-// that intern on the fly; hot paths build the context once and pass it
-// down (core/batch + node::Node build exactly one per block).
+// decision 8.
+//
+// Two storage modes back the same read surface (DESIGN.md decision 12):
+//
+//  * *Built* contexts (AnalysisContext::Build) own their columns outright.
+//    This is the from-scratch path: adapters, benches, and the full-rebuild
+//    fallback (snapshot restore / reorg) use it.
+//  * *Chained* contexts are sealed O(1) views over an EpochChain's shared
+//    append-only columns (analysis/epoch_chain.h): every accessor reads the
+//    same dense columns through the pointer surface below, clipped to the
+//    RS/token counts at seal time. The shared core is kept alive by
+//    `storage_`, so a sealed view outlives any later epoch append.
+//
+// The equivalence suite asserts the two modes are observationally
+// byte-identical for equal inputs at every block height.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +44,8 @@
 #include "chain/types.h"
 
 namespace tokenmagic::analysis {
+
+class EpochChain;
 
 class AnalysisContext {
  public:
@@ -48,9 +64,9 @@ class AnalysisContext {
                                const chain::HtIndex* index = nullptr,
                                std::span<const chain::TokenId> universe = {});
 
-  size_t rs_count() const { return rs_ids_.size(); }
-  size_t token_count() const { return token_ids_.size(); }
-  size_t ht_count() const { return ht_ids_.size(); }
+  size_t rs_count() const { return rs_count_; }
+  size_t token_count() const { return token_count_; }
+  size_t ht_count() const { return ht_count_; }
 
   // -- RS column --------------------------------------------------------
 
@@ -63,15 +79,12 @@ class AnalysisContext {
   /// Member tokens of RS `rs` as locals, in ascending external-id order
   /// (== ascending local order, since locals are rank-in-sorted-order).
   std::span<const Local> Members(Local rs) const {
-    return {member_tokens_.data() + member_offsets_[rs],
+    return {member_tokens_ + member_offsets_[rs],
             member_offsets_[rs + 1] - member_offsets_[rs]};
   }
 
   /// Local of an external RsId, or kNoLocal.
-  Local LocalOfRs(chain::RsId id) const {
-    auto it = rs_local_.find(id);
-    return it == rs_local_.end() ? kNoLocal : it->second;
-  }
+  Local LocalOfRs(chain::RsId id) const;
 
   /// Reconstructs the adversary-visible view of RS `rs` (adapter paths).
   chain::RsView ViewOf(Local rs) const;
@@ -86,8 +99,11 @@ class AnalysisContext {
 
   /// RSs containing token `token` as locals, ascending (== history order).
   std::span<const Local> RsOfToken(Local token) const {
-    return {token_rs_.data() + token_rs_offsets_[token],
-            token_rs_offsets_[token + 1] - token_rs_offsets_[token]};
+    if (rs_tails_ == nullptr) {
+      return {token_rs_ + token_rs_offsets_[token],
+              token_rs_offsets_[token + 1] - token_rs_offsets_[token]};
+    }
+    return TailRsOfToken(token);
   }
 
   /// True when RS `rs` contains token local `token` (binary search over
@@ -109,26 +125,62 @@ class AnalysisContext {
   chain::TxId ht_id(Local ht) const { return ht_ids_[ht]; }
 
  private:
-  // Token column: external ids sorted ascending; Local == rank.
-  std::vector<chain::TokenId> token_ids_;
+  friend class EpochChain;
 
-  // RS columns, indexed by Local == history position.
-  std::vector<chain::RsId> rs_ids_;
-  std::vector<chain::Timestamp> proposed_at_;
-  std::vector<chain::DiversityRequirement> requirement_;
-  std::unordered_map<chain::RsId, Local> rs_local_;
+  /// Built-mode storage: the context owns its columns. Chained contexts
+  /// read an EpochChain's shared core instead; either way `storage_`
+  /// keeps the pointed-to columns alive, so copies are O(1) and never
+  /// re-derive pointers.
+  struct BuiltColumns {
+    std::vector<chain::TokenId> token_ids;
+    std::vector<chain::RsId> rs_ids;
+    std::vector<chain::Timestamp> proposed_at;
+    std::vector<chain::DiversityRequirement> requirement;
+    std::unordered_map<chain::RsId, Local> rs_local;
+    std::vector<uint32_t> member_offsets;  // size rs_count + 1
+    std::vector<Local> member_tokens;
+    std::vector<uint32_t> token_rs_offsets;  // size token_count + 1
+    std::vector<Local> token_rs;
+    std::vector<Local> token_ht;
+    std::vector<chain::TxId> ht_ids;
+  };
 
-  // CSR: RS -> member token locals (per RS ascending).
-  std::vector<uint32_t> member_offsets_;  // size rs_count() + 1
-  std::vector<Local> member_tokens_;
+  /// Chained-mode token -> RS lookup over the epoch core's per-token tail
+  /// buffers, clipped to this view's sealed RS count (context.cc).
+  std::span<const Local> TailRsOfToken(Local token) const;
 
-  // CSR: token -> containing RS locals (per token ascending).
-  std::vector<uint32_t> token_rs_offsets_;  // size token_count() + 1
-  std::vector<Local> token_rs_;
+  // tm-owns: keep-alive of the storage every pointer below reads (the
+  // BuiltColumns block in built mode, the shared EpochCore in chained
+  // mode). Shared, so copying a context is cheap and always safe.
+  std::shared_ptr<const void> storage_;
 
-  // Flat token -> dense HT column; ht_ids_ maps dense -> external.
-  std::vector<Local> token_ht_;
-  std::vector<chain::TxId> ht_ids_;
+  // Unified pointer read surface. Built contexts point into their own
+  // BuiltColumns; chained contexts point into the epoch core's sealed
+  // column prefixes. All spans handed out alias this storage.
+  // tm-borrows(storage_): every raw pointer below.
+  const chain::TokenId* token_ids_ = nullptr;
+  const chain::RsId* rs_ids_ = nullptr;
+  const chain::Timestamp* proposed_at_ = nullptr;
+  const chain::DiversityRequirement* requirement_ = nullptr;
+  // tm-borrows(storage_): built-mode external-id map (null when chained;
+  // chained RS ids are ascending, so LocalOfRs binary-searches rs_ids_).
+  const std::unordered_map<chain::RsId, Local>* rs_local_ = nullptr;
+  // tm-borrows(storage_): CSR columns (member CSR serves both modes).
+  const uint32_t* member_offsets_ = nullptr;
+  const Local* member_tokens_ = nullptr;
+  const uint32_t* token_rs_offsets_ = nullptr;
+  const Local* token_rs_ = nullptr;
+  // tm-borrows(storage_): chained-mode per-token tail table (null when
+  // built). Slot pointers are atomics because a concurrent epoch append
+  // may regrow a token's buffer while this sealed view reads it.
+  const std::atomic<const Local*>* rs_tails_ = nullptr;
+  // tm-borrows(storage_): flat token -> dense HT column and dense -> external.
+  const Local* token_ht_ = nullptr;
+  const chain::TxId* ht_ids_ = nullptr;
+
+  size_t token_count_ = 0;
+  size_t rs_count_ = 0;
+  size_t ht_count_ = 0;
 };
 
 }  // namespace tokenmagic::analysis

@@ -18,6 +18,7 @@
 // budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace tokenmagic::common {
@@ -38,20 +39,27 @@ class SteadyClock final : public Clock {
   static const SteadyClock* Instance();
 };
 
-/// A hand-advanced clock for deterministic timeout tests.
+/// A hand-advanced clock for deterministic timeout tests. Reads and
+/// advances are atomic (relaxed): harnesses advance the clock from a
+/// driver thread while worker threads time their budgets against it, and
+/// monotonicity is all those readers may assume anyway.
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
 
-  int64_t NowNanos() const override { return now_nanos_; }
+  int64_t NowNanos() const override {
+    return now_nanos_.load(std::memory_order_relaxed);
+  }
 
-  void AdvanceNanos(int64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceNanos(int64_t nanos) {
+    now_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
   void AdvanceSeconds(double seconds) {
-    now_nanos_ += static_cast<int64_t>(seconds * 1e9);
+    AdvanceNanos(static_cast<int64_t>(seconds * 1e9));
   }
 
  private:
-  int64_t now_nanos_;
+  std::atomic<int64_t> now_nanos_;
 };
 
 /// A soft deadline: wall-clock budget + iteration budget over an injected

@@ -7,19 +7,21 @@ namespace tokenmagic::core {
 BatchIndex::BatchIndex(const chain::Blockchain& bc, size_t lambda)
     : lambda_(lambda) {
   TM_CHECK(lambda >= 1);
-  token_to_batch_.resize(bc.token_count());
+  AppendBlocks(bc);
+}
 
-  Batch current;
-  current.index = 0;
-  bool open = false;
-  for (chain::BlockHeight h = 0; h < bc.block_count(); ++h) {
+void BatchIndex::AppendBlocks(const chain::Blockchain& bc) {
+  TM_CHECK(blocks_indexed_ <= bc.block_count());
+  token_to_batch_.resize(bc.token_count());
+  for (chain::BlockHeight h = blocks_indexed_; h < bc.block_count(); ++h) {
     const chain::Block& block = bc.block(h);
-    if (!open) {
-      current = Batch{};
-      current.index = batches_.size();
-      current.first_block = h;
-      open = true;
+    if (batches_.empty() || batches_.back().sealed) {
+      Batch fresh;
+      fresh.index = batches_.size();
+      fresh.first_block = h;
+      batches_.push_back(std::move(fresh));
     }
+    Batch& current = batches_.back();
     current.last_block = h;
     for (chain::TxId tx_id : block.transactions) {
       const chain::Transaction& tx = bc.transaction(tx_id);
@@ -28,16 +30,9 @@ BatchIndex::BatchIndex(const chain::Blockchain& bc, size_t lambda)
         current.tokens.push_back(t);
       }
     }
-    if (current.tokens.size() >= lambda_) {
-      current.sealed = true;
-      batches_.push_back(std::move(current));
-      open = false;
-    }
+    if (current.tokens.size() >= lambda_) current.sealed = true;
   }
-  if (open) {
-    current.sealed = false;
-    batches_.push_back(std::move(current));
-  }
+  blocks_indexed_ = bc.block_count();
 }
 
 const Batch& BatchIndex::batch(size_t index) const {

@@ -33,6 +33,14 @@ class BatchIndex {
   /// Builds batches over all blocks of `bc`. `lambda` must be >= 1.
   BatchIndex(const chain::Blockchain& bc, size_t lambda);
 
+  /// Extends the partition over blocks appended to `bc` since this index
+  /// was built (or last extended) — the O(delta) companion of the ctor's
+  /// full scan, with identical results (asserted by the equivalence
+  /// suite). Only the trailing unsealed batch can gain tokens; sealed
+  /// batches (and their token vectors) are never touched again, so spans
+  /// into a sealed batch's tokens stay valid across appends.
+  void AppendBlocks(const chain::Blockchain& bc);
+
   size_t lambda() const { return lambda_; }
   size_t batch_count() const { return batches_.size(); }
   const Batch& batch(size_t index) const;
@@ -46,6 +54,7 @@ class BatchIndex {
 
  private:
   size_t lambda_;
+  chain::BlockHeight blocks_indexed_ = 0;  ///< AppendBlocks resume point
   std::vector<Batch> batches_;
   std::vector<size_t> token_to_batch_;  // indexed by TokenId (dense ids)
 };

@@ -1,7 +1,6 @@
 #include "core/token_magic.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "analysis/chain_reaction.h"
 #include "common/macros.h"
@@ -15,34 +14,61 @@ TokenMagic::TokenMagic(const chain::Blockchain* bc, TokenMagicConfig config)
       batch_index_(*bc, config.lambda),
       ht_index_(chain::HtIndex::FromBlockchain(*bc)) {
   TM_CHECK(bc != nullptr);
+  chains_.resize(batch_index_.batch_count());
+  snapshots_.resize(batch_index_.batch_count());
+}
+
+void TokenMagic::SyncChainsLocked() const {
+  if (ledger_routed_ == ledger_.size()) return;
+  std::vector<std::vector<chain::RsView>> views(batch_index_.batch_count());
+  for (size_t i = ledger_routed_; i < ledger_.size(); ++i) {
+    const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
+    // Batches are disjoint and RSs never span batches, so membership of
+    // the first token decides.
+    if (view.members.empty()) continue;
+    views[batch_index_.BatchOfToken(view.members.front()).index]
+        .push_back(view);
+  }
+  ledger_routed_ = ledger_.size();
+  for (size_t b = 0; b < views.size(); ++b) {
+    if (views[b].empty() || chains_[b] == nullptr) continue;
+    chains_[b]->Append(views[b], &ht_index_, {});
+    snapshots_[b].reset();
+  }
+}
+
+analysis::EpochChain& TokenMagic::ChainForLocked(const Batch& batch) const {
+  std::unique_ptr<analysis::EpochChain>& slot = chains_[batch.index];
+  if (slot == nullptr) {
+    slot = std::make_unique<analysis::EpochChain>();
+    std::vector<chain::RsView> views;
+    for (size_t i = 0; i < ledger_routed_; ++i) {
+      const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
+      if (!view.members.empty() &&
+          batch_index_.BatchOfToken(view.members.front()).index ==
+              batch.index) {
+        views.push_back(view);
+      }
+    }
+    slot->Append(views, &ht_index_, batch.tokens);
+  }
+  return *slot;
 }
 
 std::shared_ptr<const TokenMagic::BatchSnapshot> TokenMagic::SnapshotFor(
     chain::TokenId token) const {
   const Batch& batch = batch_index_.BatchOfToken(token);
   common::MutexLock lock(&snapshot_mu_);
-  if (snapshot_ != nullptr && snapshot_->batch == batch.index &&
-      snapshot_->ledger_size == ledger_.size()) {
-    return snapshot_;
+  SyncChainsLocked();
+  std::shared_ptr<const BatchSnapshot>& slot = snapshots_[batch.index];
+  if (slot == nullptr) {
+    const analysis::EpochChain& chain = ChainForLocked(batch);
+    auto snapshot = std::make_shared<BatchSnapshot>();
+    snapshot->history = chain.History();
+    snapshot->context = chain.View();
+    slot = std::move(snapshot);
   }
-  std::unordered_set<chain::TokenId> batch_tokens(batch.tokens.begin(),
-                                                  batch.tokens.end());
-  auto snapshot = std::make_shared<BatchSnapshot>();
-  for (size_t i = 0; i < ledger_.size(); ++i) {
-    const chain::RsView& view = ledger_.view(static_cast<chain::RsId>(i));
-    // Batches are disjoint and RSs never span batches, so membership of
-    // the first token decides.
-    if (!view.members.empty() &&
-        batch_tokens.count(view.members.front()) > 0) {
-      snapshot->history.push_back(view);
-    }
-  }
-  snapshot->context = analysis::AnalysisContext::Build(
-      snapshot->history, &ht_index_, batch.tokens);
-  snapshot->batch = batch.index;
-  snapshot->ledger_size = ledger_.size();
-  snapshot_ = std::move(snapshot);
-  return snapshot_;
+  return slot;
 }
 
 common::Result<SelectionInput> TokenMagic::InstanceFor(
@@ -73,20 +99,18 @@ common::Result<SelectionInput> TokenMagic::InstanceFor(
 bool TokenMagic::LiquidityAllows(
     chain::TokenId target,
     const std::vector<chain::TokenId>& members) const {
-  std::vector<chain::RsView> history = SnapshotFor(target)->history;
+  std::shared_ptr<const BatchSnapshot> snapshot = SnapshotFor(target);
   chain::RsView prospective;
   prospective.id = chain::kInvalidRs - 1;
   prospective.members = members;
   std::sort(prospective.members.begin(), prospective.members.end());
-  history.push_back(std::move(prospective));
 
-  size_t rs_count = history.size();  // i
-  // The prospective RS is not part of the cached snapshot, so intern the
-  // extended history ad hoc (no HT column needed: the cascade only reads
-  // incidence) and run the dense cascade over it.
-  analysis::AnalysisContext extended = analysis::AnalysisContext::Build(history);
-  size_t inferable =
-      analysis::ChainReactionAnalyzer::CountInferableSpent(extended);  // μ_i
+  size_t rs_count = snapshot->history.size() + 1;  // i, with the prospective
+  // The prospective RS is not part of the sealed snapshot; the overlay
+  // cascade runs it as one extra dense RS over the snapshot's context
+  // without re-interning the history.
+  size_t inferable = analysis::ChainReactionAnalyzer::CountInferableSpent(
+      snapshot->context, prospective);  // μ_i
   size_t universe = batch_index_.BatchOfToken(target).tokens.size();  // |T|
   // Require i − μ_i ≥ η · (|T| − i).
   double lhs = static_cast<double>(rs_count) - static_cast<double>(inferable);

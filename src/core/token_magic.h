@@ -14,9 +14,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "analysis/context.h"
+#include "analysis/epoch_chain.h"
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "chain/ledger.h"
@@ -100,28 +102,43 @@ class TokenMagic {
 
  private:
   /// The per-batch analysis snapshot: the batch's ledger views plus their
-  /// interned AnalysisContext. Built once per (batch, ledger state) and
+  /// interned AnalysisContext, sealed O(1) off the batch's epoch chain and
   /// shared by every instance, ladder stage, and liquidity probe until the
-  /// next proposal invalidates it — SelectionInput spans point into it, so
-  /// it owns the storage those spans reference. Immutable once built.
+  /// next proposal touching the batch invalidates it. SelectionInput spans
+  /// point into the chain's shared core, which `context` co-owns, so a
+  /// snapshot stays valid (and unchanged) across any number of later
+  /// proposals. Immutable once sealed.
   struct BatchSnapshot {
-    size_t batch = 0;
-    size_t ledger_size = 0;
-    // tm-owns: the batch's RS views (SelectionInput::history points here).
-    // tm-lint: allow(history, owning snapshot storage the spans point into)
-    std::vector<chain::RsView> history;
+    // tm-borrows(context): the batch's RS views live in the epoch core
+    // the context keeps alive (as does every span derived from them).
+    std::span<const chain::RsView> history;
+    // tm-owns: shared keep-alive of the epoch core behind `history` and
+    // every span derived from this snapshot.
     analysis::AnalysisContext context;
   };
 
-  /// Returns the snapshot for `token`'s batch, rebuilding it only when the
-  /// cached one is for a different batch or a stale ledger state. The
+  /// Returns the snapshot for `token`'s batch, first routing any ledger
+  /// delta into the per-batch epoch chains (O(delta), not O(ledger)). The
   /// returned pointer keeps the snapshot alive for the caller even after
-  /// the cache replaces it (concurrent const probes each hold their own).
-  // tm-invalidates(TokenMagic::snapshot_): reseats the cache slot when the
-  // batch or the ledger state moved; outstanding shared_ptrs keep the
-  // superseded snapshot alive for their holders.
+  /// the cache drops it (concurrent const probes each hold their own).
+  // tm-invalidates(TokenMagic::snapshots_): drops the cache slots of
+  // batches the ledger delta touched; outstanding shared_ptrs keep the
+  // superseded snapshots alive for their holders.
   std::shared_ptr<const BatchSnapshot> SnapshotFor(chain::TokenId token)
       const TM_EXCLUDES(snapshot_mu_);
+
+  /// Routes ledger views [ledger_routed_, ledger_.size()) into the
+  /// already-created batch chains (one epoch per touched batch) and drops
+  /// those batches' cached snapshots. Chains not yet created pick their
+  /// prefix up on creation instead.
+  // tm-invalidates(TokenMagic::snapshots_): touched entries only.
+  void SyncChainsLocked() const TM_REQUIRES(snapshot_mu_);
+
+  /// The (lazily created) epoch chain of `batch`; creation seals one
+  /// epoch over the batch's tokens plus its whole routed ledger prefix —
+  /// the one remaining O(ledger) scan, paid once per batch.
+  analysis::EpochChain& ChainForLocked(const Batch& batch) const
+      TM_REQUIRES(snapshot_mu_);
 
   const chain::Blockchain* bc_;
   TokenMagicConfig config_;
@@ -135,10 +152,18 @@ class TokenMagic {
   /// const probes (InstanceFor, LiquidityAllows) are safe to run
   /// concurrently with each other between mutations.
   mutable common::Mutex snapshot_mu_;
-  /// Cached snapshot of the most recently probed batch. A GenerateRs*
-  /// ledger commit bumps ledger_.size(), so the next SnapshotFor rebuilds.
-  // tm-owns: the cache slot for the current batch snapshot.
-  mutable std::shared_ptr<const BatchSnapshot> snapshot_
+  /// Per-batch epoch chains, lazily created (the batch partition is fixed
+  /// because bc_ is immutable here). A GenerateRs* ledger commit bumps
+  /// ledger_.size(); the next SnapshotFor routes the delta.
+  // tm-owns: the per-batch epoch chains (owner id: chains_).
+  mutable std::vector<std::unique_ptr<analysis::EpochChain>> chains_
+      TM_GUARDED_BY(snapshot_mu_);
+  /// Ledger prefix already routed into the created chains.
+  mutable size_t ledger_routed_ TM_GUARDED_BY(snapshot_mu_) = 0;
+  /// Cached per-batch snapshots, dropped whenever the batch's chain
+  /// gains an epoch.
+  // tm-owns: the per-batch snapshot cache (owner id: snapshots_).
+  mutable std::vector<std::shared_ptr<const BatchSnapshot>> snapshots_
       TM_GUARDED_BY(snapshot_mu_);
 };
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/context.h"
+#include "analysis/epoch_chain.h"
 #include "chain/ht_index.h"
 #include "chain/blockchain.h"
 #include "common/annotations.h"
@@ -109,23 +110,28 @@ class Node {
 
   /// Interned per-batch analysis snapshot of the current chain state: the
   /// batch's ledger views plus their AnalysisContext. Immutable and
-  /// self-contained once built: `history` owns copies of the batch's
-  /// ledger views and `context` owns its interned columns, so a snapshot
-  /// references no node state and outlives any later chain mutation.
+  /// self-contained once sealed: both members read the batch's epoch
+  /// chain's shared core, which `context` co-owns, so a snapshot
+  /// references no reseatable node state and outlives any later chain
+  /// mutation (later epochs only ever append past this snapshot's sealed
+  /// prefix).
   struct BatchAnalysisSnapshot {
-    // tm-owns: the batch's RS views; context and all spans derived from
-    // this snapshot point into this storage.
-    std::vector<chain::RsView> history;
+    // tm-borrows(context): the batch's RS views live in the epoch core
+    // the context keeps alive (as does every span derived from them).
+    std::span<const chain::RsView> history;
+    // tm-owns: shared keep-alive of the epoch core behind `history` and
+    // every span derived from this snapshot.
     analysis::AnalysisContext context;
   };
 
-  /// The snapshot of batch `batch_index`, built on first use after each
-  /// mined block and cached until the next block changes the ledger — so
-  /// every wallet selection and analysis probe of one block shares exactly
-  /// one AnalysisContext per batch. Concurrent-reader safe: the returned
-  /// pointer keeps the snapshot alive across a concurrent
-  /// Genesis/MineBlock (which invalidates the *cache*, not outstanding
-  /// snapshots). Callers must re-fetch after a mutation to observe it.
+  /// The snapshot of batch `batch_index`, sealed O(1) off the batch's
+  /// epoch chain on first use after a block touched the batch and cached
+  /// until the next such block — so every wallet selection and analysis
+  /// probe of one block shares exactly one AnalysisContext per batch.
+  /// Concurrent-reader safe: the returned pointer keeps the snapshot
+  /// alive across a concurrent Genesis/MineBlock (which invalidates the
+  /// *cache*, not outstanding snapshots). Callers must re-fetch after a
+  /// mutation to observe it.
   std::shared_ptr<const BatchAnalysisSnapshot> AnalysisSnapshotShared(
       size_t batch_index) const TM_EXCLUDES(state_mu_);
 
@@ -137,11 +143,31 @@ class Node {
       TM_EXCLUDES(state_mu_);
 
  private:
-  /// Rebuilds the derived indices after a chain mutation and drops every
-  /// cached analysis snapshot (outstanding shared_ptrs stay valid).
+  /// Full rebuild of every derived index and per-batch epoch chain from
+  /// the raw chain state, dropping every cached analysis snapshot
+  /// (outstanding shared_ptrs stay valid). This is the O(history)
+  /// fallback for paths with no incremental delta: construction, Genesis,
+  /// snapshot restore, and any future reorg. Block-append paths
+  /// (MineBlock) use AppendIndices instead.
   // tm-invalidates(Node::analysis_snapshots_): cached contexts describe
   // the pre-mutation ledger; borrowers must re-fetch.
+  // tm-invalidates(Node::analysis_chains_): the chains are rebuilt from
+  // scratch; outstanding sealed views stay alive via their shared cores.
   void RebuildIndices() TM_REQUIRES(state_mu_) TM_EXCLUDES(snapshots_mu_);
+
+  /// O(delta) index maintenance after mining one block: extends the
+  /// HtIndex and BatchIndex over the new blocks, appends one epoch to
+  /// every touched batch's chain (new tokens, new ledger RSs), and drops
+  /// only the touched batches' cached snapshots — untouched batches keep
+  /// serving their cached (still-current) snapshot.
+  // tm-invalidates(Node::analysis_snapshots_): touched entries only.
+  void AppendIndices() TM_REQUIRES(state_mu_) TM_EXCLUDES(snapshots_mu_);
+
+  /// Routes ledger views [ledger_routed_, ledger_.size()) into the
+  /// per-batch epoch chains together with each touched batch's new
+  /// tokens, sealing one epoch per touched batch. Returns the touched
+  /// batch indices.
+  std::vector<size_t> RouteLedgerDelta() TM_REQUIRES(state_mu_);
 
   /// Snapshot restore rebuilds private state directly (node/snapshot.h).
   friend common::Result<std::unique_ptr<Node>> NodeFromSnapshot(
@@ -168,16 +194,26 @@ class Node {
   std::deque<PendingTx> mempool_ TM_GUARDED_BY(state_mu_);
   chain::Timestamp clock_ TM_GUARDED_BY(state_mu_) = 0;
 
+  /// One epoch chain per batch, created eagerly by RebuildIndices and
+  /// extended by AppendIndices, so snapshot readers (under state_mu_
+  /// shared) only ever call the const read surface (View/History).
+  // tm-owns: the per-batch epoch chains (owner id: analysis_chains_).
+  std::vector<std::unique_ptr<analysis::EpochChain>> analysis_chains_
+      TM_GUARDED_BY(state_mu_);
+  /// Ledger prefix already routed into the per-batch chains.
+  size_t ledger_routed_ TM_GUARDED_BY(state_mu_) = 0;
+
   /// Guards only the snapshot cache map. Snapshot fills happen outside
   /// this lock (under state_mu_ shared), so concurrent readers filling
   /// different batches build in parallel and serialize only on the map
   /// lookup/insert itself.
   mutable common::Mutex snapshots_mu_;
-  /// Lazily built per-batch snapshots; the map's references are dropped
-  /// whenever the chain state changes (RebuildIndices). The ledger only
-  /// changes inside Genesis / MineBlock, both of which rebuild, so a
-  /// cached snapshot can never be stale; outstanding shared_ptrs keep
-  /// pre-mutation snapshots alive for readers that still hold them.
+  /// Lazily sealed per-batch snapshots; RebuildIndices drops every entry,
+  /// AppendIndices drops only the entries of batches the new block
+  /// touched. The ledger only changes inside Genesis / MineBlock, both of
+  /// which run one of the two, so a cached snapshot can never be stale;
+  /// outstanding shared_ptrs keep pre-mutation snapshots alive for
+  /// readers that still hold them.
   // tm-owns: the per-batch snapshot cache (owner id: analysis_snapshots_).
   mutable std::unordered_map<size_t,
                              std::shared_ptr<const BatchAnalysisSnapshot>>

@@ -407,6 +407,15 @@ Response Server::ProcessCluster(const Request& request) {
       break;
     }
     case Op::kInstallSnapshot: {
+      // Installing a snapshot of the state the node is already in must
+      // not be a full-invalidation hammer: replacing the node would drop
+      // every cached analysis snapshot and epoch chain even though the
+      // restored state is identical. Snapshot encoding is canonical, so
+      // a byte-compare against the live state decides.
+      if (node::SnapshotToString(*node) == request.blob) {
+        response.status = host_->Persist();
+        break;
+      }
       auto restored =
           node::NodeFromSnapshot(request.blob, host_->node_config());
       if (!restored.ok()) {

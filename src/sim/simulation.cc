@@ -1,9 +1,11 @@
 #include "sim/simulation.h"
 
+#include <span>
 #include <unordered_set>
 
 #include "analysis/chain_reaction.h"
 #include "analysis/context.h"
+#include "analysis/epoch_chain.h"
 #include "analysis/homogeneity.h"
 #include "common/macros.h"
 #include "common/strings.h"
@@ -53,6 +55,12 @@ SimulationResult RunSimulation(const SimulationConfig& config,
 
   common::Rng round_rng(config.seed);
   SimulationResult result;
+  // The adversary's round-persistent view of the public state: one epoch
+  // appended per round (new tokens + new rings) instead of re-interning
+  // the whole ledger every round.
+  analysis::EpochChain adversary_chain;
+  chain::TokenId tokens_routed = 0;
+  size_t views_routed = 0;
   for (size_t round = 0; round < config.rounds; ++round) {
     RoundReport report;
     report.round = round;
@@ -87,11 +95,23 @@ SimulationResult RunSimulation(const SimulationConfig& config,
       }
     }
 
-    // Adversary pass over the public state: one interned snapshot of the
-    // whole ledger per round, shared by every probe.
+    // Adversary pass over the public state: this round's delta (freshly
+    // minted tokens, freshly committed rings) seals one epoch, and every
+    // probe shares the O(1) sealed view. Tokens are dense mint-order ids,
+    // so the unrouted tail is exactly [tokens_routed, token_count).
     auto views = the_node.ledger().Views();
-    analysis::AnalysisContext context =
-        analysis::AnalysisContext::Build(views, &the_node.ht_index());
+    std::vector<chain::TokenId> new_tokens;
+    for (chain::TokenId t = tokens_routed;
+         t < the_node.blockchain().token_count(); ++t) {
+      new_tokens.push_back(t);
+    }
+    std::span<const chain::RsView> new_views(views.data() + views_routed,
+                                             views.size() - views_routed);
+    adversary_chain.Append(new_views, &the_node.ht_index(), new_tokens);
+    tokens_routed =
+        static_cast<chain::TokenId>(the_node.blockchain().token_count());
+    views_routed = views.size();
+    analysis::AnalysisContext context = adversary_chain.View();
     auto analysis = analysis::ChainReactionAnalyzer::Analyze(views);
     report.rings_on_ledger = views.size();
     report.stats = analysis::SummarizeAnonymity(analysis);

@@ -1,0 +1,292 @@
+// Equivalence and lifetime suite for the epoch-chained AnalysisContext:
+// at every block height, the chained View() must be observationally
+// byte-identical to a from-scratch AnalysisContext::Build over the same
+// prefix, and sealed views must stay valid and unchanged while the chain
+// keeps growing. This is the contract that lets node::Node and TokenMagic
+// replace rebuild-per-block with O(delta) epoch appends without changing
+// any selection or analysis outcome.
+#include "analysis/epoch_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "analysis/chain_reaction.h"
+#include "chain/ht_index.h"
+#include "common/rng.h"
+
+namespace tokenmagic::analysis {
+namespace {
+
+using chain::DiversityRequirement;
+using chain::HtIndex;
+using chain::RsId;
+using chain::RsView;
+using chain::TokenId;
+using Local = AnalysisContext::Local;
+
+/// Asserts every read-surface accessor of `got` matches `want` exactly.
+void ExpectSameContext(const AnalysisContext& got,
+                       const AnalysisContext& want) {
+  ASSERT_EQ(got.token_count(), want.token_count());
+  ASSERT_EQ(got.rs_count(), want.rs_count());
+  ASSERT_EQ(got.ht_count(), want.ht_count());
+  for (Local t = 0; t < want.token_count(); ++t) {
+    ASSERT_EQ(got.token_id(t), want.token_id(t));
+    ASSERT_EQ(got.HtLocalOf(t), want.HtLocalOf(t));
+    ASSERT_EQ(got.HtOf(t), want.HtOf(t));
+    ASSERT_EQ(got.LocalOfToken(want.token_id(t)), t);
+    std::span<const Local> a = got.RsOfToken(t);
+    std::span<const Local> b = want.RsOfToken(t);
+    ASSERT_EQ(std::vector<Local>(a.begin(), a.end()),
+              std::vector<Local>(b.begin(), b.end()));
+  }
+  for (Local h = 0; h < want.ht_count(); ++h) {
+    ASSERT_EQ(got.ht_id(h), want.ht_id(h));
+  }
+  for (Local r = 0; r < want.rs_count(); ++r) {
+    ASSERT_EQ(got.rs_id(r), want.rs_id(r));
+    ASSERT_EQ(got.proposed_at(r), want.proposed_at(r));
+    ASSERT_EQ(got.requirement(r).c, want.requirement(r).c);
+    ASSERT_EQ(got.requirement(r).ell, want.requirement(r).ell);
+    ASSERT_EQ(got.LocalOfRs(want.rs_id(r)), r);
+    std::span<const Local> a = got.Members(r);
+    std::span<const Local> b = want.Members(r);
+    ASSERT_EQ(std::vector<Local>(a.begin(), a.end()),
+              std::vector<Local>(b.begin(), b.end()));
+    ASSERT_EQ(got.ViewOf(r).members, want.ViewOf(r).members);
+  }
+  // Misses answer identically too.
+  ASSERT_EQ(got.LocalOfToken(1u << 30), want.LocalOfToken(1u << 30));
+  ASSERT_EQ(got.LocalOfRs(1u << 30), want.LocalOfRs(1u << 30));
+}
+
+/// A growing randomized chain: each block mints a few dense tokens and
+/// proposes a few RSs (dense ascending ids) over the tokens minted so far.
+struct GrowingChain {
+  explicit GrowingChain(uint64_t seed) : rng(seed) {}
+
+  /// Returns (new views, new tokens) for one block.
+  void NextBlock(std::vector<RsView>* views, std::vector<TokenId>* tokens) {
+    size_t mint = 1 + rng.NextBounded(6);
+    for (size_t i = 0; i < mint; ++i) {
+      TokenId t = next_token++;
+      tokens->push_back(t);
+      index.Set(t, 1000 + rng.NextBounded(7));  // few HTs: forced sharing
+      universe.push_back(t);
+    }
+    size_t rings = rng.NextBounded(4);
+    for (size_t i = 0; i < rings; ++i) {
+      RsView v;
+      v.id = next_rs++;
+      v.proposed_at = static_cast<chain::Timestamp>(block);
+      v.requirement = {1.0, 1 + static_cast<int>(rng.NextBounded(3))};
+      size_t size = 1 + rng.NextBounded(5);
+      for (size_t k = 0; k < size; ++k) {
+        v.members.push_back(rng.NextBounded(next_token));
+      }
+      std::sort(v.members.begin(), v.members.end());
+      v.members.erase(std::unique(v.members.begin(), v.members.end()),
+                      v.members.end());
+      views->push_back(std::move(v));
+      history.push_back(views->back());
+    }
+    ++block;
+  }
+
+  common::Rng rng;
+  HtIndex index;
+  std::vector<TokenId> universe;
+  std::vector<RsView> history;
+  TokenId next_token = 0;
+  RsId next_rs = 0;
+  size_t block = 0;
+};
+
+TEST(EpochChainTest, MatchesFromScratchBuildAtEveryHeightManySeeds) {
+  // >= 50 randomized histories, equivalence asserted at every height.
+  for (uint64_t seed = 1; seed <= 56; ++seed) {
+    GrowingChain gen(seed);
+    EpochChain chain;
+    size_t blocks = 4 + seed % 13;
+    for (size_t b = 0; b < blocks; ++b) {
+      std::vector<RsView> views;
+      std::vector<TokenId> tokens;
+      gen.NextBlock(&views, &tokens);
+      chain.Append(views, &gen.index, tokens);
+      AnalysisContext want =
+          AnalysisContext::Build(gen.history, &gen.index, gen.universe);
+      ExpectSameContext(chain.View(), want);
+      ASSERT_EQ(chain.rs_count(), gen.history.size());
+      ASSERT_EQ(chain.token_count(), gen.universe.size());
+    }
+    ASSERT_EQ(chain.epoch_count(), blocks);
+  }
+}
+
+TEST(EpochChainTest, SealedViewsSurviveAndIgnoreLaterAppends) {
+  GrowingChain gen(1234);
+  EpochChain chain;
+  std::vector<AnalysisContext> sealed;
+  std::vector<size_t> sealed_history;  // prefix length per sealed view
+  struct Prefix {
+    std::vector<RsView> history;
+    std::vector<TokenId> universe;
+  };
+  std::vector<Prefix> prefixes;
+  for (size_t b = 0; b < 40; ++b) {
+    std::vector<RsView> views;
+    std::vector<TokenId> tokens;
+    gen.NextBlock(&views, &tokens);
+    chain.Append(views, &gen.index, tokens);
+    sealed.push_back(chain.View());
+    sealed_history.push_back(chain.History().size());
+    prefixes.push_back({gen.history, gen.universe});
+  }
+  // Only after the chain fully grew (forcing column generations and tail
+  // regrows) is every sealed view checked against its own prefix.
+  for (size_t b = 0; b < sealed.size(); ++b) {
+    AnalysisContext want = AnalysisContext::Build(
+        prefixes[b].history, &gen.index, prefixes[b].universe);
+    ExpectSameContext(sealed[b], want);
+    ASSERT_EQ(sealed_history[b], prefixes[b].history.size());
+  }
+  // Sealed views keep the core alive even after the chain itself dies.
+  AnalysisContext survivor = sealed.back();
+  std::span<const RsView> history = chain.History();
+  sealed.clear();
+  {
+    EpochChain graveyard;  // scope marker: original chain destroyed below
+    std::swap(graveyard, chain);
+  }
+  AnalysisContext want = AnalysisContext::Build(
+      prefixes.back().history, &gen.index, prefixes.back().universe);
+  ExpectSameContext(survivor, want);
+  ASSERT_EQ(history.size(), prefixes.back().history.size());
+  for (size_t r = 0; r < history.size(); ++r) {
+    ASSERT_EQ(history[r].members, prefixes.back().history[r].members);
+  }
+}
+
+TEST(EpochChainTest, ChainedContextDrivesAnalysisIdentically) {
+  // The cascade (the heaviest consumer of the inverted index) must see no
+  // difference between the two storage modes.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    GrowingChain gen(7000 + seed);
+    EpochChain chain;
+    for (size_t b = 0; b < 12; ++b) {
+      std::vector<RsView> views;
+      std::vector<TokenId> tokens;
+      gen.NextBlock(&views, &tokens);
+      chain.Append(views, &gen.index, tokens);
+    }
+    AnalysisContext built =
+        AnalysisContext::Build(gen.history, &gen.index, gen.universe);
+    AnalysisResult a = ChainReactionAnalyzer::Cascade(chain.View());
+    AnalysisResult b = ChainReactionAnalyzer::Cascade(built);
+    ASSERT_EQ(a.spent_tokens, b.spent_tokens);
+    ASSERT_EQ(a.revealed_spends, b.revealed_spends);
+  }
+}
+
+TEST(EpochChainTest, OverlayCascadeMatchesRebuiltExtendedContext) {
+  // The liquidity probe's overlay cascade must count exactly what a
+  // from-scratch intern of history + prospective RS counts.
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    GrowingChain gen(4000 + seed);
+    EpochChain chain;
+    for (size_t b = 0; b < 10; ++b) {
+      std::vector<RsView> views;
+      std::vector<TokenId> tokens;
+      gen.NextBlock(&views, &tokens);
+      chain.Append(views, &gen.index, tokens);
+    }
+    RsView prospective;
+    prospective.id = chain::kInvalidRs - 1;
+    size_t size = 1 + gen.rng.NextBounded(5);
+    for (size_t k = 0; k < size; ++k) {
+      prospective.members.push_back(gen.rng.NextBounded(gen.next_token));
+    }
+    std::sort(prospective.members.begin(), prospective.members.end());
+    prospective.members.erase(
+        std::unique(prospective.members.begin(), prospective.members.end()),
+        prospective.members.end());
+
+    std::vector<RsView> extended = gen.history;
+    extended.push_back(prospective);
+    AnalysisContext rebuilt = AnalysisContext::Build(extended);
+    ASSERT_EQ(ChainReactionAnalyzer::CountInferableSpent(chain.View(),
+                                                         prospective),
+              ChainReactionAnalyzer::CountInferableSpent(rebuilt))
+        << "seed " << seed;
+  }
+}
+
+TEST(EpochChainTest, EmptyAndTokenOnlyEpochs) {
+  EpochChain chain;
+  chain.Append({}, nullptr, {});
+  ExpectSameContext(chain.View(), AnalysisContext::Build({}, nullptr, {}));
+  HtIndex index;
+  std::vector<TokenId> tokens{0, 1, 2};
+  for (TokenId t : tokens) index.Set(t, 500);
+  chain.Append({}, &index, tokens);
+  AnalysisContext want = AnalysisContext::Build({}, &index, tokens);
+  ExpectSameContext(chain.View(), want);
+  ASSERT_EQ(chain.View().RsOfToken(0).size(), 0u);
+  ASSERT_EQ(chain.epoch_count(), 2u);
+  ASSERT_EQ(chain.epoch(1).token_end, 3u);
+  ASSERT_EQ(chain.epoch(1).rs_end, 0u);
+}
+
+TEST(EpochChainTest, ConcurrentSealedReadersRaceAppends) {
+  // Readers hammer sealed views while the writer keeps sealing epochs.
+  // Under TSan this pins the tail-table atomics contract; everywhere it
+  // pins that sealed views never dangle or change.
+  GrowingChain gen(99);
+  auto chain = std::make_shared<EpochChain>();
+  std::vector<RsView> views;
+  std::vector<TokenId> tokens;
+  for (size_t b = 0; b < 6; ++b) {
+    views.clear();
+    tokens.clear();
+    gen.NextBlock(&views, &tokens);
+    chain->Append(views, &gen.index, tokens);
+  }
+  AnalysisContext sealed = chain->View();
+  std::vector<RsView> sealed_history = gen.history;
+  std::vector<TokenId> sealed_universe = gen.universe;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&sealed, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t edges = 0;
+        for (Local t = 0; t < sealed.token_count(); ++t) {
+          edges += sealed.RsOfToken(t).size();
+        }
+        for (Local r = 0; r < sealed.rs_count(); ++r) {
+          edges += sealed.Members(r).size();
+        }
+        ASSERT_GT(edges + 1, 0u);
+      }
+    });
+  }
+  for (size_t b = 0; b < 200; ++b) {
+    views.clear();
+    tokens.clear();
+    gen.NextBlock(&views, &tokens);
+    chain->Append(views, &gen.index, tokens);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  AnalysisContext want = AnalysisContext::Build(
+      sealed_history, &gen.index, sealed_universe);
+  ExpectSameContext(sealed, want);
+}
+
+}  // namespace
+}  // namespace tokenmagic::analysis

@@ -98,5 +98,43 @@ TEST(BatchIndexTest, EmptyChainHasNoBatches) {
   EXPECT_EQ(index.batch_count(), 0u);
 }
 
+void ExpectSameBatches(const BatchIndex& got, const BatchIndex& want,
+                       const chain::Blockchain& bc) {
+  ASSERT_EQ(got.batch_count(), want.batch_count());
+  for (size_t i = 0; i < want.batch_count(); ++i) {
+    EXPECT_EQ(got.batch(i).index, want.batch(i).index);
+    EXPECT_EQ(got.batch(i).first_block, want.batch(i).first_block);
+    EXPECT_EQ(got.batch(i).last_block, want.batch(i).last_block);
+    EXPECT_EQ(got.batch(i).sealed, want.batch(i).sealed);
+    EXPECT_EQ(got.batch(i).tokens, want.batch(i).tokens);
+  }
+  for (chain::TokenId t = 0; t < bc.token_count(); ++t) {
+    ASSERT_EQ(got.BatchOfToken(t).index, want.BatchOfToken(t).index);
+  }
+}
+
+TEST(BatchIndexTest, AppendBlocksMatchesFullRebuildAtEveryHeight) {
+  common::Rng rng(42);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    chain::Blockchain bc;
+    size_t lambda = 1 + rng.NextBounded(8);
+    BatchIndex incremental(bc, lambda);
+    for (int b = 0; b < 30; ++b) {
+      size_t txs = rng.NextBounded(3);
+      std::vector<uint32_t> outputs;
+      for (size_t i = 0; i < txs; ++i) {
+        outputs.push_back(1 + static_cast<uint32_t>(rng.NextBounded(4)));
+      }
+      bc.AddBlock(b, outputs);
+      // Appending after every block must equal a from-scratch build; a
+      // second AppendBlocks with no new blocks must be a no-op.
+      incremental.AppendBlocks(bc);
+      incremental.AppendBlocks(bc);
+      BatchIndex full(bc, lambda);
+      ExpectSameBatches(incremental, full, bc);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tokenmagic::core

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -282,6 +283,67 @@ TEST(ConcurrencySmokeTest, ConcurrentTokenMagicProbesAcrossBatches) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(ok_instances.load(), kThreads * kRounds);
+}
+
+// Sealed-epoch lifetime under a racing writer: readers retain snapshots
+// of *every* batch — superseded ones included, keyed by identity — while
+// the writer mines blocks that seal new epochs onto the per-batch chains
+// (including blocks that open brand-new batches). Every retained sealed
+// view must stay fully readable (columns, inverted index, cascade) no
+// matter how many epochs are appended after it. Before the epoch chain a
+// full rebuild guaranteed this by copying; now it is the generation-
+// buffer contract, and this is the test the TSan lane pins it with.
+TEST(ConcurrencySmokeTest, SelectorProbesRaceEpochSealsAcrossBatches) {
+  Network net(16, /*lambda=*/4);  // mined blocks open fresh batches fast
+  constexpr int kReaders = 4;
+  constexpr int kSpends = 6;
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> batches_published{1};  // the genesis batch
+  std::atomic<int> sealed_probes{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&net, &done, &batches_published, &sealed_probes] {
+      std::unordered_map<const void*,
+                         std::shared_ptr<const Node::BatchAnalysisSnapshot>>
+          held;
+      while (!done.load(std::memory_order_acquire)) {
+        size_t count = batches_published.load(std::memory_order_acquire);
+        for (size_t b = 0; b < count; ++b) {
+          auto snapshot = net.node.AnalysisSnapshotShared(b);
+          ASSERT_NE(snapshot, nullptr);
+          held.emplace(snapshot.get(), snapshot);
+        }
+        for (const auto& [_, old] : held) {
+          EXPECT_EQ(old->context.rs_count(), old->history.size());
+          EXPECT_LE(analysis::ChainReactionAnalyzer::CountInferableSpent(
+                        old->context),
+                    old->history.size());
+        }
+        sealed_probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  core::ProgressiveSelector selector;
+  for (int i = 0; i < kSpends; ++i) {
+    Wallet& spender = (i % 2 == 0) ? net.alice : net.bob;
+    Wallet& receiver = (i % 2 == 0) ? net.bob : net.alice;
+    auto spendable = spender.SpendableTokens();
+    ASSERT_FALSE(spendable.empty());
+    (void)spender.Spend(&net.node, spendable[0], {2.0, 3}, selector,
+                        {receiver.NewOutputKey()}, "seal-race");
+    net.node.MineBlock();
+    // Safe outside the lock: only MineBlock (this thread) mutates the
+    // batch index, and the batch count only grows, so readers can probe
+    // any index below a published count forever.
+    batches_published.store(net.node.batches().batch_count(),
+                            std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(sealed_probes.load(), 0);
 }
 
 // A shared FaultInjector consumes exactly the armed number of verdict

@@ -116,6 +116,38 @@ TEST(RestoreServeTest, CorruptSnapshotFailsTypedAtOpen) {
   EXPECT_EQ(node::SnapshotToString(*host.value()->mutable_node()), good);
 }
 
+TEST(RestoreServeTest, InstallingIdenticalSnapshotKeepsCachedAnalysis) {
+  // Installing a snapshot of the state the node already serves must not
+  // replace the node: a replacement would drop every cached analysis
+  // snapshot and epoch chain for nothing (the full-invalidation hammer).
+  rpc::Testbed testbed = SmallTestbed();
+  std::string path = TestPath("idem", "snapshot");
+  ASSERT_TRUE(node::SaveSnapshot(*testbed.node, path).ok());
+
+  auto host = FileNodeHost::Open(path, {});
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  node::Node* live = host.value()->mutable_node();
+  std::string blob = node::SnapshotToString(*live);
+  auto cached = live->AnalysisSnapshotShared(0);
+
+  rpc::ServerConfig config;
+  config.socket_path = TestPath("idem", "sock");
+  rpc::Server server(host.value().get(), config);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = rpc::Client::Connect(config.socket_path);
+  ASSERT_TRUE(client.ok());
+  auto installed = client->InstallSnapshot(blob);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  ASSERT_TRUE(installed.value().status.ok())
+      << installed.value().status.ToString();
+
+  // Digest matched: same node object, and the cached snapshot survived
+  // (pointer identity, not just equal contents).
+  EXPECT_EQ(host.value()->mutable_node(), live);
+  EXPECT_EQ(live->AnalysisSnapshotShared(0).get(), cached.get());
+  server.Stop();
+}
+
 TEST(RestoreServeTest, RestartAfterMutationsRestoresPersistedState) {
   // Serve mutations through the host, snapshot over the wire, tear the
   // server down (hard stop), reopen from disk: the reopened node must

@@ -1,0 +1,12 @@
+// Positive fixture for tm_lint.py check 10 (context-build) in src/core/:
+// a liquidity probe re-interning the whole history per call. Expected by
+// expected.txt — keep line numbers in sync.
+#include "analysis/context.h"
+
+namespace tokenmagic::core {
+
+inline bool ProbePerCall() {
+  return analysis::AnalysisContext::Build({}).rs_count() == 0;
+}
+
+}  // namespace tokenmagic::core

@@ -1,0 +1,18 @@
+// Positive fixtures for tm_lint.py check 10 (context-build): the node
+// layer rebuilding an AnalysisContext directly instead of appending an
+// epoch. Every finding here is expected by expected.txt — keep line
+// numbers in sync.
+#include "analysis/context.h"
+
+namespace tokenmagic::node {
+
+// A hot-path rebuild: O(history) per mined block.
+inline void RebuildPerBlock() {
+  auto context = analysis::AnalysisContext::Build({});
+  (void)context;
+}
+
+// tm-lint: allow(context-build, nothing below rebuilds, so this is stale)
+inline int Stale() { return 2; }
+
+}  // namespace tokenmagic::node

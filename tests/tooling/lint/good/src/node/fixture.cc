@@ -1,0 +1,22 @@
+// Annotated twins of the lint/bad context-build fixtures: the hot path
+// appends an epoch, and the one audited full rebuild (snapshot restore)
+// carries an allow. tm_lint must exit 0 on this tree.
+#include "analysis/epoch_chain.h"
+
+namespace tokenmagic::node {
+
+// The hot path: O(delta) epoch append, O(1) sealed view.
+inline void AppendPerBlock(analysis::EpochChain* chain) {
+  chain->Append({}, nullptr, {});
+  auto context = chain->View();
+  (void)context;
+}
+
+// A cold path with no incremental delta to route.
+inline void RestoreFromSnapshot() {
+  // tm-lint: allow(context-build, fixture: snapshot restore has no delta)
+  auto context = analysis::AnalysisContext::Build({});
+  (void)context;
+}
+
+}  // namespace tokenmagic::node

@@ -13,6 +13,20 @@ root and fail on regression. Dispatches on the fresh log's "bench" field:
     must also keep every scale at >= 1.0x — the context must never be
     slower than what it replaced.
 
+  chain_growth  (bench_chain_growth -> BENCH_chain_growth.json)
+    The epoch-chain contract is gated machine-independently on growth
+    *ratios*, never raw milliseconds. Hard gate: per-block append cost
+    must stay flat while the token universe grows — a fresh
+    append_growth_ratio at or above half the token_growth_ratio means
+    appends picked up a linear component (the exact regression the
+    EpochChain refactor deleted) and fails. The append ratio must also
+    stay below the full-rebuild ratio (appending a block must scale
+    better than rebuilding). Relative gate: the fresh append ratio may
+    not exceed max(2.0, baseline_ratio / factor) — flatness must not
+    erode quietly across commits. Smoke runs print everything but skip
+    the hard ratio gates: their measurement windows are too small to
+    amortize generation-buffer regrowth spikes.
+
   serve  (tm_load -> BENCH_serve.json)
     The robustness contract is gated hard, machine-independently:
     every issued request must have resolved to a typed verdict
@@ -38,6 +52,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 DEFAULT_BASELINES = {
     "context_throughput": REPO_ROOT / "BENCH_context.json",
+    "chain_growth": REPO_ROOT / "BENCH_chain_growth.json",
     "serve": REPO_ROOT / "BENCH_serve.json",
 }
 
@@ -78,6 +93,59 @@ def check_context(baseline_data: dict, fresh_data: dict,
                   f"the baseline speedup (floor {factor})",
                   file=sys.stderr)
             failures += 1
+    return failures
+
+
+def check_chain_growth(baseline_data: dict, fresh_data: dict,
+                       factor: float) -> int:
+    failures = 0
+    for cp in fresh_data["checkpoints"]:
+        print(f"chain-growth: {cp['tokens']:>8} tokens / {cp['rs']:>6} RS: "
+              f"mean append {cp['mean_append_ms']:.4f} ms "
+              f"(window {cp['append_window_blocks']} blocks), "
+              f"full build {cp['full_build_ms']:.3f} ms")
+    token_ratio = fresh_data["token_growth_ratio"]
+    append_ratio = fresh_data["append_growth_ratio"]
+    build_ratio = fresh_data["build_growth_ratio"]
+    base_append = baseline_data["append_growth_ratio"]
+    print(f"chain-growth: over {token_ratio:.0f}x tokens, append grew "
+          f"{append_ratio:.2f}x (baseline {base_append:.2f}x), full "
+          f"rebuild grew {build_ratio:.2f}x")
+
+    if len(fresh_data["checkpoints"]) < 2:
+        print("FAIL: chain-growth run has fewer than two checkpoints",
+              file=sys.stderr)
+        return failures + 1
+    if fresh_data.get("smoke"):
+        print("chain-growth: smoke run, ratio gates skipped (windows too "
+              "small to amortize generation regrowth)")
+        return failures
+
+    # Hard, machine-independent: appends must not pick up a linear
+    # component. Linear growth would track token_ratio (~10x); flat is
+    # ~1x; halfway is already a broken amortization.
+    ceiling = token_ratio * 0.5
+    if append_ratio >= ceiling:
+        print(f"FAIL: append cost grew {append_ratio:.2f}x over "
+              f"{token_ratio:.0f}x tokens (superlinear-append ceiling "
+              f"{ceiling:.1f}x) — per-block appends are no longer O(delta)",
+              file=sys.stderr)
+        failures += 1
+    # Appending one block must scale strictly better than rebuilding
+    # everything, or the epoch chain has lost its reason to exist.
+    if append_ratio >= build_ratio:
+        print(f"FAIL: append growth {append_ratio:.2f}x is not below "
+              f"full-rebuild growth {build_ratio:.2f}x", file=sys.stderr)
+        failures += 1
+    # Relative: flatness must not erode quietly vs the committed baseline
+    # (with an absolute 2.0x allowance so a near-1.0 baseline does not
+    # turn runner noise into failures).
+    rel_ceiling = max(2.0, base_append / factor)
+    if append_ratio > rel_ceiling:
+        print(f"FAIL: append growth {append_ratio:.2f}x exceeds "
+              f"{rel_ceiling:.2f}x (baseline {base_append:.2f}x / factor "
+              f"{factor})", file=sys.stderr)
+        failures += 1
     return failures
 
 
@@ -142,6 +210,8 @@ def main() -> int:
 
     if kind == "context_throughput":
         failures = check_context(baseline, fresh, args.factor)
+    elif kind == "chain_growth":
+        failures = check_chain_growth(baseline, fresh, args.factor)
     else:
         failures = check_serve(baseline, fresh, args.factor)
 

@@ -15,7 +15,8 @@ Audited exceptions use ONE syntax, checked by the linter itself:
 
     // tm-lint: allow(<check>, <reason>)
 
-where <check> is one of: float, clock, history, rpc-bounded. The annotation
+where <check> is one of: float, clock, history, rpc-bounded,
+context-build. The annotation
 suppresses that check on the same line or the two lines below it.
 The linter rejects
   * unknown <check> names,
@@ -90,6 +91,17 @@ Checks
    owner files carry `tm-lint: allow(rpc-bounded, <reason>)` on the
    exact lines that hold the raw primitives.
    (std::this_thread::sleep_for is not std::thread and stays legal.)
+
+10. Epoch-chain ownership [context-build]: direct `AnalysisContext::Build`
+    calls are banned in src/node/ and src/core/. Those layers rebuild
+    contexts on the block-append hot path, where Build is O(history) per
+    block; they must route deltas through the batch's
+    analysis::EpochChain (Append + View, O(delta)) instead. The chain
+    itself (src/analysis/) and cold paths audited with
+    `tm-lint: allow(context-build, <reason>)` are exempt — an escape
+    names the reason a full rebuild is genuinely required (reorg,
+    snapshot restore), so hot-path regressions cannot slip in as
+    convenience calls.
 """
 
 from __future__ import annotations
@@ -102,7 +114,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import sarif  # noqa: E402  (tools/lint/sarif.py)
 
-TOOL_VERSION = "3.1"
+TOOL_VERSION = "3.2"
 
 MODULE_RANK = {
     "common": 0,
@@ -130,7 +142,7 @@ FLOAT_BANNED_FILES = {
 }
 
 #: The unified escape-comment checks (check 8 rejects anything else).
-ALLOW_CHECKS = {"float", "clock", "history", "rpc-bounded"}
+ALLOW_CHECKS = {"float", "clock", "history", "rpc-bounded", "context-build"}
 
 RULE_DESCRIPTIONS = {
     "layering": "module include must follow the layering DAG",
@@ -143,6 +155,8 @@ RULE_DESCRIPTIONS = {
     "allow-hygiene": "tm-lint escape comments must be known and non-stale",
     "rpc-bounded": "std::queue/std::thread banned in src/rpc/ and "
                    "src/testnet/; use BoundedQueue/WorkerPool",
+    "context-build": "direct AnalysisContext::Build banned in src/node/ "
+                     "and src/core/; append epochs via EpochChain",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -166,6 +180,7 @@ HISTORY_VEC_RE = re.compile(r'std::vector<\s*(?:chain::)?RsView\s*>')
 # sleep/yield utilities stay legal without an escape comment.
 RPC_UNBOUNDED_RE = re.compile(r'\bstd::(queue|thread)\b')
 RPC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+<(queue|thread)>')
+CONTEXT_BUILD_RE = re.compile(r'\bAnalysisContext::Build\s*\(')
 
 DIRECTIVE_RE = re.compile(r'tm-lint:\s*([A-Za-z-]+)')
 ALLOW_RE = re.compile(
@@ -393,6 +408,23 @@ class Linter:
                        "instead of std::thread, or annotate an audited "
                        "owner with 'tm-lint: allow(rpc-bounded, <reason>)'")
 
+    def check_context_build(self, path: pathlib.Path,
+                            code: list[str]) -> None:
+        rel = path.relative_to(self.src)
+        if rel.parts[0] not in ("node", "core"):
+            return
+        for i, line in enumerate(code, start=1):
+            if not CONTEXT_BUILD_RE.search(line):
+                continue
+            if self.consume_allow(path, "context-build", i):
+                continue
+            self.error(path, i, "context-build",
+                       "direct AnalysisContext::Build in src/node//src/core/"
+                       " rebuilds O(history) state per call; route the "
+                       "block delta through the batch's analysis::EpochChain"
+                       " (Append + View) or annotate an audited cold path "
+                       "with 'tm-lint: allow(context-build, <reason>)'")
+
     def check_stale_allows(self) -> None:
         for path, allows in sorted(self.allows.items()):
             for allow in allows:
@@ -425,6 +457,7 @@ class Linter:
             self.check_clock_hygiene(path, code)
             self.check_history_span(path, code)
             self.check_rpc_bounded(path, code)
+            self.check_context_build(path, code)
         self.check_stale_allows()
 
         if sarif_out is not None:
