@@ -144,6 +144,7 @@ AnalysisContext::Local AnalysisContext::LocalOfRs(chain::RsId id) const {
 
 std::span<const AnalysisContext::Local> AnalysisContext::TailRsOfToken(
     Local token) const {
+  // tm-consumes(rs_tail_slot)
   const Local* buf = rs_tails_[token].load(std::memory_order_acquire);
   if (buf == nullptr) return {};
   // The buffer holds this token's RS locals ascending, kNoLocal-filled
@@ -155,6 +156,7 @@ std::span<const AnalysisContext::Local> AnalysisContext::TailRsOfToken(
   // pre-seal slots, which are plain immutable data).
   const Local limit = static_cast<Local>(rs_count_);
   size_t len = 0;
+  // tm-atomic(benign boundary-slot race; see the scan contract above)
   while (std::atomic_ref<Local>(const_cast<Local&>(buf[len]))
              .load(std::memory_order_relaxed) < limit) {
     ++len;

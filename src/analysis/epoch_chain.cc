@@ -16,6 +16,9 @@ void RsTailTable::EnsureTokens(size_t count) {
     // Value-initialized atomics (nullptr), then the surviving pointers.
     auto fresh = std::make_unique<std::atomic<const Local*>[]>(cap);
     for (size_t i = 0; i < len_.size(); ++i) {
+      // Readers keep using the old generation, whose slots the release
+      // store in Push already ordered — this copy is writer-only.
+      // tm-atomic(writer-only generation copy)
       fresh[i].store(slots_[i].load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     }
@@ -39,6 +42,7 @@ void RsTailTable::Push(Local token, Local rs) {
     for (uint32_t i = 0; i < len; ++i) fresh[i] = current_[token][i];
     // Publish before first use; release pairs with readers' acquire load
     // so they see the sentinel fill and the copied prefix.
+    // tm-publishes(rs_tail_slot)
     slots_[token].store(fresh.get(), std::memory_order_release);
     if (current_[token] != nullptr) {
       retired_.push_back(std::move(current_[token]));
@@ -49,6 +53,7 @@ void RsTailTable::Push(Local token, Local rs) {
   // A sealed reader may be scanning this very slot (it sees kNoLocal or
   // `rs`, both >= its sealed RS count, so either value stops its scan);
   // cross with an atomic to keep the race benign and TSan-clean.
+  // tm-atomic(benign boundary-slot race; both observable values stop the scan)
   std::atomic_ref<Local>(current_[token][len])
       .store(rs, std::memory_order_relaxed);
   len_[token] = len + 1;

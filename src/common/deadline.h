@@ -59,6 +59,7 @@ class ManualClock final : public Clock {
   }
 
  private:
+  // tm-atomic(monotonic counter; relaxed is the documented contract above)
   std::atomic<int64_t> now_nanos_;
 };
 

@@ -8,6 +8,7 @@ namespace tokenmagic::common {
 
 namespace {
 
+// tm-atomic(independent level threshold; stale reads only mis-filter a line)
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
 

@@ -151,7 +151,7 @@ class TokenMagic {
   /// points must be externally serialized with each other, while the
   /// const probes (InstanceFor, LiquidityAllows) are safe to run
   /// concurrently with each other between mutations.
-  mutable common::Mutex snapshot_mu_;
+  mutable common::Mutex snapshot_mu_;  // tm-lock-rank(40)
   /// Per-batch epoch chains, lazily created (the batch partition is fixed
   /// because bc_ is immutable here). A GenerateRs* ledger commit bumps
   /// ledger_.size(); the next SnapshotFor routes the delta.

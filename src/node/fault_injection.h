@@ -145,7 +145,10 @@ class FaultInjector {
   /// rng stream are internally synchronized. The fault *schedule* stays
   /// deterministic per seed; under true concurrency the interleaving
   /// decides which call consumes which armed fault.
-  mutable common::Mutex mu_;
+  /// Leaf lock: fault decisions are taken under node/server locks (verdict
+  /// filters run under state_mu_, frame corruption under write_mu), so the
+  /// rank sits above every lock that may be held at a decision point.
+  mutable common::Mutex mu_;  // tm-lock-rank(70)
   common::Rng rng_ TM_GUARDED_BY(mu_);
   int write_faults_armed_ TM_GUARDED_BY(mu_) = 0;
   double write_cut_fraction_ TM_GUARDED_BY(mu_) = 0.5;

@@ -190,7 +190,7 @@ class Node {
   /// Writer lock for every chain mutation; shared by snapshot readers so
   /// a cache fill observes a consistent ledger. Ordered before
   /// snapshots_mu_ (never acquire state_mu_ while holding snapshots_mu_).
-  mutable common::SharedMutex state_mu_;
+  mutable common::SharedMutex state_mu_;  // tm-lock-rank(20)
   std::deque<PendingTx> mempool_ TM_GUARDED_BY(state_mu_);
   chain::Timestamp clock_ TM_GUARDED_BY(state_mu_) = 0;
 
@@ -207,7 +207,7 @@ class Node {
   /// this lock (under state_mu_ shared), so concurrent readers filling
   /// different batches build in parallel and serialize only on the map
   /// lookup/insert itself.
-  mutable common::Mutex snapshots_mu_;
+  mutable common::Mutex snapshots_mu_;  // tm-lock-rank(30)
   /// Lazily sealed per-batch snapshots; RebuildIndices drops every entry,
   /// AppendIndices drops only the entries of batches the new block
   /// touched. The ledger only changes inside Genesis / MineBlock, both of

@@ -4,7 +4,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>  // tm-lint: allow(rpc-bounded, sleep_for only; threads live in WorkerPool)
+// tm-sync: allow(thread-ownership, sleep_for only; threads live in WorkerPool)
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"

@@ -151,7 +151,7 @@ class Server {
   struct Connection {
     explicit Connection(Fd socket) : fd(std::move(socket)) {}
     Fd fd;
-    common::Mutex write_mu;
+    common::Mutex write_mu;  // tm-lock-rank(60)
   };
 
   struct WorkItem {
@@ -192,7 +192,9 @@ class Server {
   /// whole request, cluster mutations hold it exclusively. Ordered
   /// before stats_mu_. In read-only mode node_ never changes and the
   /// shared lock is uncontended.
-  mutable common::SharedMutex node_mu_;
+  /// Root of the server's lock order: held across calls into the node
+  /// (state_mu_/snapshots_mu_) and across per-request stats updates.
+  mutable common::SharedMutex node_mu_;  // tm-lock-rank(10)
   const node::Node* node_ TM_GUARDED_BY(node_mu_);
   ServerConfig config_;
   const common::Clock* clock_;
@@ -202,16 +204,20 @@ class Server {
   BoundedQueue<WorkItem> queue_;
   WorkerPool workers_;
   WorkerPool io_;
-  std::atomic<bool> draining_{false};
-  std::atomic<bool> started_{false};
-  std::atomic<bool> stopped_{false};
+  // Lifecycle flags polled by reader/worker loops; each guards no
+  // payload of its own, so plain seq_cst flips suffice.
+  std::atomic<bool> draining_{false};  // tm-atomic(standalone lifecycle flag)
+  std::atomic<bool> started_{false};  // tm-atomic(standalone lifecycle flag)
+  std::atomic<bool> stopped_{false};  // tm-atomic(standalone lifecycle flag)
 
-  mutable common::Mutex conns_mu_;
+  mutable common::Mutex conns_mu_;  // tm-lock-rank(50)
   /// Weak registry of live connections so Stop() can wake blocked
   /// readers via shutdown(2).
   std::vector<std::weak_ptr<Connection>> conns_ TM_GUARDED_BY(conns_mu_);
 
-  mutable common::Mutex stats_mu_;
+  /// Maximal rank: taken under node_mu_ on the request path and never
+  /// held while acquiring anything else.
+  mutable common::Mutex stats_mu_;  // tm-lock-rank(80)
   ServerStats stats_ TM_GUARDED_BY(stats_mu_);
 };
 

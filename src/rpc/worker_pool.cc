@@ -31,7 +31,7 @@ void WorkerPool::Spawn(std::function<void()> body) {
   DynamicThread entry;
   entry.done = std::make_shared<std::atomic<bool>>(false);
   auto done = entry.done;
-  entry.thread = std::thread(  // tm-lint: allow(rpc-bounded, audited owner)
+  entry.thread = std::thread(  // tm-sync: allow(thread-ownership, audited owner)
       [body = std::move(body), done] {
         body();
         done->store(true);

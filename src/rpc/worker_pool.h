@@ -25,7 +25,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>  // tm-lint: allow(rpc-bounded, WorkerPool is the module's audited thread owner)
+// tm-sync: allow(thread-ownership, WorkerPool is the audited thread owner)
+#include <thread>
 #include <vector>
 
 namespace tokenmagic::rpc {
@@ -53,13 +54,14 @@ class WorkerPool {
 
  private:
   struct DynamicThread {
-    std::thread thread;  // tm-lint: allow(rpc-bounded, joined via Join or reaping)
+    std::thread thread;  // tm-sync: allow(thread-ownership, joined via Join or reaping)
     std::shared_ptr<std::atomic<bool>> done;
   };
 
-  std::vector<std::thread> fixed_;  // tm-lint: allow(rpc-bounded, joined in Join)
+  std::vector<std::thread> fixed_;  // tm-sync: allow(thread-ownership, joined in Join)
   std::mutex dynamic_mu_;
   std::vector<DynamicThread> dynamic_;
+  // tm-atomic(monotonic start counter read only by tests/stats)
   std::atomic<size_t> started_total_{0};
 };
 

@@ -429,9 +429,9 @@ common::Status Cluster::DoOverload(size_t requests,
   // resolve to a typed verdict (ok / shed / timeout), never a transport
   // failure or a hang — the shed path is what the small server queue is
   // sized to force.
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> typed{0};
-  std::atomic<size_t> transport{0};
+  std::atomic<size_t> next{0};       // tm-atomic(work-stealing ticket counter)
+  std::atomic<size_t> typed{0};      // tm-atomic(independent outcome counter)
+  std::atomic<size_t> transport{0};  // tm-atomic(independent outcome counter)
   rpc::WorkerPool pool;
   size_t threads = std::min<size_t>(8, std::max<size_t>(requests, 1));
   pool.Start(threads, [&](size_t) {

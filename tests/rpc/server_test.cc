@@ -43,6 +43,7 @@ template <typename Pred>
 [[nodiscard]] bool WaitUntil(Pred pred) {
   for (int i = 0; i < 5000; ++i) {
     if (pred()) return true;
+    // tm-lint: allow(test-sleep, bounded poll interval under a predicate)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return false;

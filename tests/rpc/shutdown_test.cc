@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +108,7 @@ TEST(ShutdownTest, DrainResolvesEveryIssuedRequestTyped) {
   // not a wall-clock sleep), then pull the plug mid-flight.
   for (int spin = 0;
        spin < 5000 && server.StatsSnapshot().admitted < 32; ++spin) {
+    // tm-lint: allow(test-sleep, bounded poll interval on a counter)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_GE(server.StatsSnapshot().admitted, 32u);
@@ -130,6 +132,86 @@ TEST(ShutdownTest, DrainResolvesEveryIssuedRequestTyped) {
   EXPECT_EQ(stats.internal_errors, 0u);
   // The drain happened mid-flight, so the server processed real work.
   EXPECT_GT(stats.admitted, 0u);
+}
+
+// Races Stop() against clients riding CallWithRetry's reconnect path:
+// the server is yanked mid-flight and a replacement comes up on the
+// same socket while every client is inside its retry loop. Under TSan
+// this exercises Stop's teardown (listener close, connection close,
+// worker join) concurrently with client-side Reconnect(). The contract:
+// no call ever resolves untyped, and once the replacement is up the
+// surviving retry budgets carry the clients over to it.
+TEST(ShutdownTest, StopRacesCallWithRetryReconnect) {
+  Testbed testbed = BuildTestbed({});
+  ServerConfig config;
+  config.socket_path = TestSocketPath("retry_race");
+  config.workers = 2;
+  config.queue_capacity = 8;
+
+  auto server = std::make_unique<Server>(testbed.node.get(), config);
+  ASSERT_TRUE(server->Start().ok());
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop_flag{false};
+  std::atomic<bool> restarted{false};
+  std::atomic<int> resolved_after_restart{0};
+
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      ClientOptions options;
+      options.retry.max_attempts = 5;  // reconnect across the restart
+      options.recv_timeout_millis = 2000;
+      auto client = Client::Connect(config.socket_path, options);
+      if (!client.ok()) return;
+      for (int i = 0; !stop_flag.load(); ++i) {
+        chain::TokenId target =
+            testbed.targets[(t + i) % testbed.targets.size()];
+        auto response = client->Select(target, {2.0, 2}, 500);
+        if (response.ok()) {
+          if (restarted.load()) resolved_after_restart.fetch_add(1);
+        } else {
+          // All attempts torn mid-restart: typed transport error, and
+          // the next loop iteration starts a fresh retry budget.
+          EXPECT_TRUE(response.status().IsIoError() ||
+                      response.status().IsTimeout())
+              << response.status().ToString();
+        }
+      }
+    });
+  }
+
+  // Let traffic flow (observable counter, not a wall-clock guess), then
+  // yank the server out from under the retrying clients.
+  for (int spin = 0;
+       spin < 5000 && server->StatsSnapshot().admitted < 16; ++spin) {
+    // tm-lint: allow(test-sleep, bounded poll interval on a counter)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server->StatsSnapshot().admitted, 16u);
+  server->Stop();
+  server.reset();  // destructor teardown races the reconnects too
+
+  Server replacement(testbed.node.get(), config);
+  ASSERT_TRUE(replacement.Start().ok());
+  restarted.store(true);
+
+  // The reconnecting clients must find the replacement on their own:
+  // wait on ITS admitted counter before declaring the handover done.
+  for (int spin = 0;
+       spin < 5000 && replacement.StatsSnapshot().admitted < 16; ++spin) {
+    // tm-lint: allow(test-sleep, bounded poll interval on a counter)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(replacement.StatsSnapshot().admitted, 16u);
+
+  stop_flag.store(true);
+  for (auto& t : drivers) t.join();
+  replacement.Stop();
+
+  // The retry budgets carried live clients across the restart: calls
+  // resolved transport-ok against the replacement.
+  EXPECT_GT(resolved_after_restart.load(), 0);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
-// Serving-layer fixtures: raw std::queue/std::thread and their gateway
-// includes fire [rpc-bounded]; a stale escape fires [allow-hygiene].
+// Serving-layer fixtures: raw std::queue and its gateway include fire
+// [rpc-bounded]; a stale escape fires [allow-hygiene]. The std::thread
+// member and <thread> include are deliberate non-findings — thread
+// discipline moved to tm_sync (thread-ownership), so tm_lint firing on
+// them again would be a regression caught by this tree's exact-match.
 #pragma once
 
 #include <queue>

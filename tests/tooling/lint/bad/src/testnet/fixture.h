@@ -1,5 +1,6 @@
 // Testnet fixtures: the regtest harness is under the same audited-owner
-// discipline as src/rpc — raw std::queue/std::thread fire [rpc-bounded].
+// discipline as src/rpc — raw std::queue fires [rpc-bounded]. The
+// std::thread member stays a non-finding here (tm_sync owns it).
 #pragma once
 
 #include <queue>

@@ -1,0 +1,14 @@
+// Test-sleep fixtures: a bare timing-guess sleep in a test fires
+// [test-sleep]; the sibling stale escape fires [allow-hygiene].
+#include <chrono>
+#include <thread>
+
+namespace {
+
+void FlakyWait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// tm-lint: allow(test-sleep, stale: suppresses nothing in its window)
+
+}  // namespace

@@ -1,14 +1,17 @@
 // Good twin of the rpc-bounded fixture: the audited owner carries
-// allow() on the exact primitive lines, and std::this_thread (sleep /
-// yield utilities) is legal without any escape comment.
+// allow() on the exact queue lines; std::thread needs no lint escape
+// at all any more (tm_sync's thread-ownership rule owns it), and
+// std::this_thread (sleep / yield utilities) stays legal too.
 #pragma once
 
-#include <thread>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+#include <queue>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+#include <thread>
 
 namespace tokenmagic::rpc {
 
 struct AuditedPool {
-  std::thread worker;  // tm-lint: allow(rpc-bounded, joined in Join())
+  std::queue<int> reap;  // tm-lint: allow(rpc-bounded, drained in Join())
+  std::thread worker;
 };
 
 inline void Backoff() { std::this_thread::yield(); }

@@ -1,15 +1,17 @@
-// Good twin of the testnet rpc-bounded fixture: harness concurrency
-// goes through the audited rpc::WorkerPool owner, and the only raw
-// primitive carries its allow() on the exact line. std::this_thread
+// Good twin of the testnet rpc-bounded fixture: the only raw queue
+// carries its allow() on the exact line; raw std::thread is legal for
+// tm_lint (tm_sync audits thread ownership), and std::this_thread
 // helpers stay legal without an escape.
 #pragma once
 
-#include <thread>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+#include <queue>  // tm-lint: allow(rpc-bounded, audited owner fixture)
+#include <thread>
 
 namespace tokenmagic::testnet {
 
 struct AuditedHarness {
-  std::thread pump;  // tm-lint: allow(rpc-bounded, joined in StopPump())
+  std::queue<int> staged;  // tm-lint: allow(rpc-bounded, capped by harness)
+  std::thread pump;
 };
 
 inline void PollBackoff() { std::this_thread::yield(); }

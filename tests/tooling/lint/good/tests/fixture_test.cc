@@ -1,0 +1,17 @@
+// Good twin of the test-sleep fixture: the bounded poll interval
+// carries its allow() on the line above the sleep.
+#include <chrono>
+#include <thread>
+
+namespace {
+
+bool Ready();
+
+void BoundedPoll() {
+  for (int i = 0; i < 100 && !Ready(); ++i) {
+    // tm-lint: allow(test-sleep, bounded poll interval under a predicate)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace

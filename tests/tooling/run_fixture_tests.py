@@ -28,6 +28,7 @@ TOOLS = {
     "lint": ROOT / "tools" / "lint" / "tm_lint.py",
     "analyze": ROOT / "tools" / "analyze" / "tm_analyze.py",
     "ct": ROOT / "tools" / "analyze" / "tm_ct.py",
+    "sync": ROOT / "tools" / "analyze" / "tm_sync.py",
 }
 
 failures: list[str] = []
@@ -40,7 +41,7 @@ def fail(message: str) -> None:
 
 def run_tool(tool: str, tree: pathlib.Path, sarif: pathlib.Path | None = None):
     cmd = [sys.executable, str(TOOLS[tool]), "--root", str(tree)]
-    if tool in ("analyze", "ct"):
+    if tool in ("analyze", "ct", "sync"):
         cmd += ["--frontend", "lexical"]  # pinned: fixtures test the rules
     if sarif is not None:
         cmd += ["--sarif", str(sarif)]

@@ -1,0 +1,29 @@
+// Publication fixtures: a relaxed publish, a relaxed consume, a publish
+// whose field nothing ever consumes, and an unannotated counter.
+#include <atomic>
+
+namespace tokenmagic::analysis {
+
+struct TailCell {
+  std::atomic<const int*> slot{nullptr};
+  std::atomic<int> hits{0};
+
+  void PublishRelaxed(const int* fresh) {
+    // tm-publishes(tail_slot)
+    slot.store(fresh, std::memory_order_relaxed);
+  }
+
+  const int* ConsumeRelaxed() const {
+    // tm-consumes(tail_slot)
+    return slot.load(std::memory_order_relaxed);
+  }
+
+  void PublishOrphan(const int* fresh) {
+    // tm-publishes(orphan_field)
+    slot.store(fresh, std::memory_order_release);
+  }
+
+  void Touch() { hits.fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,52 @@
+// Serving-layer sync fixtures: every lock/wait/thread rule fires at a
+// pinned line. An unranked mutex, a rank-descending acquisition (direct
+// and through a call), a bare cv wait, a sleep under a ranked lock, raw
+// std::thread ownership, and a stale escape.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/mutex.h"
+
+namespace tokenmagic::rpc {
+
+class RaggedServer {
+ public:
+  void Reorder() {
+    common::MutexLock stats(&stats_mu_);
+    common::MutexLock conns(&conns_mu_);
+  }
+
+  void LockHelper() { common::MutexLock lock(&conns_mu_); }
+
+  void Transitive() {
+    common::MutexLock stats(&stats_mu_);
+    LockHelper();
+  }
+
+  void WaitBare() {
+    std::unique_lock<std::mutex> lock(raw_mu_);
+    cv_.wait(lock);
+  }
+
+  void SleepHeld() {
+    common::MutexLock lock(&stats_mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  void Leak() { worker_.detach(); }
+
+ private:
+  common::Mutex unranked_mu_;
+  common::Mutex conns_mu_;  // tm-lock-rank(50)
+  common::Mutex stats_mu_;  // tm-lock-rank(80)
+  std::mutex raw_mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+};
+
+// tm-sync: allow(cv-predicate, stale: suppresses nothing in its window)
+
+}  // namespace tokenmagic::rpc

@@ -1,0 +1,25 @@
+// Good twin of the publication fixture: the slot pointer is a paired
+// release/acquire publication and the counter is an audited standalone.
+#include <atomic>
+
+namespace tokenmagic::analysis {
+
+struct TailCell {
+  std::atomic<const int*> slot{nullptr};
+  // tm-atomic(independent probe counter)
+  std::atomic<int> hits{0};
+
+  void Publish(const int* fresh) {
+    // tm-publishes(tail_slot)
+    slot.store(fresh, std::memory_order_release);
+  }
+
+  const int* Consume() const {
+    // tm-consumes(tail_slot)
+    return slot.load(std::memory_order_acquire);
+  }
+
+  void Touch() { hits.fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace tokenmagic::analysis

@@ -1,0 +1,49 @@
+// Good twin of the serving-layer sync fixture: ranks ascend on every
+// acquisition path (direct and through calls), the cv wait carries a
+// predicate, sleeps happen outside ranked locks, and the thread owner
+// carries its escapes on the exact lines.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+// tm-sync: allow(thread-ownership, audited owner fixture)
+#include <thread>
+
+#include "common/mutex.h"
+
+namespace tokenmagic::rpc {
+
+class OrderedServer {
+ public:
+  void Ordered() {
+    common::MutexLock conns(&conns_mu_);
+    common::MutexLock stats(&stats_mu_);
+  }
+
+  void HighHelper() { common::MutexLock lock(&stats_mu_); }
+
+  void Transitive() {
+    common::MutexLock conns(&conns_mu_);
+    HighHelper();
+  }
+
+  void WaitPredicated() {
+    std::unique_lock<std::mutex> lock(raw_mu_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+  void SleepUnlocked() {
+    { common::MutexLock lock(&stats_mu_); ready_ = true; }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  common::Mutex conns_mu_;  // tm-lock-rank(50)
+  common::Mutex stats_mu_;  // tm-lock-rank(80)
+  std::mutex raw_mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  std::thread worker_;  // tm-sync: allow(thread-ownership, joined by owner)
+};
+
+}  // namespace tokenmagic::rpc

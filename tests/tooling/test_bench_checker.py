@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench/check_bench_regression.py.
+
+The checker is the only thing standing between a perf regression and a
+green CI run, so its gates get the same bad/good treatment as the
+analyzers: every hard-fail path is pinned (a regression that stops a
+gate from firing fails here), and every pass path is pinned too (a gate
+that over-fires would block unrelated PRs).
+
+Runs the checker as a subprocess — the same way ctest and CI invoke
+it — against synthetic fresh/baseline JSON pairs in a temp dir.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+CHECKER = ROOT / "tools" / "bench" / "check_bench_regression.py"
+
+CONTEXT_BASE = {
+    "bench": "context_throughput",
+    "scales": [
+        {"num_rs": 1000, "speedup": 4.0,
+         "phases": [{"name": "diversity", "speedup": 3.5}]},
+        {"num_rs": 10000, "speedup": 6.0, "phases": []},
+    ],
+}
+
+CHAIN_BASE = {
+    "bench": "chain_growth",
+    "smoke": False,
+    "checkpoints": [
+        {"tokens": 1000, "rs": 500, "mean_append_ms": 0.02,
+         "append_window_blocks": 50, "full_build_ms": 1.0},
+        {"tokens": 10000, "rs": 5000, "mean_append_ms": 0.025,
+         "append_window_blocks": 50, "full_build_ms": 12.0},
+    ],
+    "token_growth_ratio": 10.0,
+    "append_growth_ratio": 1.25,
+    "build_growth_ratio": 12.0,
+}
+
+SERVE_BASE = {
+    "bench": "serve",
+    "issued": 1000,
+    "resolved": 1000,
+    "crashes": 0,
+    "faults_injected": 40,
+    "ok_fraction": 0.95,
+    "throughput_rps": 800.0,
+    "latency_micros": {"p50": 900, "p99": 4000, "p999": 9000},
+}
+
+
+class CheckerTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.tmp = pathlib.Path(self._tmp.name)
+
+    def write(self, name: str, data: dict) -> pathlib.Path:
+        path = self.tmp / name
+        path.write_text(json.dumps(data))
+        return path
+
+    def run_checker(self, fresh: dict, baseline: dict | None = None,
+                    factor: float | None = None, use_default_baseline=False):
+        cmd = [sys.executable, str(CHECKER),
+               str(self.write("fresh.json", fresh))]
+        if not use_default_baseline:
+            base = baseline if baseline is not None else fresh
+            cmd += ["--baseline", str(self.write("baseline.json", base))]
+        if factor is not None:
+            cmd += ["--factor", str(factor)]
+        return subprocess.run(cmd, capture_output=True, text=True)
+
+    def assert_ok(self, proc):
+        self.assertEqual(proc.returncode, 0,
+                         f"expected OK:\n{proc.stdout}\n{proc.stderr}")
+        self.assertIn("bench regression check: OK", proc.stdout)
+
+    def assert_fail(self, proc, needle: str):
+        self.assertEqual(proc.returncode, 1,
+                         f"expected failure:\n{proc.stdout}\n{proc.stderr}")
+        self.assertIn(needle, proc.stderr)
+
+
+class ContextGateTest(CheckerTest):
+    def test_identical_run_passes(self):
+        self.assert_ok(self.run_checker(copy.deepcopy(CONTEXT_BASE)))
+
+    def test_speedup_below_one_fails(self):
+        fresh = copy.deepcopy(CONTEXT_BASE)
+        fresh["scales"][0]["speedup"] = 0.9
+        proc = self.run_checker(fresh, baseline=CONTEXT_BASE)
+        self.assert_fail(proc, "slower than")
+
+    def test_regression_past_factor_fails(self):
+        fresh = copy.deepcopy(CONTEXT_BASE)
+        fresh["scales"][1]["speedup"] = 3.0  # 0.5 of the 6.0x baseline
+        proc = self.run_checker(fresh, baseline=CONTEXT_BASE, factor=0.8)
+        self.assert_fail(proc, "regressed to 0.50")
+
+    def test_small_wobble_within_factor_passes(self):
+        fresh = copy.deepcopy(CONTEXT_BASE)
+        fresh["scales"][1]["speedup"] = 5.5
+        self.assert_ok(self.run_checker(fresh, baseline=CONTEXT_BASE))
+
+    def test_missing_scale_fails(self):
+        fresh = copy.deepcopy(CONTEXT_BASE)
+        del fresh["scales"][1]
+        proc = self.run_checker(fresh, baseline=CONTEXT_BASE)
+        self.assert_fail(proc, "missing the 10000-RS scale")
+
+
+class ChainGrowthGateTest(CheckerTest):
+    def test_flat_append_passes(self):
+        self.assert_ok(self.run_checker(copy.deepcopy(CHAIN_BASE)))
+
+    def test_superlinear_append_fails(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["append_growth_ratio"] = 6.0  # >= 10.0 * 0.5 ceiling
+        proc = self.run_checker(fresh, baseline=CHAIN_BASE)
+        self.assert_fail(proc, "no longer O(delta)")
+
+    def test_append_not_below_rebuild_fails(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["append_growth_ratio"] = 3.0
+        fresh["build_growth_ratio"] = 2.5
+        proc = self.run_checker(fresh, baseline=CHAIN_BASE)
+        self.assert_fail(proc, "not below full-rebuild growth")
+
+    def test_erosion_past_relative_ceiling_fails(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["append_growth_ratio"] = 2.1  # > max(2.0, 1.25/0.8)
+        proc = self.run_checker(fresh, baseline=CHAIN_BASE, factor=0.8)
+        self.assert_fail(proc, "exceeds")
+
+    def test_absolute_allowance_tolerates_noisy_near_flat(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["append_growth_ratio"] = 1.9  # < 2.0 allowance
+        self.assert_ok(self.run_checker(fresh, baseline=CHAIN_BASE))
+
+    def test_smoke_run_skips_ratio_gates(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["smoke"] = True
+        fresh["append_growth_ratio"] = 9.0  # would trip every hard gate
+        proc = self.run_checker(fresh, baseline=CHAIN_BASE)
+        self.assert_ok(proc)
+        self.assertIn("ratio gates skipped", proc.stdout)
+
+    def test_single_checkpoint_fails_even_in_smoke(self):
+        fresh = copy.deepcopy(CHAIN_BASE)
+        fresh["smoke"] = True
+        del fresh["checkpoints"][1]
+        proc = self.run_checker(fresh, baseline=CHAIN_BASE)
+        self.assert_fail(proc, "fewer than two checkpoints")
+
+
+class ServeGateTest(CheckerTest):
+    def test_clean_soak_passes(self):
+        self.assert_ok(self.run_checker(copy.deepcopy(SERVE_BASE)))
+
+    def test_unresolved_request_fails(self):
+        fresh = copy.deepcopy(SERVE_BASE)
+        fresh["resolved"] = 999
+        proc = self.run_checker(fresh, baseline=SERVE_BASE)
+        self.assert_fail(proc, "never resolved")
+
+    def test_crash_fails(self):
+        fresh = copy.deepcopy(SERVE_BASE)
+        fresh["crashes"] = 1
+        proc = self.run_checker(fresh, baseline=SERVE_BASE)
+        self.assert_fail(proc, "crash(es)")
+
+    def test_empty_run_fails(self):
+        fresh = copy.deepcopy(SERVE_BASE)
+        fresh["issued"] = fresh["resolved"] = 0
+        proc = self.run_checker(fresh, baseline=SERVE_BASE)
+        self.assert_fail(proc, "issued no requests")
+
+    def test_ok_fraction_below_floor_fails(self):
+        fresh = copy.deepcopy(SERVE_BASE)
+        fresh["ok_fraction"] = 0.70  # floor is 0.95 * 0.8 = 0.76
+        proc = self.run_checker(fresh, baseline=SERVE_BASE, factor=0.8)
+        self.assert_fail(proc, "fell below")
+
+    def test_degraded_but_above_floor_passes(self):
+        fresh = copy.deepcopy(SERVE_BASE)
+        fresh["ok_fraction"] = 0.80
+        self.assert_ok(self.run_checker(fresh, baseline=SERVE_BASE,
+                                        factor=0.8))
+
+
+class DispatchTest(CheckerTest):
+    def test_unknown_bench_kind_rejected(self):
+        proc = self.run_checker({"bench": "nonsense"})
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("unknown bench kind", proc.stderr)
+
+    def test_kind_mismatch_rejected(self):
+        proc = self.run_checker(copy.deepcopy(SERVE_BASE),
+                                baseline=copy.deepcopy(CHAIN_BASE))
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("baseline is", proc.stderr)
+
+    def test_default_baseline_dispatches_on_kind(self):
+        # A committed baseline compared against itself must pass: this
+        # exercises the kind -> repo-root BENCH_*.json dispatch for real.
+        for name in ("BENCH_context.json", "BENCH_chain_growth.json",
+                     "BENCH_serve.json"):
+            with self.subTest(baseline=name):
+                fresh = json.loads((ROOT / name).read_text())
+                proc = self.run_checker(fresh, use_default_baseline=True)
+                self.assert_ok(proc)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Unit tests for the sarif.py merge CLI (one multi-run log per CI
+upload instead of one artifact per analyzer)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+SARIF = ROOT / "tools" / "lint" / "sarif.py"
+
+sys.path.insert(0, str(SARIF.parent))
+import sarif  # noqa: E402
+
+
+def one_run_log(tool: str, n: int) -> dict:
+    findings = [sarif.Finding(f"src/{tool}/f{i}.cc", i + 1, f"{tool}-rule",
+                              f"finding {i}") for i in range(n)]
+    return sarif.make_log(tool, "1.0", findings,
+                          {f"{tool}-rule": f"{tool} rule"})
+
+
+class MergeLogsTest(unittest.TestCase):
+    def test_runs_concatenate_in_order(self):
+        merged = sarif.merge_logs([one_run_log("tm_lint", 2),
+                                   one_run_log("tm_sync", 3)])
+        self.assertEqual(merged["version"], "2.1.0")
+        self.assertEqual(len(merged["runs"]), 2)
+        names = [r["tool"]["driver"]["name"] for r in merged["runs"]]
+        self.assertEqual(names, ["tm_lint", "tm_sync"])
+        self.assertEqual(len(merged["runs"][0]["results"]), 2)
+        self.assertEqual(len(merged["runs"][1]["results"]), 3)
+
+    def test_empty_tool_log_keeps_its_run(self):
+        # A clean analyzer still contributes a run (so code scanning can
+        # close out its previously-open alerts).
+        merged = sarif.merge_logs([one_run_log("tm_ct", 0)])
+        self.assertEqual(len(merged["runs"]), 1)
+        self.assertEqual(merged["runs"][0]["results"], [])
+
+    def test_version_mismatch_rejected(self):
+        bad = one_run_log("tm_lint", 1)
+        bad["version"] = "2.0.0"
+        with self.assertRaises(ValueError):
+            sarif.merge_logs([bad])
+
+
+class MergeCliTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.tmp = pathlib.Path(self._tmp.name)
+
+    def test_cli_merges_files(self):
+        ins = []
+        for i, tool in enumerate(("tm_lint", "tm_analyze", "tm_ct",
+                                  "tm_sync")):
+            path = self.tmp / f"in{i}.sarif"
+            path.write_text(json.dumps(one_run_log(tool, i)))
+            ins.append(str(path))
+        out = self.tmp / "merged.sarif"
+        proc = subprocess.run(
+            [sys.executable, str(SARIF), "merge", str(out)] + ins,
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        merged = json.loads(out.read_text())
+        self.assertEqual(len(merged["runs"]), 4)
+        self.assertIn("4 runs, 6 results", proc.stdout)
+
+    def test_cli_usage_error(self):
+        proc = subprocess.run([sys.executable, str(SARIF), "merge"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("usage", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

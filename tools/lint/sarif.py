@@ -8,6 +8,15 @@ the default for local runs — SARIF is opt-in via each tool's --sarif flag.
 
 No third-party dependencies: the SARIF log is assembled as plain dicts and
 serialized with the stdlib json module.
+
+Also usable as a CLI to merge per-tool logs into one multi-run log, so CI
+uploads a single artifact for all analyzers instead of one per tool:
+
+    python3 tools/lint/sarif.py merge OUT.sarif IN1.sarif IN2.sarif ...
+
+A SARIF log holds a list of runs; merging concatenates each input's runs
+in argument order (one run per tool), which GitHub code scanning ingests
+as separate tool entries from one upload.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import sys
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -99,3 +109,37 @@ def write_log(path: pathlib.Path, log: dict) -> None:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(log, indent=2, sort_keys=False) + "\n")
+
+
+def merge_logs(logs: list[dict]) -> dict:
+    """One multi-run log from several single-run logs (runs concatenate
+    in input order; each keeps its own tool.driver and rule table)."""
+    runs: list[dict] = []
+    for log in logs:
+        if log.get("version") != SARIF_VERSION:
+            raise ValueError(
+                f"cannot merge SARIF version {log.get('version')!r}; "
+                f"expected {SARIF_VERSION}")
+        runs.extend(log.get("runs", []))
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": runs}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 4 or argv[1] != "merge":
+        print("usage: sarif.py merge OUT.sarif IN.sarif [IN.sarif ...]",
+              file=sys.stderr)
+        return 2
+    out, inputs = pathlib.Path(argv[2]), argv[3:]
+    logs = []
+    for name in inputs:
+        logs.append(json.loads(pathlib.Path(name).read_text()))
+    merged = merge_logs(logs)
+    write_log(out, merged)
+    n_results = sum(len(r.get("results", [])) for r in merged["runs"])
+    print(f"sarif: merged {len(logs)} log(s) -> {out} "
+          f"({len(merged['runs'])} runs, {n_results} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

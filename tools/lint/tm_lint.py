@@ -16,7 +16,7 @@ Audited exceptions use ONE syntax, checked by the linter itself:
     // tm-lint: allow(<check>, <reason>)
 
 where <check> is one of: float, clock, history, rpc-bounded,
-context-build. The annotation
+context-build, test-sleep. The annotation
 suppresses that check on the same line or the two lines below it.
 The linter rejects
   * unknown <check> names,
@@ -78,19 +78,19 @@ Checks
    must parse as allow(<known-check>, ...) or a ct region marker, and
    every allow must actually suppress a finding.
 
-9. Bounded serving layer [rpc-bounded]: `std::queue`, `std::thread`,
-   and their gateway includes (<queue>, <thread>) are banned in
-   src/rpc/ and src/testnet/. The serving layer's overload story
-   depends on every queue being capacity-bounded (rpc::BoundedQueue
-   sheds with Overloaded) and every thread being owned and joined
-   (rpc::WorkerPool); an unbounded std::queue or a detached std::thread
-   silently reintroduces the failure modes the daemon exists to rule
-   out. The regtest harness (src/testnet/) drives those same servers
-   concurrently, so its scheduler is held to the same discipline: it
-   must use the audited owners, not raw primitives. The two audited
-   owner files carry `tm-lint: allow(rpc-bounded, <reason>)` on the
-   exact lines that hold the raw primitives.
-   (std::this_thread::sleep_for is not std::thread and stays legal.)
+9. Bounded serving layer [rpc-bounded]: `std::queue` and its gateway
+   include (<queue>) are banned in src/rpc/ and src/testnet/. The
+   serving layer's overload story depends on every queue being
+   capacity-bounded (rpc::BoundedQueue sheds with Overloaded); an
+   unbounded std::queue silently reintroduces the failure modes the
+   daemon exists to rule out. The regtest harness (src/testnet/)
+   drives those same servers concurrently, so it is held to the same
+   discipline. Audited owners carry
+   `tm-lint: allow(rpc-bounded, <reason>)` on the exact lines.
+   The std::thread half of this check moved to the sync analyzer
+   (tools/analyze/tm_sync.py, rule thread-ownership), which also
+   understands detach() and join() — thread discipline is a
+   synchronization property, not a lexical one.
 
 10. Epoch-chain ownership [context-build]: direct `AnalysisContext::Build`
     calls are banned in src/node/ and src/core/. Those layers rebuild
@@ -102,6 +102,16 @@ Checks
     names the reason a full rebuild is genuinely required (reorg,
     snapshot restore), so hot-path regressions cannot slip in as
     convenience calls.
+
+11. Test sleep hygiene [test-sleep]: `std::this_thread::sleep_for` /
+    `sleep_until` are banned in tests/ (fixture corpora under
+    tests/tooling/ are inputs to the analyzers, not tests, and are
+    skipped). Sleeping in a test is either a race papered over with a
+    timing guess (flaky under load / TSan) or wasted wall-clock.
+    Tests wait on observable state — counters, futures, bounded
+    polls through an injected clock. The rare legitimate poll
+    interval carries `tm-lint: allow(test-sleep, <reason>)` on the
+    exact line.
 """
 
 from __future__ import annotations
@@ -114,7 +124,7 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import sarif  # noqa: E402  (tools/lint/sarif.py)
 
-TOOL_VERSION = "3.2"
+TOOL_VERSION = "3.3"
 
 MODULE_RANK = {
     "common": 0,
@@ -142,7 +152,8 @@ FLOAT_BANNED_FILES = {
 }
 
 #: The unified escape-comment checks (check 8 rejects anything else).
-ALLOW_CHECKS = {"float", "clock", "history", "rpc-bounded", "context-build"}
+ALLOW_CHECKS = {"float", "clock", "history", "rpc-bounded", "context-build",
+                "test-sleep"}
 
 RULE_DESCRIPTIONS = {
     "layering": "module include must follow the layering DAG",
@@ -153,10 +164,12 @@ RULE_DESCRIPTIONS = {
     "clock-hygiene": "raw std::chrono clock reads banned outside common/",
     "history-span": "by-value RsView history banned in core/analysis API",
     "allow-hygiene": "tm-lint escape comments must be known and non-stale",
-    "rpc-bounded": "std::queue/std::thread banned in src/rpc/ and "
-                   "src/testnet/; use BoundedQueue/WorkerPool",
+    "rpc-bounded": "std::queue banned in src/rpc/ and src/testnet/; use "
+                   "BoundedQueue (std::thread is tm_sync's domain)",
     "context-build": "direct AnalysisContext::Build banned in src/node/ "
                      "and src/core/; append epochs via EpochChain",
+    "test-sleep": "sleep_for/sleep_until banned in tests/; wait on "
+                  "observable state instead of a timing guess",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -176,10 +189,9 @@ CLOCK_RE = re.compile(
     r'\b(?:std::chrono::)?'
     r'(?:system_clock|steady_clock|high_resolution_clock)::now\s*\(')
 HISTORY_VEC_RE = re.compile(r'std::vector<\s*(?:chain::)?RsView\s*>')
-# "std::this_thread" does not contain the token "std::thread", so the
-# sleep/yield utilities stay legal without an escape comment.
-RPC_UNBOUNDED_RE = re.compile(r'\bstd::(queue|thread)\b')
-RPC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+<(queue|thread)>')
+RPC_UNBOUNDED_RE = re.compile(r'\bstd::queue\b')
+RPC_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+<queue>')
+TEST_SLEEP_RE = re.compile(r'\bstd::this_thread::sleep_(?:for|until)\s*\(')
 CONTEXT_BUILD_RE = re.compile(r'\bAnalysisContext::Build\s*\(')
 
 DIRECTIVE_RE = re.compile(r'tm-lint:\s*([A-Za-z-]+)')
@@ -245,6 +257,19 @@ class Linter:
         for path in sorted(self.src.rglob("*")):
             if path.suffix in (".h", ".cc"):
                 yield path
+
+    def iter_test_files(self):
+        """tests/ sources, minus the fixture corpora under tests/tooling/
+        (those are analyzer inputs, deliberately full of banned shapes)."""
+        tests = self.root / "tests"
+        if not tests.is_dir():
+            return
+        for path in sorted(tests.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            if "tooling" in path.relative_to(tests).parts:
+                continue
+            yield path
 
     def scan_allows(self, path: pathlib.Path, raw: list[str]) -> None:
         """Parses every tm-lint directive; rejects malformed ones now and
@@ -402,11 +427,10 @@ class Linter:
             if self.consume_allow(path, "rpc-bounded", i):
                 continue
             self.error(path, i, "rpc-bounded",
-                       "unbounded primitive in the serving layer: use "
-                       "rpc::BoundedQueue (typed shedding) instead of "
-                       "std::queue and rpc::WorkerPool (owned, joined) "
-                       "instead of std::thread, or annotate an audited "
-                       "owner with 'tm-lint: allow(rpc-bounded, <reason>)'")
+                       "unbounded std::queue in the serving layer: use "
+                       "rpc::BoundedQueue (typed shedding), or annotate an "
+                       "audited owner with "
+                       "'tm-lint: allow(rpc-bounded, <reason>)'")
 
     def check_context_build(self, path: pathlib.Path,
                             code: list[str]) -> None:
@@ -425,6 +449,20 @@ class Linter:
                        " (Append + View) or annotate an audited cold path "
                        "with 'tm-lint: allow(context-build, <reason>)'")
 
+    def check_test_sleep(self, path: pathlib.Path,
+                         code: list[str]) -> None:
+        for i, line in enumerate(code, start=1):
+            if not TEST_SLEEP_RE.search(line):
+                continue
+            if self.consume_allow(path, "test-sleep", i):
+                continue
+            self.error(path, i, "test-sleep",
+                       "sleep in a test: a timing guess is either a "
+                       "papered-over race or wasted wall-clock; wait on "
+                       "observable state (counters, Join, bounded poll via "
+                       "an injected clock) or annotate a legitimate poll "
+                       "interval with 'tm-lint: allow(test-sleep, <reason>)'")
+
     def check_stale_allows(self) -> None:
         for path, allows in sorted(self.allows.items()):
             for allow in allows:
@@ -439,10 +477,11 @@ class Linter:
 
     def run(self, sarif_out: pathlib.Path | None = None) -> int:
         files = list(self.iter_source_files())
+        test_files = list(self.iter_test_files())
         # Pass 1: parse every escape comment so the per-file checks can
         # consume allows and the stale check sees the full registry.
         contents = {}
-        for path in files:
+        for path in files + test_files:
             raw = path.read_text().splitlines()
             contents[path] = raw
             self.scan_allows(path, raw)
@@ -458,6 +497,8 @@ class Linter:
             self.check_history_span(path, code)
             self.check_rpc_bounded(path, code)
             self.check_context_build(path, code)
+        for path in test_files:
+            self.check_test_sleep(path, self.strip_comments(contents[path]))
         self.check_stale_allows()
 
         if sarif_out is not None:
